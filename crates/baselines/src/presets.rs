@@ -1,0 +1,88 @@
+//! Configuration presets realizing the paper's topologies and baselines
+//! from the `sds-core` building blocks.
+
+use sds_core::{AttachConfig, Bootstrap, ClientConfig, ForwardStrategy, RegistryConfig, ServiceConfig};
+use sds_registry::LeasePolicy;
+use sds_simnet::NodeId;
+
+/// The paper's *centralized* topology: one registry, everyone statically
+/// configured against it, no federation, no beacons to find anything else.
+pub fn centralized_registry() -> RegistryConfig {
+    RegistryConfig {
+        strategy: ForwardStrategy::None,
+        seeds: Vec::new(),
+        gateway_election: false,
+        ..RegistryConfig::default()
+    }
+}
+
+/// Client statically bound to the central registry (no fallback: if the
+/// registry dies, discovery dies — the single point of failure).
+pub fn centralized_client(registry: NodeId) -> ClientConfig {
+    ClientConfig {
+        attach: AttachConfig { bootstrap: Bootstrap::Static(registry), ..Default::default() },
+        fallback_query: false,
+        ..Default::default()
+    }
+}
+
+/// Service statically bound to the central registry.
+pub fn centralized_service(registry: NodeId) -> ServiceConfig {
+    ServiceConfig {
+        attach: AttachConfig { bootstrap: Bootstrap::Static(registry), ..Default::default() },
+        fallback_responder: false,
+        ..Default::default()
+    }
+}
+
+/// The paper's *decentralized* topology: no registries; clients multicast
+/// queries and providers self-evaluate.
+pub fn decentralized_client() -> ClientConfig {
+    ClientConfig { fallback_query: true, ..Default::default() }
+}
+
+/// Decentralized provider: always answers multicast queries.
+pub fn decentralized_service() -> ServiceConfig {
+    ServiceConfig { fallback_responder: true, ..Default::default() }
+}
+
+/// A UDDI-like registry: centralized behaviour plus **no leasing** — stale
+/// adverts of crashed services are served until explicitly removed.
+pub fn uddi_registry() -> RegistryConfig {
+    RegistryConfig { lease_policy: LeasePolicy::no_leasing(), ..centralized_registry() }
+}
+
+/// A UDDI-like publisher: never renews (UDDI has nothing to renew).
+pub fn uddi_service(registry: NodeId) -> ServiceConfig {
+    ServiceConfig {
+        // Renewals would be no-ops against an infinite lease; disable the
+        // traffic entirely by renewing absurdly rarely.
+        renew_interval: u64::MAX / 4,
+        ..centralized_service(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centralized_presets_disable_federation_and_fallback() {
+        let r = centralized_registry();
+        assert_eq!(r.strategy, ForwardStrategy::None);
+        assert!(!centralized_client(NodeId(0)).fallback_query);
+        assert!(!centralized_service(NodeId(0)).fallback_responder);
+    }
+
+    #[test]
+    fn uddi_preset_has_no_leasing() {
+        assert!(!uddi_registry().lease_policy.leasing_enabled);
+        assert!(uddi_service(NodeId(0)).renew_interval > 1_000_000_000);
+    }
+
+    #[test]
+    fn decentralized_presets_enable_fallback() {
+        assert!(decentralized_client().fallback_query);
+        assert!(decentralized_service().fallback_responder);
+    }
+}

@@ -1,0 +1,236 @@
+//! Criterion microbenchmarks for the hot paths of the discovery stack:
+//! subsumption-closure construction, matchmaking, triple-store operations,
+//! registry evaluation, wire codec, and raw simulator event throughput.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sds_protocol::{
+    codec, Advertisement, Description, DiscoveryMessage, ModelId, PublishOp, QueryId,
+    QueryMessage, Uuid,
+};
+use sds_registry::{LeasePolicy, RegistryEngine, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
+use sds_semantic::{
+    Interner, Matchmaker, ServiceRequest, SubsumptionIndex, Triple, TriplePattern, TripleStore,
+};
+use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, Sim, SimConfig, Topology};
+use sds_workload::{battlefield, parametric, PopulationSpec, Workload};
+
+fn bench_subsumption(c: &mut Criterion) {
+    let mut g = c.benchmark_group("subsumption");
+    for (roots, branching, depth) in [(2usize, 3usize, 4usize), (4, 4, 5)] {
+        let ont = parametric(roots, branching, depth);
+        g.bench_with_input(
+            BenchmarkId::new("closure_build", format!("{}classes", ont.len())),
+            &ont,
+            |b, ont| b.iter(|| SubsumptionIndex::build(black_box(ont))),
+        );
+        let idx = SubsumptionIndex::build(&ont);
+        let classes: Vec<_> = ont.classes().collect();
+        g.bench_with_input(
+            BenchmarkId::new("is_subclass", format!("{}classes", ont.len())),
+            &idx,
+            |b, idx| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % classes.len();
+                    black_box(idx.is_subclass(classes[i], classes[i / 2]))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_matchmaker(c: &mut Criterion) {
+    let (ont, classes) = battlefield();
+    let idx = SubsumptionIndex::build(&ont);
+    let mm = Matchmaker::new(&idx);
+    let mut g = c.benchmark_group("matchmaker");
+    for n in [100usize, 1_000] {
+        let w = Workload::generate(
+            &ont,
+            &classes,
+            &PopulationSpec {
+                model: ModelId::Semantic,
+                services: n,
+                queries: 1,
+                generalization_rate: 0.5,
+                seed: 1,
+            },
+        );
+        let profiles: Vec<_> = w
+            .descriptions
+            .iter()
+            .map(|d| match d {
+                Description::Semantic(p) => p.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let request = ServiceRequest::for_category(classes.surveillance)
+            .with_provided_inputs(&[classes.area_of_interest, classes.unit_id]);
+        g.bench_with_input(BenchmarkId::new("rank", n), &profiles, |b, profiles| {
+            b.iter(|| mm.rank(black_box(&request), black_box(profiles), Some(10)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_triple_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("triple_store");
+    g.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut interner = Interner::new();
+            let mut store = TripleStore::new();
+            for i in 0..10_000u32 {
+                let s = interner.intern(&format!("s{}", i % 500));
+                let p = interner.intern(&format!("p{}", i % 7));
+                let o = interner.intern(&format!("o{i}"));
+                store.insert(Triple::new(s, p, o));
+            }
+            black_box(store.len())
+        })
+    });
+
+    let mut interner = Interner::new();
+    let mut store = TripleStore::new();
+    for i in 0..10_000u32 {
+        let s = interner.intern(&format!("s{}", i % 500));
+        let p = interner.intern(&format!("p{}", i % 7));
+        let o = interner.intern(&format!("o{i}"));
+        store.insert(Triple::new(s, p, o));
+    }
+    let s0 = interner.get("s0").unwrap();
+    let p0 = interner.get("p0").unwrap();
+    g.bench_function("query_by_subject", |b| {
+        b.iter(|| black_box(store.query(TriplePattern::any().with_s(s0)).count()))
+    });
+    g.bench_function("query_by_predicate", |b| {
+        b.iter(|| black_box(store.query(TriplePattern::any().with_p(p0)).count()))
+    });
+    g.finish();
+}
+
+fn bench_registry_evaluate(c: &mut Criterion) {
+    let (ont, classes) = battlefield();
+    let idx = Arc::new(SubsumptionIndex::build(&ont));
+    let mut g = c.benchmark_group("registry_evaluate");
+    for model in [ModelId::Uri, ModelId::Semantic] {
+        let w = Workload::generate(
+            &ont,
+            &classes,
+            &PopulationSpec { model, services: 1_000, queries: 16, generalization_rate: 0.5, seed: 2 },
+        );
+        let mut engine = RegistryEngine::new(LeasePolicy::default());
+        engine.register_evaluator(Box::new(UriEvaluator));
+        engine.register_evaluator(Box::new(TemplateEvaluator));
+        engine.register_evaluator(Box::new(SemanticEvaluator::new(idx.clone())));
+        for (i, d) in w.descriptions.iter().enumerate() {
+            let advert = Advertisement {
+                id: Uuid(i as u128 + 1),
+                provider: NodeId(0),
+                description: d.clone(),
+                version: 1,
+            };
+            engine.publish(advert, NodeId(0), 0, 1_000_000);
+        }
+        let queries: Vec<QueryMessage> = w
+            .queries
+            .iter()
+            .enumerate()
+            .map(|(i, p)| QueryMessage {
+                id: QueryId { origin: NodeId(1), seq: i as u64 },
+                payload: p.clone(),
+                max_responses: Some(10),
+                ttl: 0,
+                reply_to: None,
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("evaluate_1k_store", format!("{model:?}")),
+            &queries,
+            |b, queries| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % queries.len();
+                    black_box(engine.evaluate(&queries[i], 100))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let (ont, classes) = battlefield();
+    let w = Workload::generate(
+        &ont,
+        &classes,
+        &PopulationSpec {
+            model: ModelId::Semantic,
+            services: 1,
+            queries: 0,
+            generalization_rate: 0.0,
+            seed: 3,
+        },
+    );
+    let msg = DiscoveryMessage::publishing(PublishOp::Publish {
+        advert: Advertisement {
+            id: Uuid(7),
+            provider: NodeId(3),
+            description: w.descriptions[0].clone(),
+            version: 1,
+        },
+        lease_ms: 30_000,
+    });
+    let bytes = codec::encode(&msg);
+    let mut g = c.benchmark_group("codec");
+    g.bench_function("encode_publish", |b| b.iter(|| black_box(codec::encode(black_box(&msg)))));
+    g.bench_function("decode_publish", |b| {
+        b.iter(|| black_box(codec::decode(black_box(&bytes)).unwrap()))
+    });
+    g.finish();
+}
+
+struct PingPong {
+    peer: NodeId,
+    remaining: u32,
+}
+
+impl NodeHandler<u32> for PingPong {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(Destination::Unicast(self.peer), msg + 1, 16, "ping");
+        }
+    }
+}
+
+fn bench_simnet(c: &mut Criterion) {
+    c.bench_function("simnet_100k_events", |b| {
+        b.iter(|| {
+            let mut topo = Topology::new();
+            let lan = topo.add_lan();
+            let mut sim: Sim<u32> = Sim::new(SimConfig::default(), topo, 1);
+            let a = sim.add_node(lan, Box::new(PingPong { peer: NodeId(1), remaining: 50_000 }));
+            let bn = sim.add_node(lan, Box::new(PingPong { peer: NodeId(0), remaining: 50_000 }));
+            sim.with_node::<PingPong>(a, |_, ctx| {
+                ctx.send(Destination::Unicast(bn), 0, 16, "ping");
+            });
+            sim.run_until(u64::MAX / 2);
+            black_box(sim.stats().total_messages())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_subsumption,
+    bench_matchmaker,
+    bench_triple_store,
+    bench_registry_evaluate,
+    bench_codec,
+    bench_simnet
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! A1 — Ablation: push advertisements vs forward queries (paper §4.9).
+//!
+//! "There are lots of different design choices, e.g. to push or pull
+//! advertisements between registries … Strategies for forwarding
+//! advertisements or queries are part of the subject registry cooperation."
+//!
+//! The same federated world is run with (a) query forwarding only (the
+//! default), (b) advert replication only, and (c) both. Replication moves
+//! cost from query time (WAN forwards, response latency) to publish time
+//! (periodic pushes of full — large, semantic — advertisements); which wins
+//! depends on the query:service-churn ratio, so we sweep the query rate.
+
+use sds_bench::{f2, kib, run_query_phase, Table};
+use sds_core::{ForwardStrategy, QueryOptions};
+use sds_protocol::ModelId;
+use sds_simnet::secs;
+use sds_workload::{Deployment, PopulationSpec, Scenario, ScenarioConfig};
+
+struct Mode {
+    name: &'static str,
+    strategy: ForwardStrategy,
+    push_interval: u64,
+}
+
+fn run(mode: &Mode, queries: usize, seed: u64) -> (f64, f64, u64, u64, f64) {
+    let mut cfg = ScenarioConfig {
+        lans: 4,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        population: PopulationSpec {
+            model: ModelId::Semantic,
+            services: 24,
+            queries: 24,
+            generalization_rate: 0.5,
+            seed,
+        },
+        seed,
+        ..Default::default()
+    };
+    cfg.registry.strategy = mode.strategy.clone();
+    cfg.registry.advert_push_interval = mode.push_interval;
+    let mut s = Scenario::build(cfg);
+    s.sim.run_until(secs(15)); // let at least one push round happen
+    s.sim.reset_stats();
+    let report = run_query_phase(
+        &mut s,
+        queries,
+        secs(3),
+        QueryOptions { timeout: secs(2), ..Default::default() },
+    );
+    let stats = s.sim.stats();
+    let query_bytes = stats.kind("query").bytes + stats.kind("query-response").bytes;
+    let push_bytes = stats.kind("fwd-adverts").bytes;
+    (report.recall_mean, report.first_response_ms.mean, query_bytes, push_bytes, {
+        stats.wan_bytes as f64
+    })
+}
+
+fn main() {
+    let modes = [
+        Mode { name: "forward queries", strategy: ForwardStrategy::Flood { ttl: 4 }, push_interval: 0 },
+        Mode { name: "replicate adverts", strategy: ForwardStrategy::None, push_interval: secs(10) },
+        Mode {
+            name: "both",
+            strategy: ForwardStrategy::Flood { ttl: 4 },
+            push_interval: secs(10),
+        },
+    ];
+    let mut table = Table::new(&[
+        "cooperation",
+        "queries",
+        "recall",
+        "1st-resp ms",
+        "query KiB",
+        "push KiB",
+        "WAN KiB",
+    ]);
+    for queries in [8usize, 64] {
+        for mode in &modes {
+            let (recall, latency, qb, pb, wan) = run(mode, queries, 51);
+            table.row(&[
+                mode.name.into(),
+                queries.to_string(),
+                f2(recall),
+                f2(latency),
+                kib(qb),
+                kib(pb),
+                f2(wan / 1024.0),
+            ]);
+        }
+    }
+    table.print("A1: registry cooperation — query forwarding vs advert replication");
+    println!(
+        "Expected shape: replication answers locally (lowest first-response latency,\n\
+         near-zero query traffic) but pays a constant push stream of large semantic\n\
+         adverts, so it wins only when queries are frequent relative to the push\n\
+         budget; forwarding pays per query. 'Both' buys latency at maximal traffic."
+    );
+}

@@ -1,0 +1,134 @@
+//! A2 — Ablations of the architecture's tunables.
+//!
+//! The paper makes the parameters deployment-configurable ("the interval
+//! between registry beacons, the number of registry nodes to traverse for a
+//! query, and the advertisement lease period … could even be made
+//! configurable on an individual deployment basis"); these sweeps show what
+//! each knob actually buys.
+//!
+//! * response window: how long the adopting registry waits for federation
+//!   answers — completeness vs answer latency;
+//! * beacon interval: passive-discovery latency vs beacon traffic;
+//! * compression: system-wide traffic with and without binary XML.
+
+use sds_bench::{f2, kib, run_query_phase, Table};
+use sds_core::{
+    AttachConfig, Bootstrap, ClientConfig, ClientNode, QueryOptions, RegistryConfig, RegistryNode,
+};
+use sds_protocol::{Codec, Compression, DiscoveryMessage, ModelId};
+use sds_simnet::{secs, Sim, SimConfig, Topology};
+use sds_workload::{Deployment, PopulationSpec, Scenario, ScenarioConfig};
+
+fn scenario_cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        lans: 4,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        population: PopulationSpec {
+            model: ModelId::Semantic,
+            services: 24,
+            queries: 24,
+            generalization_rate: 0.5,
+            seed,
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+fn sweep_response_window() {
+    let mut table = Table::new(&["window ms", "recall", "answer ms (p95)"]);
+    for window in [50u64, 150, 500, 1_500] {
+        let mut cfg = scenario_cfg(61);
+        cfg.registry.response_window = window;
+        let mut s = Scenario::build(cfg);
+        s.sim.run_until(secs(4));
+        let r = run_query_phase(
+            &mut s,
+            24,
+            secs(4),
+            QueryOptions { timeout: secs(3), ..Default::default() },
+        );
+        table.row(&[window.to_string(), f2(r.recall_mean), f2(r.first_response_ms.p95)]);
+    }
+    table.print("A2a: response-aggregation window (federated, 4 LANs, WAN ~20-25 ms)");
+}
+
+fn sweep_beacon_interval() {
+    let mut table = Table::new(&["beacon s", "attach ms (passive)", "beacon KiB/min"]);
+    for beacon_s in [1u64, 5, 15, 60] {
+        let mut topo = Topology::new();
+        let lan = topo.add_lan();
+        let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topo, 62);
+        let r = sim.add_node(
+            lan,
+            Box::new(RegistryNode::new(
+                RegistryConfig { beacon_interval: secs(beacon_s), ..Default::default() },
+                None,
+            )),
+        );
+        sim.run_until(500);
+        let c = sim.add_node(
+            lan,
+            Box::new(ClientNode::new(ClientConfig {
+                attach: AttachConfig { bootstrap: Bootstrap::PassiveOnly, ..Default::default() },
+                ..Default::default()
+            })),
+        );
+        let t0 = sim.now();
+        let mut attach_ms = 0;
+        for step in 0..200_000u64 {
+            sim.run_until(t0 + step * 10);
+            if sim.handler::<ClientNode>(c).unwrap().home_registry() == Some(r) {
+                attach_ms = sim.now() - t0;
+                break;
+            }
+        }
+        sim.reset_stats();
+        sim.run_until(sim.now() + secs(60));
+        let beacon_bytes = sim.stats().kind("beacon").bytes;
+        table.row(&[beacon_s.to_string(), attach_ms.to_string(), kib(beacon_bytes)]);
+    }
+    table.print("A2b: beacon interval — passive discovery latency vs beacon traffic");
+}
+
+fn sweep_compression() {
+    let mut table = Table::new(&["codec", "recall", "LAN KiB", "WAN KiB"]);
+    for (name, compression) in
+        [("plain XML", Compression::None), ("binary XML", Compression::BinaryXml)]
+    {
+        let mut cfg = scenario_cfg(63);
+        let codec = Codec::new(compression);
+        cfg.registry.codec = codec;
+        cfg.service.codec = codec;
+        cfg.client.codec = codec;
+        let mut s = Scenario::build(cfg);
+        s.sim.run_until(secs(4));
+        s.sim.reset_stats();
+        let r = run_query_phase(
+            &mut s,
+            24,
+            secs(4),
+            QueryOptions { timeout: secs(3), ..Default::default() },
+        );
+        table.row(&[
+            name.into(),
+            f2(r.recall_mean),
+            kib(s.sim.stats().lan_bytes),
+            kib(s.sim.stats().wan_bytes),
+        ]);
+    }
+    table.print("A2c: system-wide binary-XML compression (same workload, same recall)");
+}
+
+fn main() {
+    sweep_response_window();
+    sweep_beacon_interval();
+    sweep_compression();
+    println!(
+        "Expected shapes: (a) windows below the WAN round-trip lose remote hits —\n\
+         recall jumps once the window clears ~2×RTT, after which more waiting only\n\
+         adds latency; (b) passive attach latency ≈ E[beacon]/2 while beacon traffic\n\
+         is inversely proportional to the interval; (c) compression cuts both LAN and\n\
+         WAN bytes by ~3-4× with identical discovery results."
+    );
+}

@@ -1,0 +1,121 @@
+//! E10 — Gateway election among co-located registries (paper §4.7).
+//!
+//! Claim under test: "In the case where there are two or more registry nodes
+//! locally, this may lead to redundant queries being forwarded on the
+//! registry network … There must be some coordination between local nodes so
+//! that, at any time, only one node acts as the gateway to the WAN-level
+//! registry network."
+
+use sds_bench::{f2, Table};
+use sds_core::{
+    ClientConfig, ClientNode, QueryMode, QueryOptions, RegistryConfig, RegistryNode,
+    ServiceConfig, ServiceNode,
+};
+use sds_protocol::{Description, DiscoveryMessage, QueryPayload};
+use sds_simnet::{secs, Sim, SimConfig, Topology};
+
+struct Outcome {
+    remote_queries: u64,
+    remote_duplicates: u64,
+    wan_kib: f64,
+    hits: usize,
+}
+
+fn run(local_registries: usize, election: bool, seed: u64) -> Outcome {
+    let mut topo = Topology::new();
+    let lan0 = topo.add_lan();
+    let lan1 = topo.add_lan();
+    let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topo, seed);
+
+    // Remote registry + service on LAN 1.
+    let remote = sim.add_node(
+        lan1,
+        Box::new(RegistryNode::new(RegistryConfig::default(), None)),
+    );
+    sim.add_node(
+        lan1,
+        Box::new(ServiceNode::new(
+            ServiceConfig::default(),
+            vec![Description::Uri("urn:svc:far".into())],
+            None,
+        )),
+    );
+
+    // Co-located registries on LAN 0, each with its own WAN peering.
+    for _ in 0..local_registries {
+        sim.add_node(
+            lan0,
+            Box::new(RegistryNode::new(
+                RegistryConfig {
+                    gateway_election: election,
+                    seeds: vec![remote],
+                    ..Default::default()
+                },
+                None,
+            )),
+        );
+    }
+    let client = sim.add_node(lan0, Box::new(ClientNode::new(ClientConfig::default())));
+    sim.run_until(secs(20));
+    sim.reset_stats();
+
+    // Multicast client queries reach every local registry.
+    let n_queries = 10u64;
+    for q in 0..n_queries {
+        sim.with_node::<ClientNode>(client, |c, ctx| {
+            c.issue_query(
+                ctx,
+                QueryPayload::Uri("urn:svc:far".into()),
+                QueryOptions { mode: QueryMode::MulticastLan, timeout: secs(2), ..Default::default() },
+            );
+        });
+        sim.run_until(secs(20 + (q + 1) * 3));
+    }
+
+    let rstats = sim.handler::<RegistryNode>(remote).unwrap().stats;
+    let hits = sim
+        .handler::<ClientNode>(client)
+        .unwrap()
+        .completed
+        .iter()
+        .map(|c| c.hits.len())
+        .max()
+        .unwrap_or(0);
+    Outcome {
+        remote_queries: rstats.queries_received,
+        remote_duplicates: rstats.duplicate_queries_dropped,
+        wan_kib: sim.stats().wan_bytes as f64 / 1024.0,
+        hits,
+    }
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "local registries",
+        "election",
+        "WAN queries recv'd",
+        "dup drops @remote",
+        "WAN KiB",
+        "hits",
+    ]);
+    for local in [1usize, 2, 4] {
+        for election in [false, true] {
+            let o = run(local, election, 31);
+            table.row(&[
+                local.to_string(),
+                if election { "on".into() } else { "off".into() },
+                o.remote_queries.to_string(),
+                o.remote_duplicates.to_string(),
+                f2(o.wan_kib),
+                o.hits.to_string(),
+            ]);
+        }
+    }
+    table.print("E10: redundant WAN forwarding with co-located registries (10 multicast queries)");
+    println!(
+        "Paper expectation: without coordination, every co-located registry forwards\n\
+         the same query to the WAN (the remote registry sees and drops duplicates);\n\
+         with gateway election only the elected gateway forwards, and discovery\n\
+         results are unchanged."
+    );
+}

@@ -1,0 +1,92 @@
+//! E11 — Decentralized LAN fallback (paper Fig. 3, §4.7).
+//!
+//! Claim under test: "If no registry is available, using decentralized LAN
+//! service discovery could ensure that local services still can be
+//! discovered … a fallback solution to allow local service discovery in the
+//! case where no registry nodes are present, which can occur in dynamic
+//! environments."
+//!
+//! We kill the only registry on the LAN and track local discovery success
+//! over time, with the fallback enabled and disabled.
+
+use sds_bench::{f2, Table};
+use sds_core::{
+    ClientConfig, ClientNode, QueryOptions, RegistryConfig, RegistryNode, ServiceConfig,
+    ServiceNode,
+};
+use sds_protocol::{Description, DiscoveryMessage, QueryPayload};
+use sds_simnet::{secs, Sim, SimConfig, Topology};
+
+/// Success rate over `n` queries spaced 3 s apart starting at `start`.
+fn success_window(
+    sim: &mut Sim<DiscoveryMessage>,
+    client: sds_simnet::NodeId,
+    start: u64,
+    n: u64,
+) -> f64 {
+    let before = sim.handler::<ClientNode>(client).unwrap().completed.len();
+    for q in 0..n {
+        sim.run_until(start + q * 3_000);
+        sim.with_node::<ClientNode>(client, |c, ctx| {
+            c.issue_query(
+                ctx,
+                QueryPayload::Uri("urn:svc:local".into()),
+                QueryOptions { timeout: secs(2), ..Default::default() },
+            );
+        });
+    }
+    sim.run_until(start + n * 3_000 + 3_000);
+    let done = &sim.handler::<ClientNode>(client).unwrap().completed[before..];
+    done.iter().filter(|q| !q.hits.is_empty()).count() as f64 / done.len() as f64
+}
+
+fn run(fallback: bool, seed: u64) -> (f64, f64, f64) {
+    let mut topo = Topology::new();
+    let lan = topo.add_lan();
+    let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topo, seed);
+    let registry =
+        sim.add_node(lan, Box::new(RegistryNode::new(RegistryConfig::default(), None)));
+    for _ in 0..3 {
+        sim.add_node(
+            lan,
+            Box::new(ServiceNode::new(
+                ServiceConfig { fallback_responder: fallback, ..Default::default() },
+                vec![Description::Uri("urn:svc:local".into())],
+                None,
+            )),
+        );
+    }
+    let client = sim.add_node(
+        lan,
+        Box::new(ClientNode::new(ClientConfig { fallback_query: fallback, ..Default::default() })),
+    );
+    sim.run_until(secs(3));
+
+    let before = success_window(&mut sim, client, secs(3), 5);
+    sim.crash_node(registry);
+    // Window 1: failure detection in progress (pings, beacon timeout).
+    let during = success_window(&mut sim, client, secs(20), 5);
+    // Window 2: fallback (if any) fully active.
+    let after = success_window(&mut sim, client, secs(45), 5);
+    (before, during, after)
+}
+
+fn main() {
+    let mut table = Table::new(&["fallback", "before crash", "0-15s after", "25-40s after"]);
+    for fallback in [false, true] {
+        let (b, d, a) = run(fallback, 17);
+        table.row(&[
+            if fallback { "enabled".into() } else { "disabled".into() },
+            f2(b),
+            f2(d),
+            f2(a),
+        ]);
+    }
+    table.print("E11: local discovery around the loss of the only LAN registry");
+    println!(
+        "Paper expectation: without the fallback, local discovery dies with the\n\
+         registry even though provider and client sit on the same LAN; with the\n\
+         fallback, clients multicast queries and providers self-answer once the\n\
+         registry silence exceeds the beacon timeout."
+    );
+}

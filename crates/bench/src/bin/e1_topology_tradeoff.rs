@@ -1,0 +1,92 @@
+//! E1 — Topology trade-off (paper Fig. 1, §3).
+//!
+//! Claim under test: the decentralized topology "can lead to high bandwidth
+//! consumption … \[and\] response implosion" and cannot reach beyond the LAN;
+//! the centralized topology is frugal but fragile (E3 covers the fragility);
+//! the distributed multi-registry topology reaches everything at moderate
+//! cost.
+
+use sds_bench::{f2, kib, run_query_phase, Table};
+use sds_core::QueryOptions;
+use sds_protocol::ModelId;
+use sds_simnet::secs;
+use sds_workload::{Deployment, PopulationSpec, Scenario, ScenarioConfig};
+
+fn scenario(deployment: Deployment, seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        lans: 4,
+        clients_per_lan: 1,
+        deployment,
+        population: PopulationSpec {
+            model: ModelId::Semantic,
+            services: 40,
+            queries: 32,
+            generalization_rate: 0.5,
+            seed,
+        },
+        seed,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    let mut table = Table::new(&[
+        "topology",
+        "recall",
+        "success",
+        "resp/query",
+        "query KiB",
+        "publish KiB",
+        "maint KiB",
+        "LAN KiB",
+        "WAN KiB",
+    ]);
+
+    for (name, deployment) in [
+        ("centralized", Deployment::Centralized),
+        ("decentralized", Deployment::Decentralized),
+        ("federated", Deployment::Federated { registries_per_lan: 1 }),
+    ] {
+        let mut s = scenario(deployment, 1);
+        // Warm-up: discovery, publishing, federation formation.
+        s.sim.run_until(secs(5));
+        s.sim.reset_stats();
+        let report = run_query_phase(
+            &mut s,
+            32,
+            secs(4),
+            QueryOptions::default(),
+        );
+
+        let stats = s.sim.stats();
+        let mut query_b = 0u64;
+        let mut publish_b = 0u64;
+        let mut maint_b = 0u64;
+        for (kind, ks) in stats.kinds() {
+            match kind {
+                "query" | "query-response" => query_b += ks.bytes,
+                "publish" | "publish-ack" | "renew" | "renew-ack" | "update" | "remove"
+                | "fwd-adverts" => publish_b += ks.bytes,
+                _ => maint_b += ks.bytes,
+            }
+        }
+        table.row(&[
+            name.into(),
+            f2(report.recall_mean),
+            f2(report.success_rate),
+            f2(report.responses.mean),
+            kib(query_b),
+            kib(publish_b),
+            kib(maint_b),
+            kib(stats.lan_bytes),
+            kib(stats.wan_bytes),
+        ]);
+    }
+
+    table.print("E1: topology trade-off (4 LANs, 40 semantic services, 32 queries)");
+    println!(
+        "Paper expectation: decentralized recall is LAN-bound (~1/4 of providers reachable)\n\
+         with the most responses per query; centralized and federated reach everything,\n\
+         with federated paying WAN query forwarding and registry maintenance for it."
+    );
+}

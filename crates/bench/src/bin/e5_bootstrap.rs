@@ -1,0 +1,102 @@
+//! E5 — Registry discovery and federation bootstrap (paper §4.5, Fig. 4).
+//!
+//! Claim under test: "Registries may be discovered either by manually
+//! configuring the registry endpoint or by clients actively using
+//! local-scoped multicast … Also, registry nodes could issue local beacon
+//! messages, enabling clients to do passive registry discovery" — and on the
+//! WAN, a few seeds suffice to wire a full federation. We measure
+//! time-to-attach per bootstrap mode and time-to-full-mesh per federation
+//! size.
+
+use sds_bench::{f2, Table};
+use sds_core::{
+    AttachConfig, Bootstrap, ClientConfig, ClientNode, RegistryConfig, RegistryNode,
+};
+use sds_protocol::DiscoveryMessage;
+use sds_simnet::{secs, NodeId, Sim, SimConfig, Topology};
+
+/// Time until a freshly added client attaches, and probe/beacon messages
+/// spent until then.
+fn time_to_attach(bootstrap: Bootstrap, beacon_interval: u64, seed: u64) -> (u64, u64) {
+    let mut topo = Topology::new();
+    let lan = topo.add_lan();
+    let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topo, seed);
+    let r = sim.add_node(
+        lan,
+        Box::new(RegistryNode::new(
+            RegistryConfig { beacon_interval, ..Default::default() },
+            None,
+        )),
+    );
+    // Let the registry's initial beacon pass so we measure steady state.
+    sim.run_until(secs(1));
+    let c = sim.add_node(
+        lan,
+        Box::new(ClientNode::new(ClientConfig {
+            attach: AttachConfig { bootstrap, ..Default::default() },
+            ..Default::default()
+        })),
+    );
+    let t0 = sim.now();
+    let mut attached_at = None;
+    for step in 0..20_000u64 {
+        sim.run_until(t0 + step * 10);
+        if sim.handler::<ClientNode>(c).unwrap().home_registry() == Some(r) {
+            attached_at = Some(sim.now() - t0);
+            break;
+        }
+    }
+    let msgs = sim.stats().kind("probe").messages + sim.stats().kind("beacon").messages;
+    (attached_at.expect("client attaches eventually"), msgs)
+}
+
+/// Time until every registry in a seeded federation knows every other.
+fn time_to_full_mesh(n: usize, seed: u64) -> (u64, usize) {
+    let mut topo = Topology::new();
+    let lans: Vec<_> = (0..n).map(|_| topo.add_lan()).collect();
+    let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topo, seed);
+    let mut regs: Vec<NodeId> = Vec::new();
+    for (i, &lan) in lans.iter().enumerate() {
+        let seeds = if i == 0 { vec![] } else { vec![regs[0]] };
+        regs.push(sim.add_node(
+            lan,
+            Box::new(RegistryNode::new(RegistryConfig { seeds, ..Default::default() }, None)),
+        ));
+    }
+    for step in 0..1_000u64 {
+        sim.run_until(step * 500);
+        let full = regs.iter().all(|&r| {
+            sim.handler::<RegistryNode>(r).unwrap().peer_ids().len() == n - 1
+        });
+        if full {
+            return (sim.now(), n - 1);
+        }
+    }
+    (u64::MAX, 0)
+}
+
+fn main() {
+    let mut t1 = Table::new(&["bootstrap", "time to attach (ms)", "probe+beacon msgs"]);
+    for (name, bootstrap) in [
+        ("manual (static)", Bootstrap::Static(NodeId(0))),
+        ("active multicast", Bootstrap::Multicast),
+        ("passive beacons", Bootstrap::PassiveOnly),
+    ] {
+        let (ms, msgs) = time_to_attach(bootstrap, secs(5), 9);
+        t1.row(&[name.into(), ms.to_string(), msgs.to_string()]);
+    }
+    t1.print("E5a: LAN registry discovery latency by bootstrap mode (5 s beacons)");
+
+    let mut t2 = Table::new(&["registries", "seeds", "time to full mesh (s)"]);
+    for n in [2usize, 4, 8, 16] {
+        let (ms, _) = time_to_full_mesh(n, 11);
+        t2.row(&[n.to_string(), "1".into(), f2(ms as f64 / 1000.0)]);
+    }
+    t2.print("E5b: WAN federation formation (every registry seeded with registry 0)");
+    println!(
+        "Paper expectation: manual configuration is instant but manual; active probing\n\
+         attaches within a round-trip; passive discovery waits about half a beacon\n\
+         period. One seed plus transitive peering wires the full mesh within a few\n\
+         15-second signaling (gossip) rounds, growing gently with federation size."
+    );
+}

@@ -1,0 +1,76 @@
+//! E8 — Description sizes on the wire (paper §2).
+//!
+//! Claim under test: "semantic service advertisements can become quite
+//! large, compared to the use of for example URI strings" — and the proposed
+//! mitigation, "compression or binary XML versions to reduce the burden on
+//! the network", pays off most for the big semantic payloads.
+
+use sds_bench::Table;
+use sds_protocol::{
+    Advertisement, Codec, Compression, Description, DescriptionTemplate, DiscoveryMessage,
+    PublishOp, Uuid,
+};
+use sds_semantic::{ClassId, QosKey, ServiceProfile};
+use sds_simnet::NodeId;
+
+fn publish_size(codec: Codec, description: Description) -> u32 {
+    let advert =
+        Advertisement { id: Uuid(1), provider: NodeId(0), description, version: 1 };
+    codec.message_size(&DiscoveryMessage::publishing(PublishOp::Publish {
+        advert,
+        lease_ms: 30_000,
+    }))
+}
+
+fn semantic(outputs: usize, inputs: usize, qos: usize) -> Description {
+    let mut p = ServiceProfile::new("blueforce-tracker", ClassId(0));
+    p.outputs = (0..outputs as u32).map(ClassId).collect();
+    p.inputs = (0..inputs as u32).map(ClassId).collect();
+    for _ in 0..qos {
+        p = p.with_qos(QosKey::Accuracy, 0.9);
+    }
+    Description::Semantic(p)
+}
+
+fn main() {
+    let plain = Codec::new(Compression::None);
+    let packed = Codec::new(Compression::BinaryXml);
+
+    let cases: Vec<(&str, Description)> = vec![
+        ("URI", Description::Uri("urn:svc:BlueForceTrackingService".into())),
+        (
+            "template (2 attrs)",
+            Description::Template(DescriptionTemplate {
+                name: Some("blueforce-tracker".into()),
+                type_uri: Some("urn:svc:BlueForceTrackingService".into()),
+                attrs: vec![
+                    ("area".into(), "sector-2".into()),
+                    ("rate".into(), "1hz".into()),
+                ],
+            }),
+        ),
+        ("semantic (1 out)", semantic(1, 0, 0)),
+        ("semantic (2 out, 1 in, 1 qos)", semantic(2, 1, 1)),
+        ("semantic (4 out, 2 in, 3 qos)", semantic(4, 2, 3)),
+        ("semantic (8 out, 4 in, 6 qos)", semantic(8, 4, 6)),
+    ];
+
+    let mut table = Table::new(&["description", "publish bytes", "binary-XML bytes", "vs URI"]);
+    let uri_size = publish_size(plain, cases[0].1.clone());
+    for (name, d) in cases {
+        let xml = publish_size(plain, d.clone());
+        let exi = publish_size(packed, d);
+        table.row(&[
+            name.into(),
+            xml.to_string(),
+            exi.to_string(),
+            format!("{:.1}x", xml as f64 / uri_size as f64),
+        ]);
+    }
+    table.print("E8: publish-message size by description model (modeled SOAP/XML bytes)");
+    println!(
+        "Paper expectation: semantic advertisements are several times a URI string and\n\
+         grow with profile complexity; a binary-XML encoding recovers roughly a 4:1\n\
+         factor, mattering most exactly where descriptions are largest."
+    );
+}

@@ -1,0 +1,147 @@
+//! `scenario` — run a custom deployment from the command line.
+//!
+//! A downstream-user tool: pick a topology, population, churn level, and
+//! query load without writing Rust. Prints the same aggregate report the
+//! experiments use.
+//!
+//! ```text
+//! cargo run --release -p sds-bench --bin scenario -- \
+//!     --deployment federated --lans 4 --registries-per-lan 2 \
+//!     --services 40 --model semantic --queries 50 \
+//!     --mean-up-s 60 --seed 7
+//! ```
+
+use sds_bench::{f2, kib, run_query_phase, Table};
+use sds_core::QueryOptions;
+use sds_protocol::ModelId;
+use sds_simnet::{secs, NodeId};
+use sds_workload::{ChurnPlan, Deployment, PopulationSpec, Scenario, ScenarioConfig};
+
+#[derive(Debug)]
+struct Args {
+    deployment: Deployment,
+    lans: usize,
+    services: usize,
+    queries: usize,
+    model: ModelId,
+    generalization: f64,
+    mean_up_s: u64,
+    seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            deployment: Deployment::Federated { registries_per_lan: 1 },
+            lans: 4,
+            services: 40,
+            queries: 40,
+            model: ModelId::Semantic,
+            generalization: 0.5,
+            mean_up_s: 0,
+            seed: 0,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario [--deployment centralized|decentralized|federated]\n\
+         \x20               [--registries-per-lan N] [--lans N] [--services N]\n\
+         \x20               [--queries N] [--model uri|template|semantic]\n\
+         \x20               [--generalization F] [--mean-up-s SECS (0=no churn)]\n\
+         \x20               [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut registries_per_lan = 1usize;
+    let mut deployment_name = String::from("federated");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--deployment" => deployment_name = val(),
+            "--registries-per-lan" => registries_per_lan = val().parse().unwrap_or_else(|_| usage()),
+            "--lans" => args.lans = val().parse().unwrap_or_else(|_| usage()),
+            "--services" => args.services = val().parse().unwrap_or_else(|_| usage()),
+            "--queries" => args.queries = val().parse().unwrap_or_else(|_| usage()),
+            "--model" => {
+                args.model = match val().as_str() {
+                    "uri" => ModelId::Uri,
+                    "template" => ModelId::Template,
+                    "semantic" => ModelId::Semantic,
+                    _ => usage(),
+                }
+            }
+            "--generalization" => args.generalization = val().parse().unwrap_or_else(|_| usage()),
+            "--mean-up-s" => args.mean_up_s = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args.deployment = match deployment_name.as_str() {
+        "centralized" => Deployment::Centralized,
+        "decentralized" => Deployment::Decentralized,
+        "federated" => Deployment::Federated { registries_per_lan },
+        _ => usage(),
+    };
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!("scenario: {args:#?}");
+
+    let mut s = Scenario::build(ScenarioConfig {
+        lans: args.lans,
+        deployment: args.deployment.clone(),
+        population: PopulationSpec {
+            model: args.model,
+            services: args.services,
+            queries: args.queries.max(1),
+            generalization_rate: args.generalization,
+            seed: args.seed,
+        },
+        seed: args.seed,
+        ..Default::default()
+    });
+
+    if args.mean_up_s > 0 {
+        let providers: Vec<NodeId> = s.services.iter().map(|(n, _)| *n).collect();
+        ChurnPlan::exponential(
+            &providers,
+            (args.mean_up_s * 1_000) as f64,
+            30_000.0,
+            secs(20 + 4 * args.queries as u64),
+            args.seed ^ 0xC0DE,
+        )
+        .apply(&mut s.sim);
+    }
+
+    s.sim.run_until(secs(8));
+    s.sim.reset_stats();
+    let report = run_query_phase(
+        &mut s,
+        args.queries,
+        secs(4),
+        QueryOptions { timeout: secs(2), ..Default::default() },
+    );
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row(&["queries".into(), report.queries.to_string()]);
+    t.row(&["recall (mean)".into(), f2(report.recall_mean)]);
+    t.row(&["success rate".into(), f2(report.success_rate)]);
+    t.row(&["stale-hit fraction".into(), f2(report.stale_fraction)]);
+    t.row(&["responses/query (mean)".into(), f2(report.responses.mean)]);
+    t.row(&["first response ms (p50)".into(), f2(report.first_response_ms.p50)]);
+    t.row(&["first response ms (p95)".into(), f2(report.first_response_ms.p95)]);
+    t.row(&["hits/query (mean)".into(), f2(report.hits.mean)]);
+    t.row(&["LAN KiB".into(), kib(s.sim.stats().lan_bytes)]);
+    t.row(&["WAN KiB".into(), kib(s.sim.stats().wan_bytes)]);
+    t.row(&["messages".into(), s.sim.stats().total_messages().to_string()]);
+    t.print("scenario report");
+}

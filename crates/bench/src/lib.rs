@@ -1,0 +1,211 @@
+//! # sds-bench — experiment harness
+//!
+//! One runnable binary per experiment (E1–E12), each regenerating the table
+//! recorded in `EXPERIMENTS.md`. This library holds what they share: a
+//! fixed-width table printer and a query-phase driver that issues workload
+//! queries one at a time, measuring recall, staleness, response counts, and
+//! first-response latency against the ground-truth oracle.
+
+use sds_core::{ClientNode, QueryOptions};
+use sds_metrics::{ratio, recall, Summary};
+use sds_simnet::NodeId;
+use sds_workload::Scenario;
+
+/// A fixed-width text table, the output format of every experiment binary.
+#[derive(Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width matches header");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with every column padded to its widest cell.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==\n{}", self.render());
+    }
+}
+
+/// Formats a float with 2 decimals (table cells).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats bytes as KiB with one decimal.
+pub fn kib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+/// Aggregate result of a query phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseReport {
+    pub queries: usize,
+    /// Mean recall vs the ground truth at issue time.
+    pub recall_mean: f64,
+    /// Fraction of returned hits whose provider was already dead when the
+    /// query was issued (registry staleness, excluding mid-query churn).
+    pub stale_fraction: f64,
+    /// Fraction of queries that returned at least one hit while at least
+    /// one was expected.
+    pub success_rate: f64,
+    /// QueryResponse messages per query (implosion metric).
+    pub responses: Summary,
+    /// First-response latency (ms) over answered queries.
+    pub first_response_ms: Summary,
+    /// Hits returned per query.
+    pub hits: Summary,
+}
+
+/// Issues `n` workload queries round-robin over clients and query payloads,
+/// one per `spacing` ms (spacing ≥ the query timeout makes ground truth and
+/// staleness exact), then reports aggregates.
+pub fn run_query_phase(s: &mut Scenario, n: usize, spacing: u64, options: QueryOptions) -> PhaseReport {
+    assert!(spacing > options.timeout, "spacing must let each query complete");
+    let mut recalls = Vec::new();
+    let mut responses = Vec::new();
+    let mut first_ms = Vec::new();
+    let mut hit_counts = Vec::new();
+    let mut stale_hits = 0u64;
+    let mut total_hits = 0u64;
+    let mut successes = 0u64;
+    let mut answerable = 0u64;
+
+    for qi in 0..n {
+        let ci = qi % s.clients.len();
+        let payload = s.queries[qi % s.queries.len()].clone();
+        let expected = s.expected_now(&payload);
+        // Providers already dead when the query is issued: hits pointing at
+        // them are stale registry state, not mid-query churn noise.
+        let dead_at_issue: Vec<NodeId> = s
+            .services
+            .iter()
+            .map(|(n, _)| *n)
+            .filter(|&n| !s.sim.is_alive(n))
+            .collect();
+        let client = s.clients[ci];
+        let before = s.sim.handler::<ClientNode>(client).unwrap().completed.len();
+        s.issue(ci, qi, options.clone());
+        let deadline = s.sim.now() + spacing;
+        s.sim.run_until(deadline);
+
+        let sim = &s.sim;
+        let done = &sim.handler::<ClientNode>(client).unwrap().completed;
+        let q = done.get(before).expect("query completed within spacing");
+        let got: Vec<NodeId> = q.hits.iter().map(|h| h.advert.provider).collect();
+        recalls.push(recall(&expected, &got));
+        responses.push(u64::from(q.responses_received));
+        if let Some(t) = q.first_response_at {
+            first_ms.push((t - q.sent_at) as f64);
+        }
+        hit_counts.push(q.hits.len() as u64);
+        total_hits += q.hits.len() as u64;
+        stale_hits +=
+            q.hits.iter().filter(|h| dead_at_issue.contains(&h.advert.provider)).count() as u64;
+        if !expected.is_empty() {
+            answerable += 1;
+            if got.iter().any(|p| expected.contains(p)) {
+                successes += 1;
+            }
+        }
+    }
+
+    PhaseReport {
+        queries: n,
+        recall_mean: if recalls.is_empty() {
+            0.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        },
+        stale_fraction: ratio(stale_hits, total_hits),
+        success_rate: ratio(successes, answerable),
+        responses: Summary::of_counts(responses),
+        first_response_ms: Summary::of(&first_ms),
+        hits: Summary::of_counts(hit_counts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sds_protocol::ModelId;
+    use sds_simnet::secs;
+    use sds_workload::{Deployment, PopulationSpec, ScenarioConfig};
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22222".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn query_phase_produces_sane_aggregates() {
+        let mut s = Scenario::build(ScenarioConfig {
+            lans: 2,
+            population: PopulationSpec {
+                model: ModelId::Semantic,
+                services: 10,
+                queries: 8,
+                generalization_rate: 0.5,
+                seed: 5,
+            },
+            seed: 5,
+            deployment: Deployment::Federated { registries_per_lan: 1 },
+            ..Default::default()
+        });
+        s.sim.run_until(secs(3));
+        let report = run_query_phase(&mut s, 6, secs(4), QueryOptions::default());
+        assert_eq!(report.queries, 6);
+        assert!(report.recall_mean > 0.9, "federated recall high: {report:?}");
+        assert_eq!(report.stale_fraction, 0.0, "no churn → no staleness");
+        assert!(report.first_response_ms.n > 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The client-node role: registry discovery, query issuing, result
+//! collection, artifact fetching, and multicast fallback.
+//!
+//! "A client node is one that wants to discover a service that can fulfill
+//! its needs. To do this, it first has to discover whether there are any
+//! registry nodes available. When a client has obtained a connection to the
+//! registry network, it can issue a query."
+
+use std::collections::HashMap;
+
+use sds_protocol::{
+    DiscoveryMessage, MaintenanceOp, Operation, QueryId, QueryMessage, QueryOp, QueryPayload,
+    ResponseHit, Uuid,
+};
+use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, SimTime, TimerId};
+
+use crate::attach::RegistryAttachment;
+use crate::config::{ClientConfig, QueryMode, QueryOptions};
+use crate::util::{send_msg, tags};
+
+/// A query that finished (deadline reached).
+#[derive(Clone, Debug)]
+pub struct CompletedQuery {
+    pub seq: u64,
+    pub sent_at: SimTime,
+    pub finished_at: SimTime,
+    /// Deduplicated hits, ranked best-first.
+    pub hits: Vec<ResponseHit>,
+    /// Number of `QueryResponse` messages that arrived (response-implosion
+    /// metric: with registries this stays small; decentralized, it can be
+    /// one per provider).
+    pub responses_received: u32,
+    /// False when the query could not even be sent (no registry, fallback
+    /// disabled).
+    pub dispatched: bool,
+    /// When the first response arrived (None = never answered) — the
+    /// meaningful latency metric, since completion waits for the deadline.
+    pub first_response_at: Option<SimTime>,
+}
+
+struct OutstandingQuery {
+    sent_at: SimTime,
+    options: QueryOptions,
+    hits: HashMap<Uuid, ResponseHit>,
+    responses_received: u32,
+    dispatched: bool,
+    first_response_at: Option<SimTime>,
+}
+
+/// A notification delivered for a standing query.
+#[derive(Clone, Debug)]
+pub struct Notification {
+    pub subscription: QueryId,
+    pub hit: ResponseHit,
+    pub at: SimTime,
+}
+
+/// A composition planning result.
+#[derive(Clone, Debug)]
+pub struct CompositionResult {
+    pub id: QueryId,
+    pub found: bool,
+    /// The planned chain in execution order.
+    pub chain: Vec<sds_protocol::Advertisement>,
+    pub at: SimTime,
+}
+
+/// An artifact fetch result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FetchedArtifact {
+    pub name: String,
+    pub found: bool,
+    pub size: u32,
+    pub at: SimTime,
+}
+
+/// The consumer role node handler.
+pub struct ClientNode {
+    cfg: ClientConfig,
+    attach: RegistryAttachment,
+    next_seq: u64,
+    outstanding: HashMap<u64, OutstandingQuery>,
+    /// Finished queries, in completion order. Experiments read these.
+    pub completed: Vec<CompletedQuery>,
+    /// Artifact fetches that completed.
+    pub artifacts: Vec<FetchedArtifact>,
+    /// Notifications received for standing queries.
+    pub notifications: Vec<Notification>,
+    /// Results of composition requests.
+    pub compositions: Vec<CompositionResult>,
+    /// Acknowledged subscription ids.
+    pub active_subscriptions: Vec<QueryId>,
+}
+
+impl ClientNode {
+    pub fn new(cfg: ClientConfig) -> Self {
+        let attach = RegistryAttachment::new(cfg.attach.clone(), cfg.codec);
+        Self {
+            cfg,
+            attach,
+            next_seq: 0,
+            outstanding: HashMap::new(),
+            completed: Vec::new(),
+            artifacts: Vec::new(),
+            notifications: Vec::new(),
+            compositions: Vec::new(),
+            active_subscriptions: Vec::new(),
+        }
+    }
+
+    /// The registry this client currently queries.
+    pub fn home_registry(&self) -> Option<NodeId> {
+        self.attach.home()
+    }
+
+    /// Known failover candidates (diagnostics).
+    pub fn candidate_count(&self) -> usize {
+        self.attach.candidate_count()
+    }
+
+    /// Issues a query; the result lands in [`ClientNode::completed`] once
+    /// `options.timeout` elapses. Returns the query sequence number.
+    pub fn issue_query(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        payload: QueryPayload,
+        options: QueryOptions,
+    ) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let query = QueryMessage {
+            id: QueryId { origin: ctx.node(), seq },
+            payload,
+            max_responses: options.max_responses,
+            ttl: options.ttl,
+            reply_to: None,
+        };
+        let msg = DiscoveryMessage::querying(QueryOp::Query(query));
+        let dispatched = match options.mode {
+            QueryMode::Unicast => match self.attach.home() {
+                Some(home) => {
+                    send_msg(ctx, self.cfg.codec, Destination::Unicast(home), msg);
+                    true
+                }
+                None if self.cfg.fallback_query => {
+                    // Decentralized LAN fallback.
+                    let lan = ctx.lan();
+                    send_msg(ctx, self.cfg.codec, Destination::Multicast(lan), msg);
+                    true
+                }
+                None => false,
+            },
+            QueryMode::MulticastLan => {
+                let lan = ctx.lan();
+                send_msg(ctx, self.cfg.codec, Destination::Multicast(lan), msg);
+                true
+            }
+        };
+        let timeout = options.timeout;
+        self.outstanding.insert(
+            seq,
+            OutstandingQuery {
+                sent_at: ctx.now(),
+                options,
+                hits: HashMap::new(),
+                responses_received: 0,
+                dispatched,
+                first_response_at: None,
+            },
+        );
+        ctx.set_timer(timeout, tags::QUERY_TIMEOUT_BASE + seq);
+        seq
+    }
+
+    /// Registers a standing query with the home registry: matching
+    /// advertisements published later arrive as [`Notification`]s. Returns
+    /// the subscription id, or `None` when unattached. The registry leases
+    /// the subscription for `lease_ms` (0 = registry default).
+    pub fn subscribe(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        payload: QueryPayload,
+        lease_ms: u64,
+    ) -> Option<QueryId> {
+        let home = self.attach.home()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = QueryId { origin: ctx.node(), seq };
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(home),
+            DiscoveryMessage::querying(QueryOp::Subscribe { id, payload, lease_ms }),
+        );
+        Some(id)
+    }
+
+    /// Asks the home registry to plan a service chain for a request no
+    /// single service can satisfy (paper §4.3). The result arrives in
+    /// [`ClientNode::compositions`]. Returns the request id, or `None` when
+    /// unattached.
+    pub fn request_composition(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        request: sds_semantic::ServiceRequest,
+        max_depth: u8,
+    ) -> Option<QueryId> {
+        let home = self.attach.home()?;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = QueryId { origin: ctx.node(), seq };
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(home),
+            DiscoveryMessage::querying(QueryOp::ComposeRequest { id, request, max_depth }),
+        );
+        Some(id)
+    }
+
+    /// Cancels a standing query.
+    pub fn unsubscribe(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, id: QueryId) {
+        if let Some(home) = self.attach.home() {
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(home),
+                DiscoveryMessage::querying(QueryOp::Unsubscribe { id }),
+            );
+        }
+        self.active_subscriptions.retain(|&s| s != id);
+    }
+
+    /// Requests an artifact (ontology, schema…) from the home registry.
+    /// Returns `false` when unattached.
+    pub fn fetch_artifact(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, name: &str) -> bool {
+        let Some(home) = self.attach.home() else {
+            return false;
+        };
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(home),
+            DiscoveryMessage::maintenance(MaintenanceOp::ArtifactRequest { name: name.into() }),
+        );
+        true
+    }
+
+    fn finalize(&mut self, ctx: &Ctx<'_, DiscoveryMessage>, seq: u64) {
+        let Some(o) = self.outstanding.remove(&seq) else {
+            return;
+        };
+        let mut hits: Vec<ResponseHit> = o.hits.into_values().collect();
+        sds_registry::rank_hits(&mut hits);
+        if let Some(k) = o.options.max_responses {
+            hits.truncate(k as usize);
+        }
+        self.completed.push(CompletedQuery {
+            seq,
+            sent_at: o.sent_at,
+            finished_at: ctx.now(),
+            hits,
+            responses_received: o.responses_received,
+            dispatched: o.dispatched,
+            first_response_at: o.first_response_at,
+        });
+    }
+}
+
+impl NodeHandler<DiscoveryMessage> for ClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        self.attach.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, msg: DiscoveryMessage) {
+        match msg.op {
+            Operation::Maintenance(op) => {
+                if let MaintenanceOp::ArtifactResponse { name, found, size } = &op {
+                    self.artifacts.push(FetchedArtifact {
+                        name: name.clone(),
+                        found: *found,
+                        size: *size,
+                        at: ctx.now(),
+                    });
+                }
+                self.attach.on_maintenance(ctx, from, &op);
+            }
+            Operation::Querying(QueryOp::SubscribeAck { id, .. })
+                if id.origin == ctx.node() && !self.active_subscriptions.contains(&id) => {
+                    self.active_subscriptions.push(id);
+                }
+            Operation::Querying(QueryOp::ComposeResponse { id, found, chain })
+                if id.origin == ctx.node() => {
+                    self.compositions.push(CompositionResult { id, found, chain, at: ctx.now() });
+                }
+            Operation::Querying(QueryOp::Notify { subscription, hit })
+                if subscription.origin == ctx.node() => {
+                    self.notifications.push(Notification { subscription, hit, at: ctx.now() });
+                }
+            Operation::Querying(QueryOp::QueryResponse { query_id, hits, .. }) => {
+                if query_id.origin != ctx.node() {
+                    return;
+                }
+                if let Some(o) = self.outstanding.get_mut(&query_id.seq) {
+                    o.responses_received += 1;
+                    o.first_response_at.get_or_insert(ctx.now());
+                    for h in hits {
+                        match o.hits.get(&h.advert.id) {
+                            Some(existing)
+                                if (existing.degree, std::cmp::Reverse(existing.distance))
+                                    >= (h.degree, std::cmp::Reverse(h.distance)) => {}
+                            _ => {
+                                o.hits.insert(h.advert.id, h);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, _timer: TimerId, tag: u64) {
+        match tag {
+            tags::PROBE => self.attach.on_probe_timer(ctx),
+            tags::PROBE_DECIDE => {
+                self.attach.on_probe_decide(ctx);
+            }
+            tags::PING => {
+                self.attach.on_ping_timer(ctx);
+            }
+            t => {
+                if let Some(seq) = tags::seq_of(t, tags::QUERY_TIMEOUT_BASE) {
+                    self.finalize(ctx, seq);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Configuration for the discovery architecture.
+//!
+//! "There are lots of different design choices, e.g. to push or pull
+//! advertisements between registries, active or passive registry discovery,
+//! how many registry nodes on each LAN and so on. Actually, these could even
+//! be made configurable on an individual deployment basis. Other configurable
+//! parameters could be the interval between registry beacons, the number of
+//! registry nodes to traverse for a query, and the advertisement lease
+//! period." — everything quoted there is a field below.
+
+use sds_protocol::{Codec, ModelId};
+use sds_simnet::{secs, NodeId, SimTime};
+
+/// How queries travel between federated registries (paper §4.9: "increasing
+/// the reach of a query gradually in several rounds, random walks, or
+/// broadcasting in the registry network").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForwardStrategy {
+    /// Broadcast in the registry network with a hop budget.
+    Flood { ttl: u8 },
+    /// Gradually increase reach: issue one flood round per TTL entry, and
+    /// stop as soon as a round produced hits.
+    ExpandingRing { ttls: Vec<u8> },
+    /// `walkers` independent random walks of `ttl` hops each.
+    RandomWalk { walkers: u8, ttl: u8 },
+    /// Never forward (an isolated/autonomous registry).
+    None,
+}
+
+impl Default for ForwardStrategy {
+    fn default() -> Self {
+        ForwardStrategy::Flood { ttl: 4 }
+    }
+}
+
+/// How a node finds its first registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bootstrap {
+    /// Active discovery: multicast a registry probe, pick from replies; also
+    /// listen for beacons (passive discovery happens implicitly).
+    Multicast,
+    /// Passive-only discovery: never probe, wait for a periodic beacon.
+    PassiveOnly,
+    /// Manual configuration of a registry endpoint (the paper's fallback
+    /// for environments without multicast, and its strawman for the
+    /// configuration burden).
+    Static(NodeId),
+}
+
+/// Client/service-side parameters.
+#[derive(Clone, Debug)]
+pub struct AttachConfig {
+    pub bootstrap: Bootstrap,
+    /// Re-probe interval while unattached.
+    pub probe_retry: SimTime,
+    /// Home-registry liveness checking interval (0 disables pinging).
+    pub ping_interval: SimTime,
+    /// Missed pongs before declaring the home registry dead and failing
+    /// over.
+    pub ping_tolerance: u8,
+    /// Without a beacon for this long, a LAN is considered registry-less
+    /// (gates the decentralized fallback).
+    pub beacon_timeout: SimTime,
+    /// After an active probe, wait this long collecting replies and attach
+    /// to the least-loaded registry ("by assigning clients to registries in
+    /// an even distribution, load balancing could be obtained"). 0 attaches
+    /// to the first reply.
+    pub probe_decision_window: SimTime,
+}
+
+impl Default for AttachConfig {
+    fn default() -> Self {
+        Self {
+            bootstrap: Bootstrap::Multicast,
+            probe_retry: secs(2),
+            ping_interval: secs(5),
+            ping_tolerance: 2,
+            beacon_timeout: secs(12),
+            probe_decision_window: 300,
+        }
+    }
+}
+
+/// Registry-node parameters.
+#[derive(Clone, Debug)]
+pub struct RegistryConfig {
+    /// Beacon period (passive registry discovery); 0 disables beacons.
+    pub beacon_interval: SimTime,
+    /// How often expired adverts are purged.
+    pub purge_interval: SimTime,
+    /// WAN federation seed registries ("manual configuration, or seeding, is
+    /// necessary at some point in time").
+    pub seeds: Vec<NodeId>,
+    /// Peer liveness ping period.
+    pub peer_ping_interval: SimTime,
+    /// Missed pongs before a federation peer is dropped.
+    pub peer_ping_tolerance: u8,
+    /// Periodic peer-list gossip period (registry signaling); 0 disables.
+    pub signaling_interval: SimTime,
+    /// Forwarding strategy for federated queries.
+    pub strategy: ForwardStrategy,
+    /// How long an adopting registry waits for federation responses before
+    /// answering its client.
+    pub response_window: SimTime,
+    /// Retention for the query-id loop-avoidance cache.
+    pub seen_retention: SimTime,
+    /// Coordinate with co-located registries so only one forwards to the
+    /// WAN (paper §4.7).
+    pub gateway_election: bool,
+    /// Learn peers transitively from FederationAck peer lists and gossiped
+    /// RegistryLists (default). Disabling pins the overlay to the explicit
+    /// seeding graph — used to study forwarding strategies on chains/rings.
+    pub transitive_peering: bool,
+    /// Push locally published advertisements to federation peers at this
+    /// interval (0 disables). This is the paper's replication-style registry
+    /// cooperation strategy ("to push or pull advertisements between
+    /// registries"): queries then hit locally at every registry, trading
+    /// publish traffic for query traffic.
+    pub advert_push_interval: SimTime,
+    /// Pull peers' locally published advertisements at this interval (0
+    /// disables) — the pull half of "push or pull advertisements between
+    /// registries". Pulling happens during the signaling round, one random
+    /// peer at a time.
+    pub advert_pull_interval: SimTime,
+    /// Which description models this registry can evaluate.
+    pub models: Vec<ModelId>,
+    /// Requested advertisement lease period granted to publishers is decided
+    /// by the registry's [`sds_registry::LeasePolicy`]; this is it.
+    pub lease_policy: sds_registry::LeasePolicy,
+    /// Wire-size codec (compression on/off).
+    pub codec: Codec,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            beacon_interval: secs(5),
+            purge_interval: secs(1),
+            seeds: Vec::new(),
+            peer_ping_interval: secs(5),
+            peer_ping_tolerance: 2,
+            signaling_interval: secs(15),
+            strategy: ForwardStrategy::default(),
+            response_window: 500,
+            seen_retention: secs(30),
+            gateway_election: true,
+            transitive_peering: true,
+            advert_push_interval: 0,
+            advert_pull_interval: 0,
+            models: vec![ModelId::Uri, ModelId::Template, ModelId::Semantic],
+            lease_policy: sds_registry::LeasePolicy::default(),
+            codec: Codec::default(),
+        }
+    }
+}
+
+/// Service-node parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    pub attach: AttachConfig,
+    /// Lease duration requested on publish (0 = registry default).
+    pub lease_ms: u64,
+    /// Renewal period; should be well below the lease duration.
+    pub renew_interval: SimTime,
+    /// Answer multicast queries directly when the LAN has no registry
+    /// (decentralized fallback, paper Fig. 3 right).
+    pub fallback_responder: bool,
+    pub codec: Codec,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            attach: AttachConfig::default(),
+            lease_ms: 30_000,
+            renew_interval: secs(10),
+            fallback_responder: true,
+            codec: Codec::default(),
+        }
+    }
+}
+
+/// How a client sends queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryMode {
+    /// Unicast to the home registry (normal mode).
+    Unicast,
+    /// Multicast on the LAN — used as decentralized fallback and to study
+    /// response implosion / redundant WAN forwarding.
+    MulticastLan,
+}
+
+/// Per-query options.
+#[derive(Clone, Debug)]
+pub struct QueryOptions {
+    /// Query response control: max hits wanted (None = all).
+    pub max_responses: Option<u16>,
+    /// Registry-network hop budget.
+    pub ttl: u8,
+    /// Client-side deadline after which the query completes with whatever
+    /// arrived.
+    pub timeout: SimTime,
+    pub mode: QueryMode,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self { max_responses: None, ttl: 4, timeout: secs(3), mode: QueryMode::Unicast }
+    }
+}
+
+/// Client-node parameters.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    pub attach: AttachConfig,
+    /// Fall back to LAN multicast queries when no registry is reachable.
+    pub fallback_query: bool,
+    pub codec: Codec,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self { attach: AttachConfig::default(), fallback_query: true, codec: Codec::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let r = RegistryConfig::default();
+        assert!(r.gateway_election);
+        assert!(r.response_window > 0);
+        let s = ServiceConfig::default();
+        assert!(
+            s.renew_interval < s.lease_ms,
+            "renewal must happen before lease expiry"
+        );
+        let q = QueryOptions::default();
+        assert!(q.timeout > r.response_window, "client must outwait aggregation");
+    }
+}

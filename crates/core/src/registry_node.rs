@@ -1,0 +1,929 @@
+//! The registry-node role: an autonomous, federable super-peer registry.
+//!
+//! "A registry super-peer is responsible for answering queries based on its
+//! knowledge and for forwarding queries and answers to and from other
+//! registries. In addition, the registry must cooperate with other registries
+//! to maintain the connectivity of the registry network."
+//!
+//! One [`RegistryNode`] implements, over the simulated network:
+//!
+//! * LAN presence: probe replies (active discovery) and periodic beacons
+//!   (passive discovery);
+//! * the publishing surface: publish/renew/remove/update with leases, and
+//!   lease-based purging of obsolete advertisements;
+//! * the querying surface: local evaluation via [`sds_registry::RegistryEngine`],
+//!   federation forwarding (flood / expanding ring / random walk), response
+//!   aggregation with deduplication, ranking, and query response control;
+//! * registry network maintenance: seeded federation join, peer liveness
+//!   pings, peer-list gossip (registry signaling), summaries;
+//! * gateway election among co-located registries (paper §4.7) so only one
+//!   local registry forwards a given query onto the WAN.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use sds_protocol::{
+    Advertisement, DiscoveryMessage, MaintenanceOp, ModelId, PublishOp, QueryId, QueryMessage,
+    QueryOp, QueryPayload, ResponseHit, Uuid,
+};
+use sds_registry::{
+    rank_hits, RegistryEngine, SeenQueries, SemanticEvaluator, TemplateEvaluator, UriEvaluator,
+};
+use sds_semantic::{Artifact, SubsumptionIndex};
+use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, SimTime, TimerId};
+
+use crate::config::{ForwardStrategy, RegistryConfig};
+use crate::util::{send_msg, tags};
+
+/// Liveness record for a federation peer.
+#[derive(Clone, Copy, Debug)]
+struct PeerState {
+    last_seen: SimTime,
+    unanswered_pings: u8,
+    /// Last advertised advert count (from summaries), diagnostic.
+    advert_count: u32,
+}
+
+/// A standing query registered by a client.
+#[derive(Debug)]
+struct Subscription {
+    client: NodeId,
+    payload: QueryPayload,
+    lease_until: SimTime,
+}
+
+/// A query being aggregated on behalf of a client.
+#[derive(Debug)]
+struct PendingQuery {
+    client: NodeId,
+    original: QueryMessage,
+    /// Best hit per advert id seen so far.
+    hits: HashMap<Uuid, ResponseHit>,
+    /// Expanding-ring round index (0-based); unused for other strategies.
+    ring_round: usize,
+    /// Query ids whose responses feed this aggregation (original id plus any
+    /// ring-round rewrites).
+    aliases: Vec<QueryId>,
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RegistryNodeStats {
+    pub queries_received: u64,
+    pub duplicate_queries_dropped: u64,
+    pub queries_adopted: u64,
+    pub forwards_sent: u64,
+    pub responses_to_clients: u64,
+    pub federation_responses: u64,
+    pub adverts_purged: u64,
+    pub notifications_sent: u64,
+    pub push_rounds: u64,
+}
+
+/// The registry role node handler.
+pub struct RegistryNode {
+    cfg: RegistryConfig,
+    /// Shared subsumption index for the semantic evaluator, kept so the
+    /// engine can be rebuilt from scratch after a simulated crash.
+    semantic_index: Option<Arc<SubsumptionIndex>>,
+    /// Artifacts re-hosted on restart (assumed to live on disk, unlike the
+    /// soft-state advertisement store).
+    artifacts: Vec<Artifact>,
+    engine: RegistryEngine,
+    peers: BTreeMap<NodeId, PeerState>,
+    /// Co-located registries, by last beacon/probe time.
+    local_registries: BTreeMap<NodeId, SimTime>,
+    seen: SeenQueries,
+    /// Nodes that recently attached here (refreshed by their periodic
+    /// RegistryListRequest), as the load hint for probe replies.
+    attached: HashMap<NodeId, SimTime>,
+    /// Standing queries: subscription id → (subscriber, payload, lease).
+    subscriptions: HashMap<QueryId, Subscription>,
+    pending: HashMap<u64, PendingQuery>,
+    pending_by_alias: HashMap<QueryId, u64>,
+    next_pending: u64,
+    next_rewrite_seq: u64,
+    pub stats: RegistryNodeStats,
+}
+
+impl RegistryNode {
+    pub fn new(cfg: RegistryConfig, semantic_index: Option<Arc<SubsumptionIndex>>) -> Self {
+        let engine = Self::fresh_engine(&cfg, &semantic_index);
+        let seen_retention = cfg.seen_retention;
+        Self {
+            cfg,
+            semantic_index,
+            artifacts: Vec::new(),
+            engine,
+            peers: BTreeMap::new(),
+            local_registries: BTreeMap::new(),
+            seen: SeenQueries::new(seen_retention),
+            attached: HashMap::new(),
+            subscriptions: HashMap::new(),
+            pending: HashMap::new(),
+            pending_by_alias: HashMap::new(),
+            next_pending: 0,
+            next_rewrite_seq: 0,
+            stats: RegistryNodeStats::default(),
+        }
+    }
+
+    /// Hosts an artifact (persists across simulated crashes, unlike
+    /// advertisements, which are soft state).
+    pub fn with_artifact(mut self, artifact: Artifact) -> Self {
+        self.engine.host_artifact(artifact.clone());
+        self.artifacts.push(artifact);
+        self
+    }
+
+    fn fresh_engine(cfg: &RegistryConfig, idx: &Option<Arc<SubsumptionIndex>>) -> RegistryEngine {
+        let mut engine = RegistryEngine::new(cfg.lease_policy);
+        for model in &cfg.models {
+            match model {
+                ModelId::Uri => engine.register_evaluator(Box::new(UriEvaluator)),
+                ModelId::Template => engine.register_evaluator(Box::new(TemplateEvaluator)),
+                ModelId::Semantic => {
+                    if let Some(idx) = idx {
+                        engine.register_evaluator(Box::new(SemanticEvaluator::new(idx.clone())));
+                    }
+                }
+            }
+        }
+        engine
+    }
+
+    /// The engine, for inspection in tests and experiments.
+    pub fn engine(&self) -> &RegistryEngine {
+        &self.engine
+    }
+
+    /// Number of live standing queries (diagnostics).
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Current federation peers.
+    pub fn peer_ids(&self) -> Vec<NodeId> {
+        self.peers.keys().copied().collect()
+    }
+
+    /// Known co-located registries (excluding self).
+    pub fn local_registry_ids(&self) -> Vec<NodeId> {
+        self.local_registries.keys().copied().collect()
+    }
+
+    /// Gateway election (paper §4.7): among the registries recently heard on
+    /// this LAN plus self, the lowest node id is the WAN gateway.
+    fn is_gateway(&self, ctx: &Ctx<'_, DiscoveryMessage>) -> bool {
+        if !self.cfg.gateway_election {
+            return true;
+        }
+        let horizon = self.cfg.beacon_interval.saturating_mul(5) / 2;
+        let now = ctx.now();
+        self.local_registries
+            .iter()
+            .filter(|&(_, &t)| now.saturating_sub(t) <= horizon)
+            .all(|(&id, _)| ctx.node() <= id)
+    }
+
+    fn local_gateway(&self, ctx: &Ctx<'_, DiscoveryMessage>) -> Option<NodeId> {
+        let horizon = self.cfg.beacon_interval.saturating_mul(5) / 2;
+        let now = ctx.now();
+        self.local_registries
+            .iter()
+            .filter(|&(_, &t)| now.saturating_sub(t) <= horizon)
+            .map(|(&id, _)| id)
+            .chain(std::iter::once(ctx.node()))
+            .min()
+    }
+
+    fn beacon(&self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        let lan = ctx.lan();
+        let msg = DiscoveryMessage::maintenance(MaintenanceOp::RegistryBeacon {
+            advert_count: self.engine.store().len() as u32,
+        });
+        send_msg(ctx, self.cfg.codec, Destination::Multicast(lan), msg);
+    }
+
+    fn join_seeds(&self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        let seeds = self.cfg.seeds.clone();
+        self.join_seeds_to(ctx, &seeds);
+    }
+
+    fn join_seeds_to(&self, ctx: &mut Ctx<'_, DiscoveryMessage>, targets: &[NodeId]) {
+        let known: Vec<NodeId> = self.peers.keys().copied().collect();
+        for &target in targets {
+            if target == ctx.node() {
+                continue;
+            }
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(target),
+                DiscoveryMessage::maintenance(MaintenanceOp::FederationJoin {
+                    known_peers: known.clone(),
+                }),
+            );
+        }
+    }
+
+    fn add_peer(&mut self, id: NodeId, now: SimTime, self_id: NodeId) {
+        if id == self_id || self.local_registries.contains_key(&id) {
+            return;
+        }
+        let entry = self
+            .peers
+            .entry(id)
+            .or_insert(PeerState { last_seen: now, unanswered_pings: 0, advert_count: 0 });
+        entry.last_seen = now;
+        entry.unanswered_pings = 0;
+    }
+
+    /// Registry-network targets for a fresh adoption, per strategy. Each
+    /// entry is `(peer, ttl-for-that-branch)`.
+    fn forward_targets(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        remaining_ttl: u8,
+        exclude: Option<NodeId>,
+    ) -> Vec<(NodeId, u8)> {
+        if remaining_ttl == 0 {
+            return Vec::new();
+        }
+        let peers: Vec<NodeId> =
+            self.peers.keys().copied().filter(|&p| Some(p) != exclude).collect();
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        match &self.cfg.strategy {
+            ForwardStrategy::None => Vec::new(),
+            ForwardStrategy::Flood { .. } | ForwardStrategy::ExpandingRing { .. } => {
+                peers.into_iter().map(|p| (p, remaining_ttl - 1)).collect()
+            }
+            ForwardStrategy::RandomWalk { walkers, .. } => {
+                let mut chosen = peers;
+                chosen.shuffle(ctx.rng());
+                chosen.truncate(*walkers as usize);
+                chosen.into_iter().map(|p| (p, remaining_ttl - 1)).collect()
+            }
+        }
+    }
+
+    /// Continuation targets for a query this registry did NOT adopt.
+    fn relay_targets(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        remaining_ttl: u8,
+        from: NodeId,
+    ) -> Vec<(NodeId, u8)> {
+        if remaining_ttl == 0 {
+            return Vec::new();
+        }
+        let peers: Vec<NodeId> =
+            self.peers.keys().copied().filter(|&p| p != from).collect();
+        if peers.is_empty() {
+            return Vec::new();
+        }
+        match &self.cfg.strategy {
+            ForwardStrategy::None => Vec::new(),
+            ForwardStrategy::Flood { .. } | ForwardStrategy::ExpandingRing { .. } => {
+                peers.into_iter().map(|p| (p, remaining_ttl - 1)).collect()
+            }
+            ForwardStrategy::RandomWalk { .. } => {
+                // A walk continues through exactly one random neighbour.
+                let &next = peers.choose(ctx.rng()).expect("non-empty");
+                vec![(next, remaining_ttl - 1)]
+            }
+        }
+    }
+
+    fn send_forwards(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        query: &QueryMessage,
+        targets: Vec<(NodeId, u8)>,
+        reply_to: NodeId,
+    ) {
+        for (peer, ttl) in targets {
+            let mut fwd = query.clone();
+            fwd.ttl = ttl;
+            fwd.reply_to = Some(reply_to);
+            self.stats.forwards_sent += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(peer),
+                DiscoveryMessage::querying(QueryOp::Query(fwd)),
+            );
+        }
+    }
+
+    /// Initial TTL for an adopted query: the client's requested TTL, capped
+    /// by the strategy's own budget.
+    fn adoption_ttl(&self, requested: u8, ring_round: usize) -> u8 {
+        match &self.cfg.strategy {
+            ForwardStrategy::Flood { ttl } => requested.min(*ttl),
+            ForwardStrategy::RandomWalk { ttl, .. } => requested.min(*ttl),
+            ForwardStrategy::ExpandingRing { ttls } => {
+                ttls.get(ring_round).copied().unwrap_or(0).min(requested.max(1))
+            }
+            ForwardStrategy::None => 0,
+        }
+    }
+
+    /// Adopts a client query: evaluate locally, then either answer at once
+    /// or aggregate federation responses within the response window.
+    fn adopt_query(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, query: QueryMessage) {
+        self.stats.queries_adopted += 1;
+        let local_hits = self.engine.evaluate(&query, ctx.now());
+
+        let i_am_gateway = self.is_gateway(ctx);
+        let ttl = self.adoption_ttl(query.ttl, 0);
+        let targets = if i_am_gateway {
+            self.forward_targets(ctx, ttl, None)
+        } else {
+            // Delegate WAN forwarding to the elected gateway (full TTL: the
+            // local hop does not spend registry-network budget).
+            match self.local_gateway(ctx) {
+                Some(gw) if gw != ctx.node() && ttl > 0 => vec![(gw, ttl)],
+                _ => Vec::new(),
+            }
+        };
+
+        if targets.is_empty() {
+            // Answer immediately from local knowledge.
+            let mut hits = local_hits;
+            rank_hits(&mut hits);
+            if let Some(k) = query.max_responses {
+                hits.truncate(k as usize);
+            }
+            self.stats.responses_to_clients += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(from),
+                DiscoveryMessage::querying(QueryOp::QueryResponse {
+                    query_id: query.id,
+                    hits,
+                    responder: ctx.node(),
+                }),
+            );
+            return;
+        }
+
+        let seq = self.next_pending;
+        self.next_pending += 1;
+        let mut pending = PendingQuery {
+            client: from,
+            original: query.clone(),
+            hits: HashMap::new(),
+            ring_round: 0,
+            aliases: vec![query.id],
+        };
+        for h in local_hits {
+            pending.hits.insert(h.advert.id, h);
+        }
+        self.pending_by_alias.insert(query.id, seq);
+        self.pending.insert(seq, pending);
+        self.send_forwards(ctx, &query, targets, ctx.node());
+        ctx.set_timer(self.cfg.response_window, tags::AGG_BASE + seq);
+    }
+
+    /// Handles a query forwarded by another registry: answer toward the
+    /// aggregator and relay onward per strategy.
+    fn relay_query(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        from: NodeId,
+        query: QueryMessage,
+        aggregator: NodeId,
+    ) {
+        let hits = self.engine.evaluate(&query, ctx.now());
+        if !hits.is_empty() {
+            self.stats.federation_responses += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(aggregator),
+                DiscoveryMessage::querying(QueryOp::QueryResponse {
+                    query_id: query.id,
+                    hits,
+                    responder: ctx.node(),
+                }),
+            );
+        }
+        let targets = self.relay_targets(ctx, query.ttl, from);
+        self.send_forwards(ctx, &query, targets, aggregator);
+    }
+
+    /// Finalizes a pending aggregation: rank, apply response control, reply.
+    fn finalize_pending(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, seq: u64) {
+        // Expanding ring: if this round found nothing and rounds remain,
+        // widen the ring instead of answering.
+        if let ForwardStrategy::ExpandingRing { ttls } = &self.cfg.strategy {
+            let ttls = ttls.clone();
+            if let Some(p) = self.pending.get_mut(&seq) {
+                if p.hits.is_empty() && p.ring_round + 1 < ttls.len() {
+                    p.ring_round += 1;
+                    let round = p.ring_round;
+                    // Rewrite the query id so peers that deduplicated the
+                    // previous round evaluate the wider one.
+                    let rewritten = QueryId { origin: ctx.node(), seq: self.next_rewrite_seq };
+                    self.next_rewrite_seq += 1;
+                    let mut q = p.original.clone();
+                    q.id = rewritten;
+                    p.aliases.push(rewritten);
+                    self.pending_by_alias.insert(rewritten, seq);
+                    let ttl = self.adoption_ttl(q.ttl.max(1), round);
+                    let targets = self.forward_targets(ctx, ttl, None);
+                    if !targets.is_empty() {
+                        self.send_forwards(ctx, &q, targets, ctx.node());
+                        ctx.set_timer(self.cfg.response_window, tags::AGG_BASE + seq);
+                        return;
+                    }
+                }
+            }
+        }
+        let Some(pending) = self.pending.remove(&seq) else {
+            return;
+        };
+        for alias in &pending.aliases {
+            self.pending_by_alias.remove(alias);
+        }
+        let mut hits: Vec<ResponseHit> = pending.hits.into_values().collect();
+        rank_hits(&mut hits);
+        if let Some(k) = pending.original.max_responses {
+            hits.truncate(k as usize);
+        }
+        self.stats.responses_to_clients += 1;
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(pending.client),
+            DiscoveryMessage::querying(QueryOp::QueryResponse {
+                query_id: pending.original.id,
+                hits,
+                responder: ctx.node(),
+            }),
+        );
+    }
+
+    /// Checks a freshly stored advert against every live standing query and
+    /// notifies subscribers ("registration for notifications about service
+    /// advertisements of interest").
+    fn notify_subscribers(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, advert: &Advertisement) {
+        let now = ctx.now();
+        let matches: Vec<(NodeId, QueryId, sds_semantic::Degree, u32)> = self
+            .subscriptions
+            .iter()
+            .filter(|(_, sub)| sub.lease_until > now)
+            .filter_map(|(&id, sub)| {
+                self.engine
+                    .evaluate_single(&sub.payload, advert)
+                    .map(|(degree, distance)| (sub.client, id, degree, distance))
+            })
+            .collect();
+        for (client, subscription, degree, distance) in matches {
+            self.stats.notifications_sent += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(client),
+                DiscoveryMessage::querying(QueryOp::Notify {
+                    subscription,
+                    hit: ResponseHit { advert: advert.clone(), degree, distance },
+                }),
+            );
+        }
+    }
+
+    /// Replication round: push live, locally published adverts (those whose
+    /// source is the provider itself, not another registry) to all peers.
+    fn push_adverts(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        let now = ctx.now();
+        let adverts: Vec<Advertisement> = self
+            .engine
+            .store()
+            .live(now)
+            .filter(|s| s.source == s.advert.provider)
+            .map(|s| s.advert.clone())
+            .collect();
+        if adverts.is_empty() {
+            return;
+        }
+        self.stats.push_rounds += 1;
+        let peers: Vec<NodeId> = self.peers.keys().copied().collect();
+        for peer in peers {
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(peer),
+                DiscoveryMessage::publishing(PublishOp::ForwardAdverts {
+                    adverts: adverts.clone(),
+                }),
+            );
+        }
+    }
+
+    fn on_maintenance(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, op: MaintenanceOp) {
+        match op {
+            MaintenanceOp::RegistryProbe => {
+                let horizon = ctx.now().saturating_sub(60_000);
+                let load =
+                    self.attached.values().filter(|&&t| t >= horizon).count() as u32;
+                let reply = DiscoveryMessage::maintenance(MaintenanceOp::RegistryProbeReply {
+                    advert_count: self.engine.store().len() as u32,
+                    load,
+                });
+                send_msg(ctx, self.cfg.codec, Destination::Unicast(from), reply);
+            }
+            MaintenanceOp::RegistryBeacon { advert_count } => {
+                // Multicast is link-local, so a received beacon implies a
+                // co-located registry.
+                self.local_registries.insert(from, ctx.now());
+                let _ = advert_count;
+            }
+            MaintenanceOp::Ping => {
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::maintenance(MaintenanceOp::Pong),
+                );
+            }
+            MaintenanceOp::Pong => {
+                if let Some(p) = self.peers.get_mut(&from) {
+                    p.unanswered_pings = 0;
+                    p.last_seen = ctx.now();
+                }
+            }
+            MaintenanceOp::RegistryListRequest { from_registry } => {
+                // Attachment tracking: clients/services refresh their lists
+                // periodically, so the sender counts as attached; overlay
+                // self-healing requests from other registries do not.
+                if !from_registry {
+                    self.attached.insert(from, ctx.now());
+                }
+                let mut registries: Vec<NodeId> = self
+                    .local_registries
+                    .keys()
+                    .chain(self.peers.keys())
+                    .copied()
+                    .filter(|&r| r != from)
+                    .collect();
+                registries.push(ctx.node());
+                registries.sort_unstable();
+                registries.dedup();
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::maintenance(MaintenanceOp::RegistryList { registries }),
+                );
+            }
+            MaintenanceOp::RegistryList { registries } => {
+                if self.cfg.transitive_peering {
+                    let self_id = ctx.node();
+                    let had_peers = !self.peers.is_empty();
+                    for r in registries {
+                        self.add_peer(r, ctx.now(), self_id);
+                    }
+                    // Coming back from isolation: announce ourselves so the
+                    // links become bidirectional immediately.
+                    if !had_peers && !self.peers.is_empty() {
+                        self.join_seeds_to(ctx, &self.peers.keys().copied().collect::<Vec<_>>());
+                    }
+                }
+            }
+            MaintenanceOp::FederationJoin { known_peers } => {
+                let self_id = ctx.node();
+                let mut peers: Vec<NodeId> = self.peers.keys().copied().collect();
+                peers.push(self_id);
+                self.add_peer(from, ctx.now(), self_id);
+                if self.cfg.transitive_peering {
+                    for p in known_peers {
+                        self.add_peer(p, ctx.now(), self_id);
+                    }
+                }
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::maintenance(MaintenanceOp::FederationAck { peers }),
+                );
+            }
+            MaintenanceOp::FederationAck { peers } => {
+                let self_id = ctx.node();
+                self.add_peer(from, ctx.now(), self_id);
+                if self.cfg.transitive_peering {
+                    for p in peers {
+                        self.add_peer(p, ctx.now(), self_id);
+                    }
+                }
+            }
+            MaintenanceOp::SummaryAdvert { advert_count, .. } => {
+                if let Some(p) = self.peers.get_mut(&from) {
+                    p.advert_count = advert_count;
+                    p.last_seen = ctx.now();
+                }
+            }
+            MaintenanceOp::AdvertPullRequest => {
+                let now = ctx.now();
+                let adverts: Vec<sds_protocol::Advertisement> = self
+                    .engine
+                    .store()
+                    .live(now)
+                    .filter(|s| s.source == s.advert.provider)
+                    .map(|s| s.advert.clone())
+                    .collect();
+                if !adverts.is_empty() {
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(from),
+                        DiscoveryMessage::publishing(PublishOp::ForwardAdverts { adverts }),
+                    );
+                }
+            }
+            MaintenanceOp::ArtifactRequest { name } => {
+                let (found, size) = match self.engine.artifacts().get_latest(&name) {
+                    Some(a) => (true, a.body.len() as u32),
+                    None => (false, 0),
+                };
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::maintenance(MaintenanceOp::ArtifactResponse {
+                        name,
+                        found,
+                        size,
+                    }),
+                );
+            }
+            MaintenanceOp::RegistryProbeReply { .. } | MaintenanceOp::ArtifactResponse { .. } => {}
+        }
+    }
+
+    fn on_publishing(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, op: PublishOp) {
+        match op {
+            PublishOp::Publish { advert, lease_ms } | PublishOp::Update { advert, lease_ms } => {
+                let id = advert.id;
+                let (outcome, lease_until) =
+                    self.engine.publish(advert.clone(), from, ctx.now(), lease_ms);
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::publishing(PublishOp::PublishAck { id, lease_until }),
+                );
+                if outcome != sds_registry::PublishOutcome::StaleVersion {
+                    self.notify_subscribers(ctx, &advert);
+                }
+            }
+            PublishOp::RenewLease { id } => {
+                let (known, lease_until) = self.engine.renew(id, ctx.now());
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::publishing(PublishOp::RenewAck { id, lease_until, known }),
+                );
+            }
+            PublishOp::Remove { id } => {
+                self.engine.remove(id);
+            }
+            PublishOp::ForwardAdverts { adverts } => {
+                for advert in adverts {
+                    let (outcome, _) = self.engine.publish(advert.clone(), from, ctx.now(), 0);
+                    if outcome == sds_registry::PublishOutcome::New {
+                        self.notify_subscribers(ctx, &advert);
+                    }
+                }
+            }
+            PublishOp::PublishAck { .. } | PublishOp::RenewAck { .. } => {}
+        }
+    }
+
+    fn on_querying(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, op: QueryOp) {
+        match op {
+            QueryOp::Query(query) => {
+                self.stats.queries_received += 1;
+                if !self.seen.first_sighting(query.id, ctx.now()) {
+                    self.stats.duplicate_queries_dropped += 1;
+                    return;
+                }
+                match query.reply_to {
+                    Some(aggregator) if aggregator != ctx.node() => {
+                        self.relay_query(ctx, from, query, aggregator);
+                    }
+                    _ => self.adopt_query(ctx, from, query),
+                }
+            }
+            QueryOp::Subscribe { id, payload, lease_ms } => {
+                let lease_until = self.cfg.lease_policy.grant(ctx.now(), lease_ms);
+                self.subscriptions.insert(id, Subscription { client: from, payload, lease_until });
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::querying(QueryOp::SubscribeAck { id, lease_until }),
+                );
+            }
+            QueryOp::Unsubscribe { id } => {
+                self.subscriptions.remove(&id);
+            }
+            QueryOp::ComposeRequest { id, request, max_depth } => {
+                let chain = self.engine.compose(&request, ctx.now(), max_depth as usize);
+                let (found, chain) = match chain {
+                    Some(c) => (true, c),
+                    None => (false, Vec::new()),
+                };
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::querying(QueryOp::ComposeResponse { id, found, chain }),
+                );
+            }
+            QueryOp::Notify { .. } | QueryOp::SubscribeAck { .. } | QueryOp::ComposeResponse { .. } => {}
+            QueryOp::QueryResponse { query_id, hits, responder: _ } => {
+                if let Some(&seq) = self.pending_by_alias.get(&query_id) {
+                    if let Some(p) = self.pending.get_mut(&seq) {
+                        for h in hits {
+                            match p.hits.get(&h.advert.id) {
+                                Some(existing)
+                                    if (existing.degree, std::cmp::Reverse(existing.distance))
+                                        >= (h.degree, std::cmp::Reverse(h.distance)) => {}
+                                _ => {
+                                    p.hits.insert(h.advert.id, h);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NodeHandler<DiscoveryMessage> for RegistryNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        // A (re)starting registry keeps configuration and hosted artifacts
+        // but loses soft state: adverts, peers, pending queries.
+        self.engine = Self::fresh_engine(&self.cfg, &self.semantic_index);
+        for a in &self.artifacts {
+            self.engine.host_artifact(a.clone());
+        }
+        self.peers.clear();
+        self.local_registries.clear();
+        self.seen.clear();
+        self.attached.clear();
+        self.subscriptions.clear();
+        self.pending.clear();
+        self.pending_by_alias.clear();
+
+        if self.cfg.beacon_interval > 0 {
+            self.beacon(ctx);
+            ctx.set_timer(self.cfg.beacon_interval, tags::BEACON);
+        }
+        ctx.set_timer(self.cfg.purge_interval, tags::PURGE);
+        if !self.cfg.seeds.is_empty() {
+            self.join_seeds(ctx);
+        }
+        ctx.set_timer(self.cfg.peer_ping_interval, tags::SEED_RETRY);
+        ctx.set_timer(self.cfg.peer_ping_interval, tags::PEER_PING);
+        if self.cfg.signaling_interval > 0 {
+            ctx.set_timer(self.cfg.signaling_interval, tags::SIGNALING);
+        }
+        if self.cfg.advert_push_interval > 0 {
+            ctx.set_timer(self.cfg.advert_push_interval, tags::ADVERT_PUSH);
+        }
+        if self.cfg.advert_pull_interval > 0 {
+            ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, msg: DiscoveryMessage) {
+        match msg.op {
+            sds_protocol::Operation::Maintenance(op) => self.on_maintenance(ctx, from, op),
+            sds_protocol::Operation::Publishing(op) => self.on_publishing(ctx, from, op),
+            sds_protocol::Operation::Querying(op) => self.on_querying(ctx, from, op),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, _timer: TimerId, tag: u64) {
+        match tag {
+            tags::BEACON => {
+                self.beacon(ctx);
+                ctx.set_timer(self.cfg.beacon_interval, tags::BEACON);
+            }
+            tags::PURGE => {
+                let purged = self.engine.purge(ctx.now());
+                self.stats.adverts_purged += purged.len() as u64;
+                let now = ctx.now();
+                self.subscriptions.retain(|_, sub| sub.lease_until > now);
+                ctx.set_timer(self.cfg.purge_interval, tags::PURGE);
+            }
+            tags::PEER_PING => {
+                let tolerance = self.cfg.peer_ping_tolerance;
+                let dead: Vec<NodeId> = self
+                    .peers
+                    .iter()
+                    .filter(|(_, p)| p.unanswered_pings >= tolerance)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in dead {
+                    self.peers.remove(&id);
+                }
+                let targets: Vec<NodeId> = self.peers.keys().copied().collect();
+                for peer in targets {
+                    if let Some(p) = self.peers.get_mut(&peer) {
+                        p.unanswered_pings += 1;
+                    }
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(peer),
+                        DiscoveryMessage::maintenance(MaintenanceOp::Ping),
+                    );
+                }
+                ctx.set_timer(self.cfg.peer_ping_interval, tags::PEER_PING);
+            }
+            tags::SIGNALING => {
+                // Gossip the peer list and a summary to one random peer.
+                let peers: Vec<NodeId> = self.peers.keys().copied().collect();
+                if !peers.is_empty() {
+                    let target = peers[ctx.rng().gen_range(0..peers.len())];
+                    let mut registries = peers.clone();
+                    registries.extend(self.local_registries.keys().copied());
+                    registries.push(ctx.node());
+                    registries.sort_unstable();
+                    registries.dedup();
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(target),
+                        DiscoveryMessage::maintenance(MaintenanceOp::RegistryList { registries }),
+                    );
+                    let summary = self.engine.summary(ctx.now());
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(target),
+                        DiscoveryMessage::maintenance(MaintenanceOp::SummaryAdvert {
+                            advert_count: summary.advert_count,
+                            models: summary.models,
+                        }),
+                    );
+                }
+                ctx.set_timer(self.cfg.signaling_interval, tags::SIGNALING);
+            }
+            tags::ADVERT_PUSH => {
+                self.push_adverts(ctx);
+                ctx.set_timer(self.cfg.advert_push_interval, tags::ADVERT_PUSH);
+            }
+            tags::ADVERT_PULL => {
+                let peers: Vec<NodeId> = self.peers.keys().copied().collect();
+                if !peers.is_empty() {
+                    let target = peers[ctx.rng().gen_range(0..peers.len())];
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(target),
+                        DiscoveryMessage::maintenance(MaintenanceOp::AdvertPullRequest),
+                    );
+                }
+                ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+            }
+            tags::SEED_RETRY => {
+                if self.peers.is_empty() {
+                    self.join_seeds(ctx);
+                    // A restarted registry may hold no seeds (it WAS the
+                    // seed): recover the federation through co-located
+                    // registries' knowledge (registry signaling).
+                    let locals: Vec<NodeId> = self.local_registries.keys().copied().collect();
+                    for l in locals {
+                        send_msg(
+                            ctx,
+                            self.cfg.codec,
+                            Destination::Unicast(l),
+                            DiscoveryMessage::maintenance(MaintenanceOp::RegistryListRequest {
+                                from_registry: true,
+                            }),
+                        );
+                    }
+                }
+                ctx.set_timer(self.cfg.peer_ping_interval.saturating_mul(2), tags::SEED_RETRY);
+            }
+            t => {
+                if let Some(seq) = tags::seq_of(t, tags::AGG_BASE) {
+                    self.finalize_pending(ctx, seq);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The service-node role: publishing, lease renewal, republish, failover,
+//! and decentralized fallback answering.
+//!
+//! "Service nodes are the providers of services. They are responsible for
+//! obtaining a connection to the registry network to be able to publish the
+//! service description of the services it hosts … periodic messages
+//! indicating that services are still alive … republishing of updated
+//! service advertisements … should the registry node disappear, the service
+//! node must try to find another connection point to the registry network and
+//! publish its advertisement there."
+
+use std::sync::Arc;
+
+use sds_protocol::{
+    Advertisement, AdvertId, Description, DiscoveryMessage, Operation, PublishOp, QueryOp,
+    ResponseHit, Uuid,
+};
+use sds_registry::{ModelEvaluator, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
+use sds_semantic::SubsumptionIndex;
+use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, TimerId};
+
+use crate::attach::{AttachEvent, RegistryAttachment};
+use crate::config::ServiceConfig;
+use crate::util::{send_msg, tags};
+
+/// One hosted service's advertisement state.
+#[derive(Clone, Debug)]
+struct HostedService {
+    description: Description,
+    /// Stable advert id, generated on first publish.
+    id: Option<AdvertId>,
+    version: u32,
+}
+
+/// Counters exposed for experiments.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct ServiceNodeStats {
+    pub publishes: u64,
+    pub renewals: u64,
+    pub republishes_after_unknown: u64,
+    pub fallback_answers: u64,
+}
+
+/// The service-provider role node handler.
+pub struct ServiceNode {
+    cfg: ServiceConfig,
+    attach: RegistryAttachment,
+    services: Vec<HostedService>,
+    evaluators: Vec<Box<dyn ModelEvaluator>>,
+    pub stats: ServiceNodeStats,
+}
+
+impl ServiceNode {
+    /// `semantic_index` enables fallback self-evaluation of semantic queries;
+    /// nodes without it silently ignore semantic payloads (the paper's
+    /// "not all nodes may be able to evaluate queries on semantic service
+    /// descriptions").
+    pub fn new(
+        cfg: ServiceConfig,
+        descriptions: Vec<Description>,
+        semantic_index: Option<Arc<SubsumptionIndex>>,
+    ) -> Self {
+        let mut evaluators: Vec<Box<dyn ModelEvaluator>> =
+            vec![Box::new(UriEvaluator), Box::new(TemplateEvaluator)];
+        if let Some(idx) = semantic_index {
+            evaluators.push(Box::new(SemanticEvaluator::new(idx)));
+        }
+        let attach = RegistryAttachment::new(cfg.attach.clone(), cfg.codec);
+        Self {
+            cfg,
+            attach,
+            services: descriptions
+                .into_iter()
+                .map(|description| HostedService { description, id: None, version: 1 })
+                .collect(),
+            evaluators,
+            stats: ServiceNodeStats::default(),
+        }
+    }
+
+    /// The registry this node currently publishes to.
+    pub fn home_registry(&self) -> Option<NodeId> {
+        self.attach.home()
+    }
+
+    /// Advert ids of this node's services (None until first publish).
+    pub fn advert_ids(&self) -> Vec<Option<AdvertId>> {
+        self.services.iter().map(|s| s.id).collect()
+    }
+
+    /// Gracefully deregisters every hosted service from the home registry
+    /// (explicit `Remove`, the mechanism UDDI-class registries depend on
+    /// exclusively; here it merely speeds up what lease expiry would do
+    /// anyway). Typically called right before a planned shutdown.
+    pub fn deregister_all(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        if let Some(home) = self.attach.home() {
+            for s in &self.services {
+                if let Some(id) = s.id {
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(home),
+                        DiscoveryMessage::publishing(PublishOp::Remove { id }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Updates the description of hosted service `index` (e.g. a changed
+    /// coverage area) and republishes immediately — the paper's "advertisement
+    /// content … could change frequently in dynamic environments".
+    pub fn update_description(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        index: usize,
+        description: Description,
+    ) {
+        let svc = &mut self.services[index];
+        svc.description = description;
+        svc.version += 1;
+        if let Some(home) = self.attach.home() {
+            let advert = Self::advert_of(svc, ctx);
+            self.stats.publishes += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(home),
+                DiscoveryMessage::publishing(PublishOp::Update {
+                    advert,
+                    lease_ms: self.cfg.lease_ms,
+                }),
+            );
+        }
+    }
+
+    fn advert_of(svc: &mut HostedService, ctx: &mut Ctx<'_, DiscoveryMessage>) -> Advertisement {
+        let id = *svc.id.get_or_insert_with(|| Uuid::generate(ctx.rng()));
+        Advertisement {
+            id,
+            provider: ctx.node(),
+            description: svc.description.clone(),
+            version: svc.version,
+        }
+    }
+
+    fn publish_all(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, registry: NodeId) {
+        for i in 0..self.services.len() {
+            let advert = Self::advert_of(&mut self.services[i], ctx);
+            self.stats.publishes += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(registry),
+                DiscoveryMessage::publishing(PublishOp::Publish {
+                    advert,
+                    lease_ms: self.cfg.lease_ms,
+                }),
+            );
+        }
+    }
+
+    fn on_attach_event(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, ev: AttachEvent) {
+        if let AttachEvent::Attached(registry) = ev {
+            self.publish_all(ctx, registry);
+        }
+    }
+
+    /// Decentralized fallback (paper Fig. 3 right): with no registry on the
+    /// LAN, provider nodes evaluate multicast queries against the adverts
+    /// they host and answer the querying node directly.
+    fn answer_fallback(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, query: &sds_protocol::QueryMessage) {
+        let mut hits: Vec<ResponseHit> = Vec::new();
+        for i in 0..self.services.len() {
+            let advert = Self::advert_of(&mut self.services[i], ctx);
+            for e in &self.evaluators {
+                if e.model() == query.payload.model() {
+                    if let Some((degree, distance)) = e.evaluate(&query.payload, &advert) {
+                        hits.push(ResponseHit { advert: advert.clone(), degree, distance });
+                    }
+                }
+            }
+        }
+        if !hits.is_empty() {
+            self.stats.fallback_answers += 1;
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(from),
+                DiscoveryMessage::querying(QueryOp::QueryResponse {
+                    query_id: query.id,
+                    hits,
+                    responder: ctx.node(),
+                }),
+            );
+        }
+    }
+}
+
+impl NodeHandler<DiscoveryMessage> for ServiceNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
+        // Fresh boot (or restart): advert ids regenerate so stale copies of
+        // the old incarnation age out independently.
+        for s in &mut self.services {
+            s.id = None;
+            s.version = 1;
+        }
+        if let Some(ev) = self.attach.start(ctx) {
+            self.on_attach_event(ctx, ev);
+        }
+        ctx.set_timer(self.cfg.renew_interval, tags::RENEW);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, msg: DiscoveryMessage) {
+        match msg.op {
+            Operation::Maintenance(op) => {
+                if let Some(ev) = self.attach.on_maintenance(ctx, from, &op) {
+                    self.on_attach_event(ctx, ev);
+                }
+            }
+            Operation::Publishing(op) => match op {
+                PublishOp::PublishAck { .. } => {}
+                PublishOp::RenewAck { id, known, .. }
+                    if !known => {
+                        // Registry restarted and lost the advert: republish.
+                        if let Some(i) =
+                            self.services.iter().position(|s| s.id == Some(id))
+                        {
+                            if let Some(home) = self.attach.home() {
+                                let advert = Self::advert_of(&mut self.services[i], ctx);
+                                self.stats.republishes_after_unknown += 1;
+                                self.stats.publishes += 1;
+                                send_msg(
+                                    ctx,
+                                    self.cfg.codec,
+                                    Destination::Unicast(home),
+                                    DiscoveryMessage::publishing(PublishOp::Publish {
+                                        advert,
+                                        lease_ms: self.cfg.lease_ms,
+                                    }),
+                                );
+                            }
+                        }
+                    }
+                _ => {}
+            },
+            Operation::Querying(QueryOp::Query(query)) => {
+                if self.cfg.fallback_responder
+                    && query.reply_to.is_none()
+                    && !self.attach.lan_has_registry(ctx.now())
+                {
+                    self.answer_fallback(ctx, from, &query);
+                }
+            }
+            Operation::Querying(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, _timer: TimerId, tag: u64) {
+        match tag {
+            tags::PROBE => self.attach.on_probe_timer(ctx),
+            tags::PROBE_DECIDE => {
+                if let Some(ev) = self.attach.on_probe_decide(ctx) {
+                    self.on_attach_event(ctx, ev);
+                }
+            }
+            tags::PING => {
+                if let Some(ev) = self.attach.on_ping_timer(ctx) {
+                    self.on_attach_event(ctx, ev);
+                }
+            }
+            tags::RENEW => {
+                if let Some(home) = self.attach.home() {
+                    for s in &self.services {
+                        if let Some(id) = s.id {
+                            self.stats.renewals += 1;
+                            send_msg(
+                                ctx,
+                                self.cfg.codec,
+                                Destination::Unicast(home),
+                                DiscoveryMessage::publishing(PublishOp::RenewLease { id }),
+                            );
+                        }
+                    }
+                }
+                ctx.set_timer(self.cfg.renew_interval, tags::RENEW);
+            }
+            _ => {}
+        }
+    }
+}

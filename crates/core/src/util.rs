@@ -1,0 +1,69 @@
+//! Shared helpers: timer tags and message sending.
+
+use sds_protocol::{Codec, DiscoveryMessage};
+use sds_simnet::{Ctx, Destination};
+
+/// Timer tag namespace. Fixed tags identify periodic duties; `*_BASE` tags
+/// carry a per-entity sequence number in the low bits.
+pub(crate) mod tags {
+    /// Attachment: re-probe while unattached.
+    pub const PROBE: u64 = 1;
+    /// Attachment: home-registry liveness ping.
+    pub const PING: u64 = 2;
+    /// Registry: periodic beacon.
+    pub const BEACON: u64 = 3;
+    /// Registry: periodic expired-advert purge.
+    pub const PURGE: u64 = 4;
+    /// Registry: federation peer liveness ping round.
+    pub const PEER_PING: u64 = 5;
+    /// Registry: periodic registry signaling (peer-list gossip).
+    pub const SIGNALING: u64 = 6;
+    /// Service: lease renewal round.
+    pub const RENEW: u64 = 7;
+    /// Registry: retry federation seeds while peerless.
+    pub const SEED_RETRY: u64 = 8;
+    /// Registry: replication round — push local adverts to peers.
+    pub const ADVERT_PUSH: u64 = 9;
+    /// Registry: pull round — request a random peer's local adverts.
+    pub const ADVERT_PULL: u64 = 10;
+    /// Attachment: probe decision window elapsed — pick the best reply.
+    pub const PROBE_DECIDE: u64 = 11;
+    /// Registry: response-aggregation deadline; low bits = pending seq.
+    pub const AGG_BASE: u64 = 1 << 20;
+    /// Client: query deadline; low bits = client query seq.
+    pub const QUERY_TIMEOUT_BASE: u64 = 2 << 20;
+
+    /// Extracts the sequence from a based tag, if the tag is in `base`'s
+    /// window (each window is 1<<20 wide).
+    pub fn seq_of(tag: u64, base: u64) -> Option<u64> {
+        (tag >= base && tag < base + (1 << 20)).then(|| tag - base)
+    }
+}
+
+/// Sends a protocol message, charging its modeled wire size.
+pub(crate) fn send_msg(
+    ctx: &mut Ctx<'_, DiscoveryMessage>,
+    codec: Codec,
+    dest: Destination,
+    msg: DiscoveryMessage,
+) {
+    let bytes = codec.message_size(&msg);
+    let kind = msg.kind();
+    ctx.send(dest, msg, bytes, kind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tags;
+
+    #[test]
+    fn tag_windows_do_not_overlap() {
+        assert_eq!(tags::seq_of(tags::AGG_BASE + 5, tags::AGG_BASE), Some(5));
+        assert_eq!(tags::seq_of(tags::QUERY_TIMEOUT_BASE, tags::AGG_BASE), None);
+        assert_eq!(tags::seq_of(tags::PING, tags::AGG_BASE), None);
+        assert_eq!(
+            tags::seq_of(tags::QUERY_TIMEOUT_BASE + 7, tags::QUERY_TIMEOUT_BASE),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,413 @@
+//! Undirected graphs and survivability metrics for registry-network
+//! topology analysis (experiment E9).
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph over nodes `0..n`.
+///
+/// ```
+/// use sds_metrics::topologies;
+///
+/// let star = topologies::star(16);
+/// // Leaves reach the hub in 1 hop and each other in 2:
+/// // (2*15*1 + 15*14*2) / (16*15) = 1.875.
+/// assert_eq!(star.characteristic_path_length(), Some(1.875));
+/// // Removing the hub (the highest-degree node) shatters the star.
+/// let attacked = star.targeted_removal(1, 1);
+/// assert!(attacked.giant_fraction[1] < 0.1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n] }
+    }
+
+    /// Adds an undirected edge (self-loops and duplicates ignored).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b || self.adj[a].contains(&b) {
+            return;
+        }
+        self.adj[a].push(b);
+        self.adj[b].push(a);
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Removes a node by detaching all its edges (keeps indices stable).
+    pub fn remove_node(&mut self, v: usize) {
+        let nbrs = std::mem::take(&mut self.adj[v]);
+        for n in nbrs {
+            self.adj[n].retain(|&x| x != v);
+        }
+    }
+
+    /// Nodes that still have at least one incident edge, plus isolated but
+    /// never-removed nodes cannot be distinguished here; survivability math
+    /// therefore works on the full index range and treats detached nodes as
+    /// singleton components.
+    fn bfs_dists(&self, src: usize) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.adj.len()];
+        dist[src] = Some(0);
+        let mut q = VecDeque::from([src]);
+        while let Some(v) = q.pop_front() {
+            let d = dist[v].expect("visited");
+            for &w in &self.adj[v] {
+                if dist[w].is_none() {
+                    dist[w] = Some(d + 1);
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Characteristic path length: mean shortest-path length over connected
+    /// pairs. `None` when no pair is connected.
+    pub fn characteristic_path_length(&self) -> Option<f64> {
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for src in 0..self.adj.len() {
+            for (dst, d) in self.bfs_dists(src).iter().enumerate() {
+                if dst != src {
+                    if let Some(d) = d {
+                        total += u64::from(*d);
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        (pairs > 0).then(|| total as f64 / pairs as f64)
+    }
+
+    /// Mean local clustering coefficient over nodes with degree ≥ 2
+    /// (proportion of closed neighbour pairs).
+    pub fn clustering_coefficient(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut counted = 0usize;
+        for v in 0..self.adj.len() {
+            let nbrs = &self.adj[v];
+            if nbrs.len() < 2 {
+                continue;
+            }
+            let mut closed = 0usize;
+            for i in 0..nbrs.len() {
+                for j in (i + 1)..nbrs.len() {
+                    if self.adj[nbrs[i]].contains(&nbrs[j]) {
+                        closed += 1;
+                    }
+                }
+            }
+            let possible = nbrs.len() * (nbrs.len() - 1) / 2;
+            sum += closed as f64 / possible as f64;
+            counted += 1;
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            sum / counted as f64
+        }
+    }
+
+    /// Size of the largest connected component.
+    pub fn largest_component(&self) -> usize {
+        let n = self.adj.len();
+        let mut seen = vec![false; n];
+        let mut best = 0;
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            let mut size = 0;
+            let mut q = VecDeque::from([s]);
+            seen[s] = true;
+            while let Some(v) = q.pop_front() {
+                size += 1;
+                for &w in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        q.push_back(w);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        best
+    }
+}
+
+/// Result of a node-removal (failure/attack) experiment.
+#[derive(Clone, Debug)]
+pub struct RemovalReport {
+    /// Fraction of nodes removed at each step (0.0, step, 2·step, …).
+    pub removed_fraction: Vec<f64>,
+    /// Largest-component fraction of the ORIGINAL node count after each
+    /// removal step.
+    pub giant_fraction: Vec<f64>,
+    /// Characteristic path length within what remains (None = fully
+    /// disconnected).
+    pub path_length: Vec<Option<f64>>,
+}
+
+impl Graph {
+    /// Removes `steps` batches of `batch` nodes, chosen uniformly at random
+    /// (the "random failure" column of E9).
+    pub fn random_removal(&self, batch: usize, steps: usize, seed: u64) -> RemovalReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = {
+            let mut v: Vec<usize> = (0..self.node_count()).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        self.removal_by_order(&order, batch, steps)
+    }
+
+    /// Removes highest-degree nodes first, recomputing degrees between
+    /// batches (the "targeted attack" column of E9).
+    pub fn targeted_removal(&self, batch: usize, steps: usize) -> RemovalReport {
+        let n = self.node_count();
+        let mut g = self.clone();
+        let mut report = RemovalReport {
+            removed_fraction: vec![0.0],
+            giant_fraction: vec![g.largest_component() as f64 / n as f64],
+            path_length: vec![g.characteristic_path_length()],
+        };
+        let mut removed = 0usize;
+        for _ in 0..steps {
+            for _ in 0..batch {
+                if let Some((v, _)) = (0..n).map(|v| (v, g.degree(v))).max_by_key(|&(_, d)| d) {
+                    g.remove_node(v);
+                    removed += 1;
+                }
+            }
+            report.removed_fraction.push(removed as f64 / n as f64);
+            report.giant_fraction.push(g.largest_component() as f64 / n as f64);
+            report.path_length.push(g.characteristic_path_length());
+        }
+        report
+    }
+
+    fn removal_by_order(&self, order: &[usize], batch: usize, steps: usize) -> RemovalReport {
+        let n = self.node_count();
+        let mut g = self.clone();
+        let mut report = RemovalReport {
+            removed_fraction: vec![0.0],
+            giant_fraction: vec![g.largest_component() as f64 / n as f64],
+            path_length: vec![g.characteristic_path_length()],
+        };
+        let mut it = order.iter();
+        let mut removed = 0usize;
+        for _ in 0..steps {
+            for _ in 0..batch {
+                if let Some(&v) = it.next() {
+                    g.remove_node(v);
+                    removed += 1;
+                }
+            }
+            report.removed_fraction.push(removed as f64 / n as f64);
+            report.giant_fraction.push(g.largest_component() as f64 / n as f64);
+            report.path_length.push(g.characteristic_path_length());
+        }
+        report
+    }
+}
+
+/// Registry-network topology generators for the survivability study.
+pub mod topologies {
+    use super::*;
+
+    /// A star: one hub, `n-1` leaves — the centralized strawman.
+    pub fn star(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(0, v);
+        }
+        g
+    }
+
+    /// A ring.
+    pub fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n);
+        }
+        g
+    }
+
+    /// A full mesh — the decentralized extreme.
+    pub fn full_mesh(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Erdős–Rényi G(n, p), plus a ring backbone to keep it connected at
+    /// small n.
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = ring(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen_bool(p) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        g
+    }
+
+    /// The paper's hybrid: `clusters` LAN clusters of `cluster_size`
+    /// registries; registries within a cluster fully meshed; one gateway per
+    /// cluster; gateways connected in a ring plus `extra_links` random
+    /// long-range links ("only a few nodes that have long-range
+    /// connections").
+    pub fn super_peer(clusters: usize, cluster_size: usize, extra_links: usize, seed: u64) -> Graph {
+        let n = clusters * cluster_size;
+        let mut g = Graph::new(n);
+        for c in 0..clusters {
+            let base = c * cluster_size;
+            for i in 0..cluster_size {
+                for j in (i + 1)..cluster_size {
+                    g.add_edge(base + i, base + j);
+                }
+            }
+        }
+        // Gateways are each cluster's node 0; ring them. A second member
+        // (node 1) carries a backup long-range link to the next cluster, so
+        // losing a gateway does not strand its cluster — still "only a few
+        // nodes that have long-range connections".
+        for c in 0..clusters {
+            let next = (c + 1) % clusters;
+            g.add_edge(c * cluster_size, next * cluster_size);
+            if cluster_size > 1 {
+                g.add_edge(c * cluster_size + 1, next * cluster_size + 1);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..extra_links {
+            let a = rng.gen_range(0..clusters) * cluster_size;
+            let b = rng.gen_range(0..clusters) * cluster_size;
+            g.add_edge(a, b);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::topologies::*;
+    use super::*;
+
+    #[test]
+    fn path_length_of_known_graphs() {
+        // Path graph 0-1-2: pairs (0,1)=1 (0,2)=2 (1,2)=1 → mean 4/3.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let cpl = g.characteristic_path_length().unwrap();
+        assert!((cpl - 4.0 / 3.0).abs() < 1e-9);
+        // Full mesh: always 1.
+        assert_eq!(full_mesh(5).characteristic_path_length(), Some(1.0));
+    }
+
+    #[test]
+    fn clustering_of_known_graphs() {
+        assert_eq!(full_mesh(4).clustering_coefficient(), 1.0);
+        assert_eq!(star(5).clustering_coefficient(), 0.0);
+        // Triangle: every node's single neighbour pair is closed.
+        let mut tri = Graph::new(3);
+        tri.add_edge(0, 1);
+        tri.add_edge(1, 2);
+        tri.add_edge(2, 0);
+        assert_eq!(tri.clustering_coefficient(), 1.0);
+    }
+
+    #[test]
+    fn star_dies_under_targeted_attack_but_not_random() {
+        let g = star(50);
+        let targeted = g.targeted_removal(1, 1);
+        assert!(
+            targeted.giant_fraction[1] < 0.05,
+            "removing the hub shatters the star: {:?}",
+            targeted.giant_fraction
+        );
+        // Random removal of one node almost certainly hits a leaf.
+        let random = g.random_removal(1, 1, 42);
+        assert!(random.giant_fraction[1] > 0.9);
+    }
+
+    #[test]
+    fn super_peer_survives_single_hub_loss_unlike_star() {
+        let g = super_peer(8, 4, 4, 1);
+        assert_eq!(g.node_count(), 32);
+        // Removing the single highest-degree node costs at most its own
+        // cluster (4/32), while the same attack shatters a star completely.
+        let t = g.targeted_removal(1, 1);
+        assert!(
+            t.giant_fraction[1] >= 0.8,
+            "one hub loss keeps the overlay largely intact: {:?}",
+            t.giant_fraction
+        );
+        // Random failure of 4 nodes barely dents it.
+        let r = g.random_removal(4, 1, 11);
+        assert!(r.giant_fraction[1] >= 0.7, "random: {:?}", r.giant_fraction);
+    }
+
+    #[test]
+    fn remove_node_detaches_edges() {
+        let mut g = ring(4);
+        assert_eq!(g.edge_count(), 4);
+        g.remove_node(0);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.largest_component(), 3);
+    }
+
+    #[test]
+    fn ring_metrics() {
+        let g = ring(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.largest_component(), 6);
+        // Ring of 6: distances 1,2,3 in both directions → mean = 1.8.
+        let cpl = g.characteristic_path_length().unwrap();
+        assert!((cpl - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let g = random_connected(30, 0.05, 7);
+        assert_eq!(g.largest_component(), 30);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_cpl() {
+        let g = Graph::new(4);
+        assert_eq!(g.characteristic_path_length(), None);
+        assert_eq!(g.largest_component(), 1);
+    }
+}

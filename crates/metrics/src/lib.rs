@@ -1,0 +1,19 @@
+//! # sds-metrics — experiment measurement toolkit
+//!
+//! Two unrelated-looking halves that the experiments share:
+//!
+//! * [`Summary`] / [`ratio`] / [`recall`] — descriptive statistics over
+//!   samples and the recall/staleness arithmetic the discovery experiments
+//!   report;
+//! * [`Graph`] and the generators in [`topologies`] — registry-network
+//!   survivability analysis for the paper's topology discussion, following
+//!   its references to complex-network robustness work (Albert/Jeong/Barabási
+//!   error-and-attack tolerance; Thadakamaila et al. survivability metrics:
+//!   "low characteristic path length, good clustering, and robustness to
+//!   random and targeted failure").
+
+mod graph;
+mod stats;
+
+pub use graph::{topologies, Graph, RemovalReport};
+pub use stats::{ratio, recall, Summary};

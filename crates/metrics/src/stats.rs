@@ -1,0 +1,95 @@
+//! Descriptive statistics and discovery-quality arithmetic.
+
+/// Five-number-ish summary of a sample set.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary; returns all-zero for an empty sample.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self { n: 0, mean: 0.0, min: 0.0, max: 0.0, p50: 0.0, p95: 0.0 };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((n - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        Self { n, mean, min: sorted[0], max: sorted[n - 1], p50: pct(0.50), p95: pct(0.95) }
+    }
+
+    /// Summary over integer samples.
+    pub fn of_counts<I: IntoIterator<Item = u64>>(samples: I) -> Self {
+        let v: Vec<f64> = samples.into_iter().map(|x| x as f64).collect();
+        Self::of(&v)
+    }
+}
+
+/// `num/den` as a fraction, 0.0 when the denominator is zero.
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Recall: fraction of `expected` items present in `got`. An empty
+/// expectation counts as perfect recall.
+pub fn recall<T: PartialEq>(expected: &[T], got: &[T]) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let hit = expected.iter().filter(|e| got.contains(e)).count();
+    hit as f64 / expected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_samples() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 3.0, "nearest-rank on even n rounds up");
+    }
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        assert_eq!(Summary::of(&[]).mean, 0.0);
+    }
+
+    #[test]
+    fn summary_of_counts() {
+        let s = Summary::of_counts([10u64, 20, 30]);
+        assert_eq!(s.mean, 20.0);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(3, 4), 0.75);
+        assert_eq!(ratio(3, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_cases() {
+        assert_eq!(recall(&[1, 2, 3], &[2, 3, 4]), 2.0 / 3.0);
+        assert_eq!(recall::<u32>(&[], &[1]), 1.0);
+        assert_eq!(recall(&[1], &[]), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests: every representable message round-trips through
+//! the codec, and decoding never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+
+use sds_protocol::{
+    codec, Advertisement, Description, DescriptionTemplate, DiscoveryMessage, MaintenanceOp,
+    ModelId, PublishOp, QueryId, QueryMessage, QueryOp, QueryPayload, ResponseHit,
+    Uuid, WireSize,
+};
+use sds_semantic::{
+    ClassId, Degree, QosConstraint, QosKey, QosValue, ServiceProfile, ServiceRequest,
+};
+use sds_simnet::NodeId;
+
+fn arb_qos_key() -> impl Strategy<Value = QosKey> {
+    prop_oneof![
+        Just(QosKey::LatencyMs),
+        Just(QosKey::UpdatePeriodS),
+        Just(QosKey::CoverageM),
+        Just(QosKey::Accuracy),
+    ]
+}
+
+fn arb_class() -> impl Strategy<Value = ClassId> {
+    (0u32..1000).prop_map(ClassId)
+}
+
+fn arb_profile() -> impl Strategy<Value = ServiceProfile> {
+    (
+        "[a-z0-9-]{0,12}",
+        arb_class(),
+        prop::collection::vec(arb_class(), 0..4),
+        prop::collection::vec(arb_class(), 0..4),
+        prop::collection::vec((arb_qos_key(), -1e6f64..1e6), 0..3),
+    )
+        .prop_map(|(name, category, inputs, outputs, qos)| ServiceProfile {
+            name,
+            category,
+            inputs,
+            outputs,
+            qos: qos.into_iter().map(|(key, value)| QosValue { key, value }).collect(),
+        })
+}
+
+fn arb_request() -> impl Strategy<Value = ServiceRequest> {
+    (
+        prop::option::of(arb_class()),
+        prop::collection::vec(arb_class(), 0..4),
+        prop::collection::vec(arb_class(), 0..4),
+        prop::collection::vec((arb_qos_key(), -1e6f64..1e6), 0..3),
+    )
+        .prop_map(|(category, outputs, provided_inputs, qos)| ServiceRequest {
+            category,
+            outputs,
+            provided_inputs,
+            qos: qos.into_iter().map(|(key, bound)| QosConstraint { key, bound }).collect(),
+        })
+}
+
+fn arb_template() -> impl Strategy<Value = DescriptionTemplate> {
+    (
+        prop::option::of("[a-z ]{0,10}"),
+        prop::option::of("urn:[a-z:]{0,16}"),
+        prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{0,8}"), 0..4),
+    )
+        .prop_map(|(name, type_uri, attrs)| DescriptionTemplate { name, type_uri, attrs })
+}
+
+fn arb_description() -> impl Strategy<Value = Description> {
+    prop_oneof![
+        "urn:[a-z:0-9]{0,24}".prop_map(Description::Uri),
+        arb_template().prop_map(Description::Template),
+        arb_profile().prop_map(Description::Semantic),
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = QueryPayload> {
+    prop_oneof![
+        "urn:[a-z:0-9]{0,24}".prop_map(QueryPayload::Uri),
+        arb_template().prop_map(QueryPayload::Template),
+        arb_request().prop_map(QueryPayload::Semantic),
+    ]
+}
+
+fn arb_advert() -> impl Strategy<Value = Advertisement> {
+    (any::<u128>(), 0u32..10_000, any::<u32>(), arb_description()).prop_map(
+        |(id, provider, version, description)| Advertisement {
+            id: Uuid(id),
+            provider: NodeId(provider),
+            description,
+            version,
+        },
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = QueryMessage> {
+    (
+        0u32..10_000,
+        any::<u64>(),
+        arb_payload(),
+        prop::option::of(any::<u16>()),
+        any::<u8>(),
+        prop::option::of(0u32..10_000),
+    )
+        .prop_map(|(origin, seq, payload, max_responses, ttl, reply_to)| QueryMessage {
+            id: QueryId { origin: NodeId(origin), seq },
+            payload,
+            max_responses,
+            ttl,
+            reply_to: reply_to.map(NodeId),
+        })
+}
+
+fn arb_degree() -> impl Strategy<Value = Degree> {
+    prop_oneof![
+        Just(Degree::Fail),
+        Just(Degree::Subsumes),
+        Just(Degree::PlugIn),
+        Just(Degree::Exact)
+    ]
+}
+
+fn arb_nodes() -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec((0u32..10_000).prop_map(NodeId), 0..6)
+}
+
+fn arb_maintenance() -> impl Strategy<Value = MaintenanceOp> {
+    prop_oneof![
+        Just(MaintenanceOp::RegistryProbe),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(advert_count, load)| MaintenanceOp::RegistryProbeReply { advert_count, load }),
+        any::<u32>().prop_map(|advert_count| MaintenanceOp::RegistryBeacon { advert_count }),
+        Just(MaintenanceOp::Ping),
+        Just(MaintenanceOp::Pong),
+        any::<bool>().prop_map(|from_registry| MaintenanceOp::RegistryListRequest { from_registry }),
+        arb_nodes().prop_map(|registries| MaintenanceOp::RegistryList { registries }),
+        arb_nodes().prop_map(|known_peers| MaintenanceOp::FederationJoin { known_peers }),
+        arb_nodes().prop_map(|peers| MaintenanceOp::FederationAck { peers }),
+        (any::<u32>(), prop::collection::vec(
+            prop_oneof![Just(ModelId::Uri), Just(ModelId::Template), Just(ModelId::Semantic)], 0..3
+        )).prop_map(|(advert_count, models)| MaintenanceOp::SummaryAdvert { advert_count, models }),
+        Just(MaintenanceOp::AdvertPullRequest),
+        "[a-z-]{0,12}".prop_map(|name| MaintenanceOp::ArtifactRequest { name }),
+        ("[a-z-]{0,12}", any::<bool>(), any::<u32>())
+            .prop_map(|(name, found, size)| MaintenanceOp::ArtifactResponse { name, found, size }),
+    ]
+}
+
+fn arb_publish() -> impl Strategy<Value = PublishOp> {
+    prop_oneof![
+        (arb_advert(), any::<u64>())
+            .prop_map(|(advert, lease_ms)| PublishOp::Publish { advert, lease_ms }),
+        (any::<u128>(), any::<u64>())
+            .prop_map(|(id, lease_until)| PublishOp::PublishAck { id: Uuid(id), lease_until }),
+        any::<u128>().prop_map(|id| PublishOp::RenewLease { id: Uuid(id) }),
+        (any::<u128>(), any::<u64>(), any::<bool>()).prop_map(|(id, lease_until, known)| {
+            PublishOp::RenewAck { id: Uuid(id), lease_until, known }
+        }),
+        any::<u128>().prop_map(|id| PublishOp::Remove { id: Uuid(id) }),
+        (arb_advert(), any::<u64>())
+            .prop_map(|(advert, lease_ms)| PublishOp::Update { advert, lease_ms }),
+        prop::collection::vec(arb_advert(), 0..4)
+            .prop_map(|adverts| PublishOp::ForwardAdverts { adverts }),
+    ]
+}
+
+fn arb_queryop() -> impl Strategy<Value = QueryOp> {
+    prop_oneof![
+        arb_query().prop_map(QueryOp::Query),
+        (0u32..10_000, any::<u64>(), arb_payload(), any::<u64>()).prop_map(
+            |(origin, seq, payload, lease_ms)| QueryOp::Subscribe {
+                id: QueryId { origin: NodeId(origin), seq },
+                payload,
+                lease_ms,
+            }
+        ),
+        (0u32..10_000, any::<u64>(), any::<u64>()).prop_map(|(origin, seq, lease_until)| {
+            QueryOp::SubscribeAck { id: QueryId { origin: NodeId(origin), seq }, lease_until }
+        }),
+        (0u32..10_000, any::<u64>()).prop_map(|(origin, seq)| QueryOp::Unsubscribe {
+            id: QueryId { origin: NodeId(origin), seq },
+        }),
+        (0u32..10_000, any::<u64>(), arb_advert(), arb_degree(), any::<u32>()).prop_map(
+            |(origin, seq, advert, degree, distance)| QueryOp::Notify {
+                subscription: QueryId { origin: NodeId(origin), seq },
+                hit: ResponseHit { advert, degree, distance },
+            }
+        ),
+        (0u32..10_000, any::<u64>(), arb_request(), any::<u8>()).prop_map(
+            |(origin, seq, request, max_depth)| QueryOp::ComposeRequest {
+                id: QueryId { origin: NodeId(origin), seq },
+                request,
+                max_depth,
+            }
+        ),
+        (0u32..10_000, any::<u64>(), any::<bool>(), prop::collection::vec(arb_advert(), 0..4))
+            .prop_map(|(origin, seq, found, chain)| QueryOp::ComposeResponse {
+                id: QueryId { origin: NodeId(origin), seq },
+                found,
+                chain,
+            }),
+        (
+            0u32..10_000,
+            any::<u64>(),
+            0u32..10_000,
+            prop::collection::vec((arb_advert(), arb_degree(), any::<u32>()), 0..4)
+        )
+            .prop_map(|(origin, seq, responder, hits)| QueryOp::QueryResponse {
+                query_id: QueryId { origin: NodeId(origin), seq },
+                hits: hits
+                    .into_iter()
+                    .map(|(advert, degree, distance)| ResponseHit { advert, degree, distance })
+                    .collect(),
+                responder: NodeId(responder),
+            }),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = DiscoveryMessage> {
+    prop_oneof![
+        arb_maintenance().prop_map(DiscoveryMessage::maintenance),
+        arb_publish().prop_map(DiscoveryMessage::publishing),
+        arb_queryop().prop_map(DiscoveryMessage::querying),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_message_round_trips(msg in arb_message()) {
+        let bytes = codec::encode(&msg);
+        let back = codec::decode(&bytes).expect("decode what we encoded");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::decode(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn truncation_always_fails_cleanly(msg in arb_message(), cut in any::<prop::sample::Index>()) {
+        let bytes = codec::encode(&msg);
+        if bytes.len() > 1 {
+            let cut = 1 + cut.index(bytes.len() - 1);
+            if cut < bytes.len() {
+                prop_assert!(codec::decode(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_size_is_positive_and_stable(msg in arb_message()) {
+        let a = msg.body_size();
+        let b = msg.body_size();
+        prop_assert_eq!(a, b, "size model is a pure function");
+        // Every message costs at least its operation framing.
+        prop_assert!(a >= 8, "size {} too small", a);
+    }
+}

@@ -1,0 +1,343 @@
+//! The registry engine: store + evaluators + response control + artifacts.
+
+use std::collections::HashMap;
+
+use sds_protocol::{Advertisement, AdvertId, ModelId, QueryMessage, QueryPayload, ResponseHit};
+use sds_semantic::{Artifact, ArtifactRepository};
+use sds_simnet::{NodeId, SimTime};
+
+use crate::evaluate::ModelEvaluator;
+use crate::store::{LeasePolicy, PublishOutcome, RegistryStore};
+
+/// Summary information a registry shares with peers ("send out summary
+/// information about the advertisements present in a registry").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegistrySummary {
+    pub advert_count: u32,
+    /// Which description models are present, ascending by wire tag.
+    pub models: Vec<ModelId>,
+}
+
+/// One registry's complete local state and query-evaluation logic, with no
+/// networking: `sds-core` drives it from a node handler, baselines from
+/// their own policies.
+pub struct RegistryEngine {
+    store: RegistryStore,
+    lease_policy: LeasePolicy,
+    evaluators: HashMap<ModelId, Box<dyn ModelEvaluator>>,
+    artifacts: ArtifactRepository,
+}
+
+impl RegistryEngine {
+    pub fn new(lease_policy: LeasePolicy) -> Self {
+        Self {
+            store: RegistryStore::new(),
+            lease_policy,
+            evaluators: HashMap::new(),
+            artifacts: ArtifactRepository::new(),
+        }
+    }
+
+    /// Registers an evaluator plug-in; replaces any previous evaluator for
+    /// the same model.
+    pub fn register_evaluator(&mut self, evaluator: Box<dyn ModelEvaluator>) {
+        self.evaluators.insert(evaluator.model(), evaluator);
+    }
+
+    /// Whether this registry can evaluate the given model.
+    pub fn supports(&self, model: ModelId) -> bool {
+        self.evaluators.contains_key(&model)
+    }
+
+    pub fn lease_policy(&self) -> LeasePolicy {
+        self.lease_policy
+    }
+
+    pub fn store(&self) -> &RegistryStore {
+        &self.store
+    }
+
+    pub fn store_mut(&mut self) -> &mut RegistryStore {
+        &mut self.store
+    }
+
+    pub fn artifacts(&self) -> &ArtifactRepository {
+        &self.artifacts
+    }
+
+    /// Hosts an artifact for in-band distribution.
+    pub fn host_artifact(&mut self, artifact: Artifact) {
+        self.artifacts.put(artifact);
+    }
+
+    /// Handles a publish/update: grants a lease per policy and stores the
+    /// advert. Returns the outcome and the granted expiry.
+    pub fn publish(
+        &mut self,
+        advert: Advertisement,
+        source: NodeId,
+        now: SimTime,
+        requested_lease_ms: u64,
+    ) -> (PublishOutcome, SimTime) {
+        let lease_until = self.lease_policy.grant(now, requested_lease_ms);
+        let outcome = self.store.publish(advert, source, now, lease_until, requested_lease_ms);
+        (outcome, lease_until)
+    }
+
+    /// Handles a lease renewal, re-granting the originally requested
+    /// duration. Returns `(known, new_expiry)`.
+    pub fn renew(&mut self, id: AdvertId, now: SimTime) -> (bool, SimTime) {
+        let requested = self.store.get(&id).map_or(0, |a| a.requested_lease_ms);
+        let lease_until = self.lease_policy.grant(now, requested);
+        (self.store.renew(id, lease_until), lease_until)
+    }
+
+    /// Handles explicit removal.
+    pub fn remove(&mut self, id: AdvertId) -> bool {
+        self.store.remove(id)
+    }
+
+    /// Purges expired adverts; returns purged ids.
+    pub fn purge(&mut self, now: SimTime) -> Vec<AdvertId> {
+        self.store.purge_expired(now)
+    }
+
+    /// Evaluates a query against the live adverts: dispatches on the
+    /// payload's model (silently returning nothing for unsupported models),
+    /// ranks hits best-first, and truncates to the query's `max_responses` —
+    /// the query response control the paper requires of registries.
+    pub fn evaluate(&self, query: &QueryMessage, now: SimTime) -> Vec<ResponseHit> {
+        let Some(evaluator) = self.evaluators.get(&query.payload.model()) else {
+            return Vec::new(); // "silently discard messages they cannot understand"
+        };
+        let mut hits: Vec<ResponseHit> = self
+            .store
+            .live(now)
+            .filter_map(|stored| {
+                evaluator
+                    .evaluate(&query.payload, &stored.advert)
+                    .map(|(degree, distance)| ResponseHit {
+                        advert: stored.advert.clone(),
+                        degree,
+                        distance,
+                    })
+            })
+            .collect();
+        rank_hits(&mut hits);
+        if let Some(k) = query.max_responses {
+            hits.truncate(k as usize);
+        }
+        hits
+    }
+
+    /// Plans a service chain (paper §4.3 composition support) over the live
+    /// *semantic* advertisements. Returns the chain's advertisements in
+    /// execution order, or `None` when no chain exists or the semantic
+    /// model is unsupported.
+    pub fn compose(
+        &self,
+        request: &sds_semantic::ServiceRequest,
+        now: SimTime,
+        max_depth: usize,
+    ) -> Option<Vec<Advertisement>> {
+        let evaluator = self.evaluators.get(&ModelId::Semantic)?;
+        let index = evaluator.subsumption_index()?;
+        let live: Vec<&Advertisement> = self
+            .store
+            .live(now)
+            .map(|s| &s.advert)
+            .filter(|a| matches!(a.description, sds_protocol::Description::Semantic(_)))
+            .collect();
+        let profiles: Vec<sds_semantic::ServiceProfile> = live
+            .iter()
+            .map(|a| match &a.description {
+                sds_protocol::Description::Semantic(p) => p.clone(),
+                _ => unreachable!("filtered above"),
+            })
+            .collect();
+        let plan = sds_semantic::compose(index, request, &profiles, max_depth)?;
+        Some(plan.steps.iter().map(|&i| live[i].clone()).collect())
+    }
+
+    /// Evaluates a single payload against a single advertisement — used for
+    /// subscription matching on publish. `None` for unsupported models and
+    /// non-matches alike.
+    pub fn evaluate_single(
+        &self,
+        payload: &QueryPayload,
+        advert: &Advertisement,
+    ) -> Option<(sds_semantic::Degree, u32)> {
+        self.evaluators.get(&payload.model())?.evaluate(payload, advert)
+    }
+
+    /// Current summary for registry signaling.
+    pub fn summary(&self, now: SimTime) -> RegistrySummary {
+        let mut models: Vec<ModelId> = Vec::new();
+        let mut count = 0u32;
+        for a in self.store.live(now) {
+            count += 1;
+            let m = a.advert.description.model();
+            if !models.contains(&m) {
+                models.push(m);
+            }
+        }
+        models.sort_by_key(|m| m.wire_tag());
+        RegistrySummary { advert_count: count, models }
+    }
+}
+
+/// Ranks hits best-first: degree desc, distance asc, advert id for
+/// determinism. Shared with federation-side aggregation.
+pub fn rank_hits(hits: &mut [ResponseHit]) {
+    hits.sort_by(|a, b| {
+        b.degree
+            .cmp(&a.degree)
+            .then(a.distance.cmp(&b.distance))
+            .then(a.advert.id.cmp(&b.advert.id))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{SemanticEvaluator, TemplateEvaluator, UriEvaluator};
+    use sds_protocol::{Description, QueryId, QueryPayload, Uuid};
+    use sds_semantic::{
+        ArtifactId, ArtifactKind, Degree, Ontology, ServiceProfile, ServiceRequest,
+        SubsumptionIndex,
+    };
+    use std::sync::Arc;
+
+    fn uri_advert(id: u128, uri: &str) -> Advertisement {
+        Advertisement {
+            id: Uuid(id),
+            provider: NodeId(1),
+            description: Description::Uri(uri.into()),
+            version: 1,
+        }
+    }
+
+    fn query(payload: QueryPayload, max: Option<u16>) -> QueryMessage {
+        QueryMessage {
+            id: QueryId { origin: NodeId(9), seq: 1 },
+            payload,
+            max_responses: max,
+            ttl: 0,
+            reply_to: None,
+        }
+    }
+
+    fn engine_with_uri() -> RegistryEngine {
+        let mut e = RegistryEngine::new(LeasePolicy::default());
+        e.register_evaluator(Box::new(UriEvaluator));
+        e
+    }
+
+    #[test]
+    fn publish_evaluate_and_lease_expiry() {
+        let mut e = engine_with_uri();
+        let (outcome, lease) = e.publish(uri_advert(1, "urn:a"), NodeId(1), 0, 10_000);
+        assert_eq!(outcome, PublishOutcome::New);
+        assert_eq!(lease, 10_000);
+        let q = query(QueryPayload::Uri("urn:a".into()), None);
+        assert_eq!(e.evaluate(&q, 5_000).len(), 1);
+        // After expiry the advert no longer matches even before purge runs.
+        assert_eq!(e.evaluate(&q, 10_000).len(), 0);
+        assert_eq!(e.purge(10_000), vec![Uuid(1)]);
+    }
+
+    #[test]
+    fn unsupported_model_silently_discarded() {
+        let mut e = engine_with_uri();
+        e.publish(uri_advert(1, "urn:a"), NodeId(1), 0, 10_000);
+        let sem = query(QueryPayload::Semantic(ServiceRequest::default()), None);
+        assert!(e.evaluate(&sem, 0).is_empty());
+        assert!(!e.supports(ModelId::Semantic));
+        assert!(e.supports(ModelId::Uri));
+    }
+
+    #[test]
+    fn response_control_truncates_after_ranking() {
+        let mut o = Ontology::new();
+        let thing = o.class("Thing", &[]);
+        let track = o.class("Track", &[thing]);
+        let air = o.class("AirTrack", &[track]);
+        let svc = o.class("Svc", &[thing]);
+        let idx = Arc::new(SubsumptionIndex::build(&o));
+
+        let mut e = RegistryEngine::new(LeasePolicy::default());
+        e.register_evaluator(Box::new(SemanticEvaluator::new(idx)));
+        for (i, out) in [air, track, air, track].iter().enumerate() {
+            let advert = Advertisement {
+                id: Uuid(i as u128 + 1),
+                provider: NodeId(1),
+                description: Description::Semantic(
+                    ServiceProfile::new(format!("s{i}"), svc).with_outputs(&[*out]),
+                ),
+                version: 1,
+            };
+            e.publish(advert, NodeId(1), 0, 60_000);
+        }
+        let q = query(
+            QueryPayload::Semantic(ServiceRequest::default().with_outputs(&[air])),
+            Some(2),
+        );
+        let hits = e.evaluate(&q, 1_000);
+        assert_eq!(hits.len(), 2, "truncated to max_responses");
+        assert!(hits.iter().all(|h| h.degree == Degree::Exact), "best hits kept: {hits:?}");
+    }
+
+    #[test]
+    fn renew_unknown_tells_provider_to_republish() {
+        let mut e = engine_with_uri();
+        let (known, _) = e.renew(Uuid(7), 0);
+        assert!(!known);
+        e.publish(uri_advert(7, "urn:a"), NodeId(1), 0, 1_000);
+        let (known, lease) = e.renew(Uuid(7), 500);
+        assert!(known);
+        assert_eq!(lease, 1_500, "renewal re-grants the requested 1s lease");
+    }
+
+    #[test]
+    fn summary_reflects_live_adverts_and_models() {
+        let mut e = engine_with_uri();
+        e.register_evaluator(Box::new(TemplateEvaluator));
+        e.publish(uri_advert(1, "urn:a"), NodeId(1), 0, 1_000);
+        e.publish(uri_advert(2, "urn:b"), NodeId(1), 0, 10_000);
+        let s = e.summary(500);
+        assert_eq!(s, RegistrySummary { advert_count: 2, models: vec![ModelId::Uri] });
+        let s_late = e.summary(5_000);
+        assert_eq!(s_late.advert_count, 1, "expired advert excluded from summary");
+    }
+
+    #[test]
+    fn artifact_hosting_round_trip() {
+        let mut e = engine_with_uri();
+        e.host_artifact(Artifact {
+            id: ArtifactId::new("nato-sensors", 1),
+            kind: ArtifactKind::Ontology,
+            body: vec![0; 2_048],
+        });
+        assert_eq!(e.artifacts().get_latest("nato-sensors").unwrap().body.len(), 2_048);
+        assert!(e.artifacts().get_latest("missing").is_none());
+    }
+
+    #[test]
+    fn rank_hits_orders_deterministically() {
+        let mk = |id: u128, degree: Degree, distance: u32| ResponseHit {
+            advert: uri_advert(id, "urn:x"),
+            degree,
+            distance,
+        };
+        let mut hits = vec![
+            mk(3, Degree::Subsumes, 1),
+            mk(2, Degree::Exact, 0),
+            mk(1, Degree::Exact, 0),
+            mk(4, Degree::PlugIn, 2),
+            mk(5, Degree::PlugIn, 1),
+        ];
+        rank_hits(&mut hits);
+        let ids: Vec<u128> = hits.iter().map(|h| h.advert.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 5, 4, 3]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sds-registry — registry node internals
+//!
+//! "A registry node … can operate autonomously since it stores advertisements
+//! and is capable of evaluating queries. In addition, it is responsible for
+//! cleaning up advertisements representing obsolete services."
+//!
+//! This crate is the *inside* of such a node, independent of any networking:
+//!
+//! * [`RegistryStore`]: the advertisement store — a registry information
+//!   model record per advert (provider, version, publication time, lease) —
+//!   with lease-based purging ("letting service advertisements have limited
+//!   lifetime ensures removal of obsolete advertisements");
+//! * [`ModelEvaluator`] + the three shipped evaluators: pluggable per-model
+//!   query evaluation behind the protocol's next-header, so "primitive
+//!   devices using only a lightweight URI-matching service discovery can use
+//!   the same service discovery infrastructure as the more heavyweight ones
+//!   based on semantic service descriptions";
+//! * [`RegistryEngine`]: evaluation + ranking + query response control +
+//!   summaries + artifact hosting, glued together;
+//! * [`SeenQueries`]: the query-id cache used for loop avoidance when
+//!   registries forward queries.
+//!
+//! The network-facing behaviour (timers, beacons, federation) lives in
+//! `sds-core`; baselines reuse these internals with different policies.
+
+mod engine;
+mod evaluate;
+mod seen;
+mod store;
+
+pub use engine::{rank_hits, RegistryEngine, RegistrySummary};
+pub use evaluate::{ModelEvaluator, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
+pub use seen::SeenQueries;
+pub use store::{LeasePolicy, PublishOutcome, RegistryStore, StoredAdvert};

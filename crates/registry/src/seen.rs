@@ -1,0 +1,100 @@
+//! Loop avoidance: a time-bounded cache of query ids already handled.
+//!
+//! "We think that giving queries their unique query ID is a good approach to
+//! avoid query looping between registry nodes." A registry records each
+//! query id it processes; a re-arrival within the retention window is
+//! dropped instead of being evaluated and forwarded again.
+
+use std::collections::HashMap;
+
+use sds_protocol::QueryId;
+use sds_simnet::SimTime;
+
+/// Time-bounded set of recently seen query ids.
+#[derive(Debug)]
+pub struct SeenQueries {
+    retention_ms: u64,
+    seen: HashMap<QueryId, SimTime>,
+}
+
+impl SeenQueries {
+    /// `retention_ms` should exceed the maximum plausible query lifetime in
+    /// the registry network (TTL × per-hop latency, with margin).
+    pub fn new(retention_ms: u64) -> Self {
+        Self { retention_ms, seen: HashMap::new() }
+    }
+
+    /// Records `id` at `now`. Returns `true` when the id is new (the query
+    /// should be processed), `false` when it is a duplicate (drop it).
+    /// Opportunistically evicts expired entries to bound memory.
+    pub fn first_sighting(&mut self, id: QueryId, now: SimTime) -> bool {
+        if self.seen.len() > 1024 {
+            let cutoff = now.saturating_sub(self.retention_ms);
+            self.seen.retain(|_, &mut t| t > cutoff);
+        }
+        match self.seen.get(&id) {
+            Some(&t) if now.saturating_sub(t) < self.retention_ms => false,
+            _ => {
+                self.seen.insert(id, now);
+                true
+            }
+        }
+    }
+
+    /// Number of retained entries (diagnostic).
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Drops all state (e.g. on simulated node restart).
+    pub fn clear(&mut self) {
+        self.seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sds_simnet::NodeId;
+
+    fn qid(seq: u64) -> QueryId {
+        QueryId { origin: NodeId(1), seq }
+    }
+
+    #[test]
+    fn duplicate_within_window_is_dropped() {
+        let mut s = SeenQueries::new(1_000);
+        assert!(s.first_sighting(qid(1), 0));
+        assert!(!s.first_sighting(qid(1), 500));
+        assert!(s.first_sighting(qid(2), 500), "different id is fresh");
+    }
+
+    #[test]
+    fn reappearance_after_retention_is_fresh() {
+        let mut s = SeenQueries::new(1_000);
+        assert!(s.first_sighting(qid(1), 0));
+        assert!(s.first_sighting(qid(1), 1_500));
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let mut s = SeenQueries::new(100);
+        for i in 0..2_000 {
+            assert!(s.first_sighting(qid(i), i));
+        }
+        assert!(s.len() <= 1_100, "expired entries evicted, got {}", s.len());
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut s = SeenQueries::new(1_000);
+        s.first_sighting(qid(1), 0);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.first_sighting(qid(1), 1));
+    }
+}

@@ -1,0 +1,272 @@
+//! The advertisement store: registry information model records plus leases.
+
+use std::collections::HashMap;
+
+use sds_protocol::{AdvertId, Advertisement};
+use sds_simnet::{NodeId, SimTime};
+
+/// How a registry grants leases.
+///
+/// "Typically, the provider of a service obtains a lease when publishing its
+/// service description to the registry. From then on, the provider must
+/// periodically confirm that it is alive."
+#[derive(Clone, Copy, Debug)]
+pub struct LeasePolicy {
+    /// Granted when the publisher does not ask for a duration (`lease_ms` 0).
+    pub default_ms: u64,
+    /// Upper bound on granted lease durations.
+    pub max_ms: u64,
+    /// When `false`, leases never expire — the UDDI-like baseline behaviour
+    /// the paper criticizes ("neither UDDI nor ebXML use leasing … a serious
+    /// shortcoming").
+    pub leasing_enabled: bool,
+}
+
+impl Default for LeasePolicy {
+    fn default() -> Self {
+        Self { default_ms: 30_000, max_ms: 300_000, leasing_enabled: true }
+    }
+}
+
+impl LeasePolicy {
+    /// A lease-less policy (UDDI-like baseline).
+    pub fn no_leasing() -> Self {
+        Self { leasing_enabled: false, ..Self::default() }
+    }
+
+    /// Computes the expiry for a publish/renew arriving at `now` asking for
+    /// `requested_ms` (0 = registry default).
+    pub fn grant(&self, now: SimTime, requested_ms: u64) -> SimTime {
+        if !self.leasing_enabled {
+            return SimTime::MAX;
+        }
+        let ms = if requested_ms == 0 { self.default_ms } else { requested_ms.min(self.max_ms) };
+        now.saturating_add(ms)
+    }
+}
+
+/// One stored advertisement with its registry information model record.
+#[derive(Clone, Debug)]
+pub struct StoredAdvert {
+    pub advert: Advertisement,
+    /// The node the publish physically came from (usually the provider, but
+    /// replication forwards on behalf of others).
+    pub source: NodeId,
+    pub published_at: SimTime,
+    pub lease_until: SimTime,
+    /// The lease duration the provider asked for at publish time (0 =
+    /// registry default); renewals re-grant the same duration.
+    pub requested_lease_ms: u64,
+}
+
+impl StoredAdvert {
+    pub fn is_live(&self, now: SimTime) -> bool {
+        self.lease_until > now
+    }
+}
+
+/// Result of a publish/update.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PublishOutcome {
+    /// First time this advert id was seen.
+    New,
+    /// Replaced content with an equal-or-newer version.
+    Updated,
+    /// Dropped: the incoming version is older than what is stored
+    /// (replication races).
+    StaleVersion,
+}
+
+/// The advertisement table of one registry.
+#[derive(Default, Debug)]
+pub struct RegistryStore {
+    adverts: HashMap<AdvertId, StoredAdvert>,
+}
+
+impl RegistryStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes or updates an advertisement.
+    pub fn publish(
+        &mut self,
+        advert: Advertisement,
+        source: NodeId,
+        now: SimTime,
+        lease_until: SimTime,
+        requested_lease_ms: u64,
+    ) -> PublishOutcome {
+        match self.adverts.get_mut(&advert.id) {
+            None => {
+                self.adverts.insert(
+                    advert.id,
+                    StoredAdvert { advert, source, published_at: now, lease_until, requested_lease_ms },
+                );
+                PublishOutcome::New
+            }
+            Some(existing) => {
+                if advert.version < existing.advert.version {
+                    return PublishOutcome::StaleVersion;
+                }
+                existing.advert = advert;
+                existing.source = source;
+                existing.lease_until = lease_until.max(existing.lease_until);
+                existing.requested_lease_ms = requested_lease_ms;
+                PublishOutcome::Updated
+            }
+        }
+    }
+
+    /// Extends the lease of a known advertisement. Returns `false` when the
+    /// id is unknown (the provider should republish).
+    pub fn renew(&mut self, id: AdvertId, lease_until: SimTime) -> bool {
+        match self.adverts.get_mut(&id) {
+            Some(a) => {
+                a.lease_until = a.lease_until.max(lease_until);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Explicit deregistration. Returns `true` when the advert existed.
+    pub fn remove(&mut self, id: AdvertId) -> bool {
+        self.adverts.remove(&id).is_some()
+    }
+
+    /// Drops every advert whose lease expired at or before `now`; returns the
+    /// purged ids ("should a service crash, it would not be able to renew its
+    /// lease, and the service description would be purged").
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<AdvertId> {
+        let dead: Vec<AdvertId> = self
+            .adverts
+            .iter()
+            .filter(|(_, a)| !a.is_live(now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &dead {
+            self.adverts.remove(id);
+        }
+        dead
+    }
+
+    /// The earliest lease expiry among stored adverts, for scheduling the
+    /// next purge without polling.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.adverts
+            .values()
+            .map(|a| a.lease_until)
+            .filter(|&t| t != SimTime::MAX)
+            .min()
+    }
+
+    pub fn get(&self, id: &AdvertId) -> Option<&StoredAdvert> {
+        self.adverts.get(id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.adverts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adverts.is_empty()
+    }
+
+    /// Iterates adverts whose lease is still live at `now`.
+    pub fn live(&self, now: SimTime) -> impl Iterator<Item = &StoredAdvert> {
+        self.adverts.values().filter(move |a| a.is_live(now))
+    }
+
+    /// Iterates all adverts including expired-but-not-yet-purged ones.
+    pub fn iter(&self) -> impl Iterator<Item = &StoredAdvert> {
+        self.adverts.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sds_protocol::{Description, Uuid};
+
+    fn advert(id: u128, version: u32) -> Advertisement {
+        Advertisement {
+            id: Uuid(id),
+            provider: NodeId(1),
+            description: Description::Uri("urn:x".into()),
+            version,
+        }
+    }
+
+    #[test]
+    fn publish_new_update_and_stale() {
+        let mut s = RegistryStore::new();
+        assert_eq!(s.publish(advert(1, 1), NodeId(1), 0, 100, 0), PublishOutcome::New);
+        assert_eq!(s.publish(advert(1, 2), NodeId(1), 10, 200, 0), PublishOutcome::Updated);
+        assert_eq!(s.publish(advert(1, 1), NodeId(1), 20, 300, 0), PublishOutcome::StaleVersion);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&Uuid(1)).unwrap().advert.version, 2);
+        // Stale publish must not shorten the lease.
+        assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 200);
+    }
+
+    #[test]
+    fn renew_extends_but_never_shortens() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert!(s.renew(Uuid(1), 500));
+        assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 500);
+        assert!(s.renew(Uuid(1), 300), "older renewal acknowledged");
+        assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 500, "but lease not shortened");
+        assert!(!s.renew(Uuid(9), 500), "unknown id");
+    }
+
+    #[test]
+    fn purge_removes_expired_only() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        s.publish(advert(2, 1), NodeId(1), 0, 200, 0);
+        let purged = s.purge_expired(150);
+        assert_eq!(purged, vec![Uuid(1)]);
+        assert_eq!(s.len(), 1);
+        assert!(s.get(&Uuid(2)).is_some());
+        assert_eq!(s.live(150).count(), 1);
+    }
+
+    #[test]
+    fn lease_exactly_at_expiry_is_dead() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert_eq!(s.live(99).count(), 1);
+        assert_eq!(s.live(100).count(), 0);
+    }
+
+    #[test]
+    fn next_expiry_ignores_infinite_leases() {
+        let mut s = RegistryStore::new();
+        assert_eq!(s.next_expiry(), None);
+        s.publish(advert(1, 1), NodeId(1), 0, SimTime::MAX, 0);
+        assert_eq!(s.next_expiry(), None);
+        s.publish(advert(2, 1), NodeId(1), 0, 400, 0);
+        s.publish(advert(3, 1), NodeId(1), 0, 300, 0);
+        assert_eq!(s.next_expiry(), Some(300));
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert!(s.remove(Uuid(1)));
+        assert!(!s.remove(Uuid(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn lease_policy_grants() {
+        let p = LeasePolicy { default_ms: 10_000, max_ms: 60_000, leasing_enabled: true };
+        assert_eq!(p.grant(100, 0), 10_100);
+        assert_eq!(p.grant(100, 5_000), 5_100);
+        assert_eq!(p.grant(100, 999_999), 60_100, "capped at max");
+        assert_eq!(LeasePolicy::no_leasing().grant(100, 5_000), SimTime::MAX);
+    }
+}

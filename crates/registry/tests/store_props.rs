@@ -1,0 +1,140 @@
+//! Property-based tests for the registry store: lease arithmetic, purge
+//! correctness against a naive model, version monotonicity, and the
+//! query-id dedup cache.
+
+use proptest::prelude::*;
+
+use sds_protocol::{Advertisement, Description, QueryId, Uuid};
+use sds_registry::{LeasePolicy, RegistryStore, SeenQueries};
+use sds_simnet::NodeId;
+
+fn advert(id: u128, version: u32) -> Advertisement {
+    Advertisement {
+        id: Uuid(id),
+        provider: NodeId(id as u32),
+        description: Description::Uri(format!("urn:{id}")),
+        version,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum StoreOp {
+    Publish { id: u128, version: u32, lease_until: u64 },
+    Renew { id: u128, lease_until: u64 },
+    Remove { id: u128 },
+    Purge { now: u64 },
+}
+
+fn arb_store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        (0u128..8, 0u32..4, 1u64..1_000).prop_map(|(id, version, lease_until)| {
+            StoreOp::Publish { id, version, lease_until }
+        }),
+        (0u128..8, 1u64..1_000).prop_map(|(id, lease_until)| StoreOp::Renew { id, lease_until }),
+        (0u128..8).prop_map(|id| StoreOp::Remove { id }),
+        (0u64..1_000).prop_map(|now| StoreOp::Purge { now }),
+    ]
+}
+
+/// Naive reference model of the store.
+#[derive(Default)]
+struct Model {
+    adverts: std::collections::HashMap<u128, (u32, u64)>, // id → (version, lease_until)
+}
+
+proptest! {
+    #[test]
+    fn store_agrees_with_naive_model(ops in prop::collection::vec(arb_store_op(), 0..80)) {
+        let mut store = RegistryStore::new();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                StoreOp::Publish { id, version, lease_until } => {
+                    store.publish(advert(id, version), NodeId(0), 0, lease_until, 0);
+                    match model.adverts.get_mut(&id) {
+                        Some((v, l)) if version >= *v => {
+                            *v = version;
+                            *l = (*l).max(lease_until);
+                        }
+                        Some(_) => {} // stale version dropped
+                        None => {
+                            model.adverts.insert(id, (version, lease_until));
+                        }
+                    }
+                }
+                StoreOp::Renew { id, lease_until } => {
+                    let known = store.renew(Uuid(id), lease_until);
+                    prop_assert_eq!(known, model.adverts.contains_key(&id));
+                    if let Some((_, l)) = model.adverts.get_mut(&id) {
+                        *l = (*l).max(lease_until);
+                    }
+                }
+                StoreOp::Remove { id } => {
+                    let had = store.remove(Uuid(id));
+                    prop_assert_eq!(had, model.adverts.remove(&id).is_some());
+                }
+                StoreOp::Purge { now } => {
+                    let mut purged = store.purge_expired(now);
+                    purged.sort();
+                    let mut expected: Vec<Uuid> = model
+                        .adverts
+                        .iter()
+                        .filter(|(_, &(_, l))| l <= now)
+                        .map(|(&id, _)| Uuid(id))
+                        .collect();
+                    expected.sort();
+                    model.adverts.retain(|_, &mut (_, l)| l > now);
+                    prop_assert_eq!(purged, expected);
+                }
+            }
+            prop_assert_eq!(store.len(), model.adverts.len());
+            for (&id, &(version, lease_until)) in &model.adverts {
+                let stored = store.get(&Uuid(id)).expect("model says present");
+                prop_assert_eq!(stored.advert.version, version);
+                prop_assert_eq!(stored.lease_until, lease_until);
+            }
+        }
+    }
+
+    #[test]
+    fn lease_grants_are_bounded_and_monotone(
+        now in 0u64..1_000_000,
+        requested in 0u64..10_000_000,
+        default_ms in 1u64..100_000,
+        max_ms in 1u64..1_000_000,
+    ) {
+        let p = LeasePolicy { default_ms, max_ms, leasing_enabled: true };
+        let granted = p.grant(now, requested);
+        prop_assert!(granted > now, "a lease always lies in the future");
+        prop_assert!(
+            granted <= now + max_ms.max(default_ms),
+            "never beyond the policy bound"
+        );
+        // Lease-less policy is infinite regardless of inputs.
+        let un = LeasePolicy { leasing_enabled: false, ..p };
+        prop_assert_eq!(un.grant(now, requested), u64::MAX);
+    }
+
+    #[test]
+    fn seen_cache_drops_exactly_in_window_duplicates(
+        events in prop::collection::vec((0u64..16, 0u64..5_000), 1..60),
+        retention in 1u64..2_000,
+    ) {
+        let mut cache = SeenQueries::new(retention);
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        let mut last_accepted: std::collections::HashMap<u64, u64> = Default::default();
+        for (seq, t) in sorted {
+            let id = QueryId { origin: NodeId(1), seq };
+            let fresh = cache.first_sighting(id, t);
+            let expected = match last_accepted.get(&seq) {
+                Some(&prev) => t.saturating_sub(prev) >= retention,
+                None => true,
+            };
+            prop_assert_eq!(fresh, expected, "seq {} at {}", seq, t);
+            if fresh {
+                last_accepted.insert(seq, t);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! A compact fixed-capacity bit set used for subsumption closures.
+
+/// Fixed-capacity bit set over `u64` words. Grows only via
+/// [`BitSet::with_capacity`]; out-of-range reads return `false`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates a set able to hold bits `0..capacity`, all clear.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)] }
+    }
+
+    /// Sets bit `i`. Panics if `i` is beyond the capacity.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// True when bit `i` is set. Out-of-range bits read as clear.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words.get(i / 64).is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Unions `other` into `self`; returns `true` when any new bit was set.
+    /// The sets must have the same capacity.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            let next = *a | *b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(!s.contains(100_000), "out of range reads as clear");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::with_capacity(80);
+        let mut b = BitSet::with_capacity(80);
+        b.insert(70);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union adds nothing");
+        assert!(a.contains(70));
+    }
+}

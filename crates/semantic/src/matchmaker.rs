@@ -1,0 +1,366 @@
+//! The matchmaker: degree-of-match semantics and ranked selection.
+//!
+//! Follows the classic OWL-S matchmaking scheme (Paolucci et al.), which the
+//! paper's "semantic service selection" presumes. Our convention, stated from
+//! the requester's point of view for an *output* concept R against an
+//! advertised output A:
+//!
+//! * **Exact** — A = R: the service produces precisely what was asked.
+//! * **PlugIn** — A ⊏ R: the service produces something more specific, which
+//!   *is a* R, so it plugs into the request (asked for `Sensor` data, offered
+//!   `Radar` data).
+//! * **Subsumes** — R ⊏ A: the service produces something more general that
+//!   only partially satisfies the request (asked for `Radar`, offered
+//!   `Sensor`) — useful, but weaker.
+//! * **Fail** — unrelated concepts.
+//!
+//! Inputs go the other way around: the provider's expected input must be
+//! satisfiable by what the requester can supply, so for a provided concept P
+//! against an advertised input I, Exact is P = I and PlugIn is P ⊑ I (the
+//! provider accepts anything subsumed by its declared input).
+//!
+//! The overall degree of a candidate is the *minimum* over all requested
+//! parts (weakest-link), and candidates are ranked by (degree, semantic
+//! distance, name) so selection — and therefore query response control — is
+//! deterministic.
+
+use std::cmp::Ordering;
+
+use crate::ontology::ClassId;
+use crate::profile::{ServiceProfile, ServiceRequest};
+use crate::reasoner::SubsumptionIndex;
+
+/// Degree of match, ordered worst to best so `max`/`min` read naturally.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Degree {
+    Fail,
+    Subsumes,
+    PlugIn,
+    Exact,
+}
+
+impl Degree {
+    /// True for any non-[`Degree::Fail`] degree.
+    pub fn is_match(self) -> bool {
+        self != Degree::Fail
+    }
+}
+
+/// Outcome of matching one request against one profile.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MatchResult {
+    pub degree: Degree,
+    /// Sum of up-distances across matched concepts; lower = semantically
+    /// closer. Only meaningful when `degree.is_match()`.
+    pub distance: u32,
+}
+
+impl MatchResult {
+    pub const FAIL: MatchResult = MatchResult { degree: Degree::Fail, distance: u32::MAX };
+
+    /// Ranking order: better degree first, then smaller distance.
+    pub fn ranking_cmp(&self, other: &MatchResult) -> Ordering {
+        other
+            .degree
+            .cmp(&self.degree)
+            .then(self.distance.cmp(&other.distance))
+    }
+}
+
+/// Degree of match for a requested concept against an advertised one
+/// (output direction: see module docs).
+pub fn match_concept(idx: &SubsumptionIndex, requested: ClassId, advertised: ClassId) -> Degree {
+    if requested == advertised {
+        Degree::Exact
+    } else if idx.is_strict_subclass(advertised, requested) {
+        Degree::PlugIn
+    } else if idx.is_strict_subclass(requested, advertised) {
+        Degree::Subsumes
+    } else {
+        Degree::Fail
+    }
+}
+
+/// Matches a full request against a full profile (degrees, QoS filtering,
+/// distance accumulation).
+pub fn match_request(idx: &SubsumptionIndex, request: &ServiceRequest, profile: &ServiceProfile) -> MatchResult {
+    let mut overall = Degree::Exact;
+    let mut distance = 0u32;
+
+    // Category: requested category vs advertised category, output direction.
+    if let Some(cat) = request.category {
+        let d = match_concept(idx, cat, profile.category);
+        if d == Degree::Fail {
+            return MatchResult::FAIL;
+        }
+        distance += idx.up_distance(cat, profile.category).unwrap_or(0);
+        overall = overall.min(d);
+    }
+
+    // Outputs: every requested output must be covered by the best advertised
+    // output.
+    for &req_out in &request.outputs {
+        let mut best = Degree::Fail;
+        let mut best_dist = u32::MAX;
+        for &adv_out in &profile.outputs {
+            let d = match_concept(idx, req_out, adv_out);
+            let dist = idx.up_distance(req_out, adv_out).unwrap_or(u32::MAX);
+            if d > best || (d == best && dist < best_dist) {
+                best = d;
+                best_dist = dist;
+            }
+        }
+        if best == Degree::Fail {
+            return MatchResult::FAIL;
+        }
+        distance += best_dist;
+        overall = overall.min(best);
+    }
+
+    // Inputs: every input the service expects must be suppliable from what
+    // the requester offers (provided P ⊑ expected I). A service with no
+    // inputs is trivially satisfiable.
+    for &adv_in in &profile.inputs {
+        let mut best = Degree::Fail;
+        let mut best_dist = u32::MAX;
+        for &prov in &request.provided_inputs {
+            let d = if prov == adv_in {
+                Degree::Exact
+            } else if idx.is_strict_subclass(prov, adv_in) {
+                Degree::PlugIn
+            } else {
+                Degree::Fail
+            };
+            let dist = idx.up_distance(prov, adv_in).unwrap_or(u32::MAX);
+            if d > best || (d == best && dist < best_dist) {
+                best = d;
+                best_dist = dist;
+            }
+        }
+        if best == Degree::Fail {
+            return MatchResult::FAIL;
+        }
+        distance += best_dist;
+        overall = overall.min(best);
+    }
+
+    // QoS constraints are hard filters; an undeclared attribute fails the
+    // constraint (no grounds to assume compliance).
+    for c in &request.qos {
+        match profile.qos_value(c.key) {
+            Some(v) if c.accepts(v) => {}
+            _ => return MatchResult::FAIL,
+        }
+    }
+
+    MatchResult { degree: overall, distance }
+}
+
+/// Convenience wrapper binding a subsumption index, with ranked selection —
+/// the registry-side "service selection support" that relieves constrained
+/// clients.
+///
+/// ```
+/// use sds_semantic::{Matchmaker, Ontology, ServiceProfile, ServiceRequest, SubsumptionIndex, Degree};
+///
+/// let mut o = Ontology::new();
+/// let thing = o.class("Thing", &[]);
+/// let sensor = o.class("Sensor", &[thing]);
+/// let radar = o.class("Radar", &[sensor]);
+/// let idx = SubsumptionIndex::build(&o);
+/// let mm = Matchmaker::new(&idx);
+///
+/// let profiles = vec![ServiceProfile::new("radar-feed", thing).with_outputs(&[radar])];
+/// // Ask for Sensor data: the Radar producer plugs in by subsumption.
+/// let req = ServiceRequest::default().with_outputs(&[sensor]);
+/// let ranked = mm.rank(&req, &profiles, None);
+/// assert_eq!(ranked.len(), 1);
+/// assert_eq!(ranked[0].1.degree, Degree::PlugIn);
+/// ```
+pub struct Matchmaker<'a> {
+    idx: &'a SubsumptionIndex,
+}
+
+impl<'a> Matchmaker<'a> {
+    pub fn new(idx: &'a SubsumptionIndex) -> Self {
+        Self { idx }
+    }
+
+    pub fn matches(&self, request: &ServiceRequest, profile: &ServiceProfile) -> MatchResult {
+        match_request(self.idx, request, profile)
+    }
+
+    /// Evaluates `request` over `candidates` and returns the indices of
+    /// matches, best first (ties broken by profile name for determinism),
+    /// truncated to `limit` if given — this implements query response
+    /// control.
+    pub fn rank(
+        &self,
+        request: &ServiceRequest,
+        candidates: &[ServiceProfile],
+        limit: Option<usize>,
+    ) -> Vec<(usize, MatchResult)> {
+        let mut hits: Vec<(usize, MatchResult)> = candidates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let r = self.matches(request, p);
+                r.degree.is_match().then_some((i, r))
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.1.ranking_cmp(&b.1)
+                .then_with(|| candidates[a.0].name.cmp(&candidates[b.0].name))
+        });
+        if let Some(k) = limit {
+            hits.truncate(k);
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::Ontology;
+    use crate::profile::QosKey;
+
+    struct Fixture {
+        idx: SubsumptionIndex,
+        #[allow(dead_code)]
+        thing: ClassId,
+        sensor: ClassId,
+        radar: ClassId,
+        sonar: ClassId,
+        image: ClassId,
+        track: ClassId,
+        air_track: ClassId,
+        surveil: ClassId,
+        radar_service: ClassId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut o = Ontology::new();
+        let thing = o.class("Thing", &[]);
+        let sensor = o.class("Sensor", &[thing]);
+        let radar = o.class("Radar", &[sensor]);
+        let sonar = o.class("Sonar", &[sensor]);
+        let image = o.class("Image", &[thing]);
+        let track = o.class("Track", &[thing]);
+        let air_track = o.class("AirTrack", &[track]);
+        let surveil = o.class("SurveillanceService", &[thing]);
+        let radar_service = o.class("RadarService", &[surveil]);
+        let idx = SubsumptionIndex::build(&o);
+        Fixture { idx, thing, sensor, radar, sonar, image, track, air_track, surveil, radar_service }
+    }
+
+    #[test]
+    fn concept_degrees() {
+        let f = fixture();
+        assert_eq!(match_concept(&f.idx, f.radar, f.radar), Degree::Exact);
+        // Asked for Sensor, offered Radar: Radar is-a Sensor → PlugIn.
+        assert_eq!(match_concept(&f.idx, f.sensor, f.radar), Degree::PlugIn);
+        // Asked for Radar, offered Sensor: more general → Subsumes.
+        assert_eq!(match_concept(&f.idx, f.radar, f.sensor), Degree::Subsumes);
+        assert_eq!(match_concept(&f.idx, f.radar, f.sonar), Degree::Fail);
+        assert_eq!(match_concept(&f.idx, f.image, f.track), Degree::Fail);
+    }
+
+    #[test]
+    fn output_match_is_weakest_link() {
+        let f = fixture();
+        let profile = ServiceProfile::new("s", f.radar_service).with_outputs(&[f.air_track, f.image]);
+        // Track requested: AirTrack offered → PlugIn. Image requested: Exact.
+        let req = ServiceRequest::default().with_outputs(&[f.track, f.image]);
+        let r = match_request(&f.idx, &req, &profile);
+        assert_eq!(r.degree, Degree::PlugIn);
+
+        // Unmatched requested output fails the whole candidate.
+        let req2 = ServiceRequest::default().with_outputs(&[f.track, f.sonar]);
+        assert_eq!(match_request(&f.idx, &req2, &profile).degree, Degree::Fail);
+    }
+
+    #[test]
+    fn category_matching() {
+        let f = fixture();
+        let profile = ServiceProfile::new("s", f.radar_service);
+        let req = ServiceRequest::for_category(f.surveil);
+        assert_eq!(match_request(&f.idx, &req, &profile).degree, Degree::PlugIn);
+        let req_exact = ServiceRequest::for_category(f.radar_service);
+        assert_eq!(match_request(&f.idx, &req_exact, &profile).degree, Degree::Exact);
+        let req_fail = ServiceRequest::for_category(f.sensor);
+        assert_eq!(match_request(&f.idx, &req_fail, &profile).degree, Degree::Fail);
+    }
+
+    #[test]
+    fn input_direction_is_contravariant() {
+        let f = fixture();
+        // Service expects Sensor input; client supplies Radar (⊑ Sensor): OK.
+        let profile = ServiceProfile::new("s", f.surveil).with_inputs(&[f.sensor]);
+        let req = ServiceRequest::default().with_provided_inputs(&[f.radar]);
+        assert_eq!(match_request(&f.idx, &req, &profile).degree, Degree::PlugIn);
+
+        // Service expects Radar input; client supplies Sensor: NOT acceptable
+        // (a generic Sensor reference is not necessarily a Radar).
+        let profile2 = ServiceProfile::new("s", f.surveil).with_inputs(&[f.radar]);
+        let req2 = ServiceRequest::default().with_provided_inputs(&[f.sensor]);
+        assert_eq!(match_request(&f.idx, &req2, &profile2).degree, Degree::Fail);
+
+        // Client with nothing to supply fails a service that needs input.
+        let req3 = ServiceRequest::default();
+        assert_eq!(match_request(&f.idx, &req3, &profile2).degree, Degree::Fail);
+    }
+
+    #[test]
+    fn qos_is_a_hard_filter() {
+        let f = fixture();
+        let profile = ServiceProfile::new("s", f.surveil).with_qos(QosKey::Accuracy, 0.8);
+        let ok = ServiceRequest::for_category(f.surveil).with_qos(QosKey::Accuracy, 0.7);
+        assert!(match_request(&f.idx, &ok, &profile).degree.is_match());
+        let too_strict = ServiceRequest::for_category(f.surveil).with_qos(QosKey::Accuracy, 0.9);
+        assert_eq!(match_request(&f.idx, &too_strict, &profile).degree, Degree::Fail);
+        // Undeclared attribute → fail.
+        let undeclared = ServiceRequest::for_category(f.surveil).with_qos(QosKey::LatencyMs, 10.0);
+        assert_eq!(match_request(&f.idx, &undeclared, &profile).degree, Degree::Fail);
+    }
+
+    #[test]
+    fn ranking_orders_by_degree_then_distance_then_name() {
+        let f = fixture();
+        let candidates = vec![
+            ServiceProfile::new("general", f.surveil).with_outputs(&[f.track]),
+            ServiceProfile::new("exact", f.surveil).with_outputs(&[f.air_track]),
+            ServiceProfile::new("unrelated", f.surveil).with_outputs(&[f.image]),
+            ServiceProfile::new("also-exact", f.surveil).with_outputs(&[f.air_track]),
+        ];
+        let req = ServiceRequest::default().with_outputs(&[f.air_track]);
+        let mm = Matchmaker::new(&f.idx);
+        let ranked = mm.rank(&req, &candidates, None);
+        let names: Vec<&str> = ranked.iter().map(|&(i, _)| candidates[i].name.as_str()).collect();
+        assert_eq!(names, vec!["also-exact", "exact", "general"]);
+        assert_eq!(ranked[0].1.degree, Degree::Exact);
+        assert_eq!(ranked[2].1.degree, Degree::Subsumes);
+
+        // Query response control: limit truncates after ranking.
+        let top1 = mm.rank(&req, &candidates, Some(1));
+        assert_eq!(top1.len(), 1);
+        assert_eq!(candidates[top1[0].0].name, "also-exact");
+    }
+
+    #[test]
+    fn empty_request_matches_everything_exactly() {
+        let f = fixture();
+        let p = ServiceProfile::new("s", f.surveil);
+        let r = match_request(&f.idx, &ServiceRequest::default(), &p);
+        assert_eq!(r.degree, Degree::Exact);
+        assert_eq!(r.distance, 0);
+    }
+
+    #[test]
+    fn degree_ordering() {
+        assert!(Degree::Exact > Degree::PlugIn);
+        assert!(Degree::PlugIn > Degree::Subsumes);
+        assert!(Degree::Subsumes > Degree::Fail);
+        assert!(Degree::PlugIn.is_match() && !Degree::Fail.is_match());
+    }
+}

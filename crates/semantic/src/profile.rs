@@ -1,0 +1,185 @@
+//! Service descriptions and requests, modelled on the OWL-S service profile.
+//!
+//! A [`ServiceProfile`] is what a service node publishes; a
+//! [`ServiceRequest`] is the partial template a client submits ("querying for
+//! a service is most often accomplished by filling out a partial template").
+//! Concepts reference classes of a shared ontology by [`ClassId`]; both sides
+//! must use the same ontology (the paper's "shared semantic model").
+
+use crate::ontology::ClassId;
+
+/// A quality-of-service attribute value.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct QosValue {
+    pub key: QosKey,
+    pub value: f64,
+}
+
+/// Known QoS attribute keys. A closed set keeps descriptions compact on the
+/// wire; extend as scenarios require.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QosKey {
+    /// Nominal latency in milliseconds (lower is better).
+    LatencyMs,
+    /// Data freshness/update period in seconds (lower is better).
+    UpdatePeriodS,
+    /// Coverage radius in meters (higher is better).
+    CoverageM,
+    /// Accuracy as a fraction in \[0,1\] (higher is better).
+    Accuracy,
+}
+
+impl QosKey {
+    /// True for attributes where larger values are better.
+    pub fn higher_is_better(self) -> bool {
+        matches!(self, QosKey::CoverageM | QosKey::Accuracy)
+    }
+}
+
+/// A constraint a request places on one QoS attribute of a candidate.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct QosConstraint {
+    pub key: QosKey,
+    /// Interpreted according to [`QosKey::higher_is_better`]: a minimum for
+    /// higher-is-better attributes, a maximum otherwise.
+    pub bound: f64,
+}
+
+impl QosConstraint {
+    /// Whether `value` satisfies this constraint.
+    pub fn accepts(&self, value: f64) -> bool {
+        if self.key.higher_is_better() {
+            value >= self.bound
+        } else {
+            value <= self.bound
+        }
+    }
+}
+
+/// A semantic service description (the OWL-S-profile analogue).
+#[derive(Clone, PartialEq, Debug)]
+pub struct ServiceProfile {
+    /// Human-readable service name (also the "simple description" for the
+    /// URI-based model: `urn:<name>`).
+    pub name: String,
+    /// The service-category concept (e.g. `SurveillanceService`).
+    pub category: ClassId,
+    /// Concepts the service consumes.
+    pub inputs: Vec<ClassId>,
+    /// Concepts the service produces.
+    pub outputs: Vec<ClassId>,
+    /// QoS attributes.
+    pub qos: Vec<QosValue>,
+}
+
+impl ServiceProfile {
+    pub fn new(name: impl Into<String>, category: ClassId) -> Self {
+        Self { name: name.into(), category, inputs: Vec::new(), outputs: Vec::new(), qos: Vec::new() }
+    }
+
+    pub fn with_inputs(mut self, inputs: &[ClassId]) -> Self {
+        self.inputs = inputs.to_vec();
+        self
+    }
+
+    pub fn with_outputs(mut self, outputs: &[ClassId]) -> Self {
+        self.outputs = outputs.to_vec();
+        self
+    }
+
+    pub fn with_qos(mut self, key: QosKey, value: f64) -> Self {
+        self.qos.push(QosValue { key, value });
+        self
+    }
+
+    /// The value of a QoS attribute, if declared.
+    pub fn qos_value(&self, key: QosKey) -> Option<f64> {
+        self.qos.iter().find(|q| q.key == key).map(|q| q.value)
+    }
+
+    /// A rough complexity measure used by the wire-size model: number of
+    /// concept references plus QoS attributes.
+    pub fn complexity(&self) -> usize {
+        1 + self.inputs.len() + self.outputs.len() + self.qos.len()
+    }
+}
+
+/// A client's partial template: what it wants, what it can supply, and the
+/// QoS floor it will accept.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ServiceRequest {
+    /// Desired service-category concept, if constrained.
+    pub category: Option<ClassId>,
+    /// Concepts the requested service must produce.
+    pub outputs: Vec<ClassId>,
+    /// Concepts the client can supply as inputs.
+    pub provided_inputs: Vec<ClassId>,
+    /// QoS constraints, all of which must hold.
+    pub qos: Vec<QosConstraint>,
+}
+
+impl ServiceRequest {
+    pub fn for_category(category: ClassId) -> Self {
+        Self { category: Some(category), ..Self::default() }
+    }
+
+    pub fn with_outputs(mut self, outputs: &[ClassId]) -> Self {
+        self.outputs = outputs.to_vec();
+        self
+    }
+
+    pub fn with_provided_inputs(mut self, inputs: &[ClassId]) -> Self {
+        self.provided_inputs = inputs.to_vec();
+        self
+    }
+
+    pub fn with_qos(mut self, key: QosKey, bound: f64) -> Self {
+        self.qos.push(QosConstraint { key, bound });
+        self
+    }
+
+    /// Complexity measure for the wire-size model.
+    pub fn complexity(&self) -> usize {
+        usize::from(self.category.is_some())
+            + self.outputs.len()
+            + self.provided_inputs.len()
+            + self.qos.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_constraint_direction() {
+        let max_latency = QosConstraint { key: QosKey::LatencyMs, bound: 100.0 };
+        assert!(max_latency.accepts(50.0));
+        assert!(max_latency.accepts(100.0));
+        assert!(!max_latency.accepts(101.0));
+
+        let min_coverage = QosConstraint { key: QosKey::CoverageM, bound: 500.0 };
+        assert!(min_coverage.accepts(600.0));
+        assert!(!min_coverage.accepts(400.0));
+    }
+
+    #[test]
+    fn profile_builder_and_complexity() {
+        let p = ServiceProfile::new("track-feed", ClassId(0))
+            .with_inputs(&[ClassId(1)])
+            .with_outputs(&[ClassId(2), ClassId(3)])
+            .with_qos(QosKey::Accuracy, 0.9);
+        assert_eq!(p.complexity(), 5);
+        assert_eq!(p.qos_value(QosKey::Accuracy), Some(0.9));
+        assert_eq!(p.qos_value(QosKey::LatencyMs), None);
+    }
+
+    #[test]
+    fn request_builder_and_complexity() {
+        let r = ServiceRequest::for_category(ClassId(0))
+            .with_outputs(&[ClassId(2)])
+            .with_qos(QosKey::LatencyMs, 200.0);
+        assert_eq!(r.complexity(), 3);
+        assert!(r.category.is_some());
+    }
+}

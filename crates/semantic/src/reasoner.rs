@@ -1,0 +1,159 @@
+//! Subsumption reasoning over a class taxonomy.
+//!
+//! "In semantics-enabled registries, inference mechanisms can be used to find
+//! matches based on a subtype hierarchy (e.g. a Radar is a kind of Sensor)."
+//! The index precomputes the reflexive-transitive closure of `subClassOf` as
+//! one bitset per class, so every subsumption test during matchmaking is a
+//! single bit probe, and also records minimal up-distances for ranking.
+
+use crate::bitset::BitSet;
+use crate::ontology::{ClassId, Ontology};
+
+/// Precomputed subsumption closure for one ontology.
+#[derive(Debug)]
+pub struct SubsumptionIndex {
+    /// Per class: the set of its ancestors, itself included.
+    ancestors: Vec<BitSet>,
+    /// Per class: depth = length of the longest parent chain to a root.
+    depth: Vec<u32>,
+    n: usize,
+}
+
+impl SubsumptionIndex {
+    /// Builds the closure. Classes are ordered parents-before-children by
+    /// [`Ontology`] construction, so one forward pass suffices.
+    pub fn build(ontology: &Ontology) -> Self {
+        let n = ontology.len();
+        let mut ancestors: Vec<BitSet> = Vec::with_capacity(n);
+        let mut depth = vec![0u32; n];
+        for id in ontology.classes() {
+            let mut set = BitSet::with_capacity(n);
+            set.insert(id.index());
+            let mut d = 0;
+            for &p in ontology.parents(id) {
+                debug_assert!(p.index() < id.index(), "parents precede children");
+                let parent_set = ancestors[p.index()].clone();
+                set.union_with(&parent_set);
+                d = d.max(depth[p.index()] + 1);
+            }
+            depth[id.index()] = d;
+            ancestors.push(set);
+        }
+        Self { ancestors, depth, n }
+    }
+
+    /// Number of classes covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Reflexive subsumption: true when `sub` ⊑ `sup` (every `sub` is a
+    /// `sup`), including `sub == sup`.
+    #[inline]
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.ancestors[sub.index()].contains(sup.index())
+    }
+
+    /// Strict subsumption: `sub` ⊏ `sup`.
+    #[inline]
+    pub fn is_strict_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        sub != sup && self.is_subclass(sub, sup)
+    }
+
+    /// All ancestors of `c`, itself included.
+    pub fn ancestors(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        self.ancestors[c.index()].iter().map(|i| ClassId(i as u32))
+    }
+
+    /// Depth of `c` (longest chain to a root; roots have depth 0).
+    pub fn depth(&self, c: ClassId) -> u32 {
+        self.depth[c.index()]
+    }
+
+    /// True when the classes are related in either direction.
+    pub fn related(&self, a: ClassId, b: ClassId) -> bool {
+        self.is_subclass(a, b) || self.is_subclass(b, a)
+    }
+
+    /// A coarse semantic distance for ranking: 0 for equal classes, else
+    /// `|depth(a) - depth(b)|` when related (chain length between them along
+    /// the longest-chain depth metric), else `None`.
+    pub fn up_distance(&self, a: ClassId, b: ClassId) -> Option<u32> {
+        if self.related(a, b) {
+            Some(self.depth(a).abs_diff(self.depth(b)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Ontology, [ClassId; 5]) {
+        // Thing
+        //  ├─ Sensor ── Radar ─┐
+        //  └─ Weapon ──────────┴─ RadarGuidedWeapon (multiple inheritance)
+        let mut o = Ontology::new();
+        let thing = o.class("Thing", &[]);
+        let sensor = o.class("Sensor", &[thing]);
+        let radar = o.class("Radar", &[sensor]);
+        let weapon = o.class("Weapon", &[thing]);
+        let rgw = o.class("RadarGuidedWeapon", &[radar, weapon]);
+        (o, [thing, sensor, radar, weapon, rgw])
+    }
+
+    #[test]
+    fn reflexive_and_transitive() {
+        let (o, [thing, sensor, radar, weapon, rgw]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        assert!(idx.is_subclass(radar, radar), "reflexive");
+        assert!(idx.is_subclass(radar, sensor));
+        assert!(idx.is_subclass(radar, thing), "transitive");
+        assert!(!idx.is_subclass(sensor, radar), "not symmetric");
+        assert!(!idx.is_subclass(weapon, sensor));
+        assert!(idx.is_subclass(rgw, sensor) && idx.is_subclass(rgw, weapon), "diamond");
+        assert!(idx.is_strict_subclass(radar, sensor));
+        assert!(!idx.is_strict_subclass(radar, radar));
+    }
+
+    #[test]
+    fn depths_and_distance() {
+        let (o, [thing, sensor, radar, _weapon, rgw]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        assert_eq!(idx.depth(thing), 0);
+        assert_eq!(idx.depth(sensor), 1);
+        assert_eq!(idx.depth(radar), 2);
+        assert_eq!(idx.depth(rgw), 3);
+        assert_eq!(idx.up_distance(radar, radar), Some(0));
+        assert_eq!(idx.up_distance(radar, thing), Some(2));
+        assert_eq!(idx.up_distance(thing, radar), Some(2), "symmetric");
+    }
+
+    #[test]
+    fn unrelated_classes_have_no_distance() {
+        let (o, [_, sensor, _, weapon, _]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        assert!(!idx.related(sensor, weapon));
+        assert_eq!(idx.up_distance(sensor, weapon), None);
+    }
+
+    #[test]
+    fn ancestors_iteration() {
+        let (o, [thing, sensor, radar, _, _]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        let anc: Vec<ClassId> = idx.ancestors(radar).collect();
+        assert_eq!(anc, vec![thing, sensor, radar]);
+    }
+
+    #[test]
+    fn empty_ontology() {
+        let idx = SubsumptionIndex::build(&Ontology::new());
+        assert!(idx.is_empty());
+    }
+}

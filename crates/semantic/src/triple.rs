@@ -1,0 +1,237 @@
+//! An indexed triple store with pattern queries.
+//!
+//! Registries in the architecture host semantic artifacts — ontologies,
+//! service descriptions — as triples. The store keeps three orderings
+//! (SPO, POS, OSP) so any single- or double-bound pattern is a range scan.
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::interner::TermId;
+
+/// One subject–predicate–object statement over interned terms.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Triple {
+    pub s: TermId,
+    pub p: TermId,
+    pub o: TermId,
+}
+
+impl Triple {
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Self { s, p, o }
+    }
+}
+
+/// A query pattern: `None` positions are wildcards.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct TriplePattern {
+    pub s: Option<TermId>,
+    pub p: Option<TermId>,
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    pub fn with_s(mut self, s: TermId) -> Self {
+        self.s = Some(s);
+        self
+    }
+
+    pub fn with_p(mut self, p: TermId) -> Self {
+        self.p = Some(p);
+        self
+    }
+
+    pub fn with_o(mut self, o: TermId) -> Self {
+        self.o = Some(o);
+        self
+    }
+
+    /// True when `t` matches every bound position.
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+const MIN: TermId = TermId(0);
+const MAX: TermId = TermId(u32::MAX);
+
+/// Triple store with SPO/POS/OSP orderings.
+#[derive(Default, Debug)]
+pub struct TripleStore {
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl TripleStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple; returns `false` if it was already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        let fresh = self.spo.insert((t.s, t.p, t.o));
+        if fresh {
+            self.pos.insert((t.p, t.o, t.s));
+            self.osp.insert((t.o, t.s, t.p));
+        }
+        fresh
+    }
+
+    /// Removes a triple; returns `true` if it was present.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        let had = self.spo.remove(&(t.s, t.p, t.o));
+        if had {
+            self.pos.remove(&(t.p, t.o, t.s));
+            self.osp.remove(&(t.o, t.s, t.p));
+        }
+        had
+    }
+
+    pub fn contains(&self, t: Triple) -> bool {
+        self.spo.contains(&(t.s, t.p, t.o))
+    }
+
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// All triples matching `pattern`, using the best index for the bound
+    /// positions (a full scan only for the all-wildcard pattern).
+    pub fn query<'a>(&'a self, pattern: TriplePattern) -> Box<dyn Iterator<Item = Triple> + 'a> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                Box::new(self.contains(t).then_some(t).into_iter())
+            }
+            (Some(s), p, _) => {
+                let lo = (s, p.unwrap_or(MIN), MIN);
+                let hi = (s, p.unwrap_or(MAX), MAX);
+                Box::new(
+                    self.spo
+                        .range((Bound::Included(lo), Bound::Included(hi)))
+                        .map(|&(s, p, o)| Triple::new(s, p, o))
+                        .filter(move |t| pattern.matches(t)),
+                )
+            }
+            (None, Some(p), o) => {
+                let lo = (p, o.unwrap_or(MIN), MIN);
+                let hi = (p, o.unwrap_or(MAX), MAX);
+                Box::new(
+                    self.pos
+                        .range((Bound::Included(lo), Bound::Included(hi)))
+                        .map(|&(p, o, s)| Triple::new(s, p, o)),
+                )
+            }
+            (None, None, Some(o)) => {
+                let lo = (o, MIN, MIN);
+                let hi = (o, MAX, MAX);
+                Box::new(
+                    self.osp
+                        .range((Bound::Included(lo), Bound::Included(hi)))
+                        .map(|&(o, s, p)| Triple::new(s, p, o)),
+                )
+            }
+            (None, None, None) => Box::new(self.spo.iter().map(|&(s, p, o)| Triple::new(s, p, o))),
+        }
+    }
+
+    /// Count of triples matching `pattern`.
+    pub fn count(&self, pattern: TriplePattern) -> usize {
+        self.query(pattern).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> Triple {
+        Triple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn store() -> TripleStore {
+        let mut st = TripleStore::new();
+        st.insert(t(1, 10, 100));
+        st.insert(t(1, 10, 101));
+        st.insert(t(1, 11, 100));
+        st.insert(t(2, 10, 100));
+        st.insert(t(3, 12, 102));
+        st
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut st = TripleStore::new();
+        assert!(st.insert(t(1, 2, 3)));
+        assert!(!st.insert(t(1, 2, 3)));
+        assert_eq!(st.len(), 1);
+        assert!(st.remove(t(1, 2, 3)));
+        assert!(!st.remove(t(1, 2, 3)));
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn query_by_subject() {
+        let st = store();
+        let got: Vec<_> = st.query(TriplePattern::any().with_s(TermId(1))).collect();
+        assert_eq!(got.len(), 3);
+        assert!(got.iter().all(|tr| tr.s == TermId(1)));
+    }
+
+    #[test]
+    fn query_by_subject_predicate() {
+        let st = store();
+        let got: Vec<_> = st
+            .query(TriplePattern::any().with_s(TermId(1)).with_p(TermId(10)))
+            .collect();
+        assert_eq!(got, vec![t(1, 10, 100), t(1, 10, 101)]);
+    }
+
+    #[test]
+    fn query_by_predicate_and_object() {
+        let st = store();
+        assert_eq!(st.count(TriplePattern::any().with_p(TermId(10))), 3);
+        assert_eq!(
+            st.count(TriplePattern::any().with_p(TermId(10)).with_o(TermId(100))),
+            2
+        );
+        assert_eq!(st.count(TriplePattern::any().with_o(TermId(100))), 3);
+    }
+
+    #[test]
+    fn query_subject_object_filters_on_scan() {
+        let st = store();
+        let got: Vec<_> = st
+            .query(TriplePattern::any().with_s(TermId(1)).with_o(TermId(100)))
+            .collect();
+        assert_eq!(got, vec![t(1, 10, 100), t(1, 11, 100)]);
+    }
+
+    #[test]
+    fn fully_bound_and_wildcard() {
+        let st = store();
+        assert_eq!(st.count(TriplePattern::any()), 5);
+        assert_eq!(
+            st.query(TriplePattern { s: Some(TermId(3)), p: Some(TermId(12)), o: Some(TermId(102)) })
+                .count(),
+            1
+        );
+        assert_eq!(
+            st.query(TriplePattern { s: Some(TermId(3)), p: Some(TermId(12)), o: Some(TermId(999)) })
+                .count(),
+            0
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the composition planner and vocabulary
+//! mediation.
+
+use proptest::prelude::*;
+
+use sds_semantic::{
+    compose, ClassId, ClassMapping, Ontology, ServiceProfile, ServiceRequest, SubsumptionIndex,
+};
+
+/// A linear taxonomy C0 ⊒ C1 ⊒ … ⊒ C{n-1} plus `extra` unrelated roots.
+fn taxonomy(depth: usize, extra: usize) -> Ontology {
+    let mut o = Ontology::new();
+    let mut prev: Option<ClassId> = None;
+    for i in 0..depth {
+        let parents = prev.map(|p| vec![p]).unwrap_or_default();
+        prev = Some(o.class(&format!("C{i}"), &parents));
+    }
+    for i in 0..extra {
+        o.class(&format!("X{i}"), &[]);
+    }
+    o
+}
+
+fn arb_profiles(n_classes: usize) -> impl Strategy<Value = Vec<ServiceProfile>> {
+    prop::collection::vec(
+        (
+            0..n_classes as u32,
+            prop::collection::vec(0..n_classes as u32, 0..2),
+            prop::collection::vec(0..n_classes as u32, 0..2),
+        ),
+        0..10,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (cat, inputs, outputs))| {
+                ServiceProfile::new(format!("s{i}"), ClassId(cat))
+                    .with_inputs(&inputs.into_iter().map(ClassId).collect::<Vec<_>>())
+                    .with_outputs(&outputs.into_iter().map(ClassId).collect::<Vec<_>>())
+            })
+            .collect()
+    })
+}
+
+/// Replays a plan: checks each step's inputs are satisfied when it runs and
+/// returns the concepts available at the end.
+fn replay(
+    idx: &SubsumptionIndex,
+    provided: &[ClassId],
+    profiles: &[ServiceProfile],
+    steps: &[usize],
+) -> Option<Vec<ClassId>> {
+    let mut available = provided.to_vec();
+    for &i in steps {
+        let p = &profiles[i];
+        let ok = p
+            .inputs
+            .iter()
+            .all(|&inp| available.iter().any(|&a| idx.is_subclass(a, inp)));
+        if !ok {
+            return None;
+        }
+        available.extend_from_slice(&p.outputs);
+    }
+    Some(available)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn plans_are_executable_and_achieve_the_goal(
+        profiles in arb_profiles(8),
+        outputs in prop::collection::vec(0..8u32, 0..2),
+        provided in prop::collection::vec(0..8u32, 0..3),
+    ) {
+        let ont = taxonomy(5, 3);
+        let idx = SubsumptionIndex::build(&ont);
+        let request = ServiceRequest {
+            category: None,
+            outputs: outputs.iter().copied().map(ClassId).collect(),
+            provided_inputs: provided.iter().copied().map(ClassId).collect(),
+            qos: Vec::new(),
+        };
+        if let Some(plan) = compose(&idx, &request, &profiles, 6) {
+            // No duplicate steps.
+            let mut sorted = plan.steps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), plan.steps.len(), "steps are unique");
+            // The plan replays: every step applicable in order, goal reached.
+            let available = replay(&idx, &request.provided_inputs, &profiles, &plan.steps)
+                .expect("every step's inputs satisfied in order");
+            for &goal in &request.outputs {
+                prop_assert!(
+                    available.iter().any(|&a| idx.is_subclass(a, goal)),
+                    "goal {:?} satisfied by plan {:?}",
+                    goal,
+                    plan.steps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composition_finds_linear_chains_of_any_length(len in 1usize..7) {
+        // Profiles s_i: input K_i → output K_{i+1} over unrelated roots.
+        let mut o = Ontology::new();
+        let ks: Vec<ClassId> = (0..=len).map(|i| o.class(&format!("K{i}"), &[])).collect();
+        let idx = SubsumptionIndex::build(&o);
+        let profiles: Vec<ServiceProfile> = (0..len)
+            .map(|i| {
+                ServiceProfile::new(format!("s{i}"), ks[0])
+                    .with_inputs(&[ks[i]])
+                    .with_outputs(&[ks[i + 1]])
+            })
+            .collect();
+        let request = ServiceRequest::default()
+            .with_outputs(&[ks[len]])
+            .with_provided_inputs(&[ks[0]]);
+        let plan = compose(&idx, &request, &profiles, len).expect("chain exists");
+        prop_assert_eq!(plan.steps.len(), len, "every link needed");
+        let too_shallow = compose(&idx, &request, &profiles, len - 1);
+        prop_assert!(too_shallow.is_none() || len == 1, "depth bound respected");
+    }
+
+    #[test]
+    fn injective_mapping_round_trips_profiles(
+        pairs in prop::collection::btree_map(0u32..30, 0u32..30, 1..12),
+        cat in 0u32..30,
+        ios in prop::collection::vec(0u32..30, 0..4),
+    ) {
+        // Make the mapping injective by keeping first-come targets only.
+        let mut fwd = ClassMapping::new();
+        let mut used = std::collections::HashSet::new();
+        for (&src, &dst) in &pairs {
+            if used.insert(dst) {
+                fwd.map(ClassId(src), ClassId(dst));
+            }
+        }
+        let inv = fwd.inverse().expect("injective by construction");
+        let profile = ServiceProfile::new("p", ClassId(cat))
+            .with_inputs(&ios.iter().copied().map(ClassId).collect::<Vec<_>>());
+        match fwd.translate_profile(&profile) {
+            Some(translated) => {
+                let back = inv.translate_profile(&translated).expect("inverse covers image");
+                prop_assert_eq!(back.category, profile.category);
+                prop_assert_eq!(back.inputs, profile.inputs);
+            }
+            None => {
+                // Some referenced concept is unmapped — consistent with
+                // translate_class on at least one concept.
+                let all: Vec<ClassId> =
+                    std::iter::once(profile.category).chain(profile.inputs.iter().copied()).collect();
+                prop_assert!(all.iter().any(|&c| fwd.translate_class(c).is_none()));
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_composition_agrees_with_sequential_translation(
+        ab in prop::collection::btree_map(0u32..12, 12u32..24, 0..10),
+        bc in prop::collection::btree_map(12u32..24, 24u32..36, 0..10),
+        probe in 0u32..12,
+    ) {
+        let mut m_ab = ClassMapping::new();
+        for (&s, &d) in &ab {
+            m_ab.map(ClassId(s), ClassId(d));
+        }
+        let mut m_bc = ClassMapping::new();
+        for (&s, &d) in &bc {
+            m_bc.map(ClassId(s), ClassId(d));
+        }
+        let m_ac = m_ab.compose(&m_bc);
+        let sequential = m_ab
+            .translate_class(ClassId(probe))
+            .and_then(|mid| m_bc.translate_class(mid));
+        prop_assert_eq!(m_ac.translate_class(ClassId(probe)), sequential);
+    }
+}

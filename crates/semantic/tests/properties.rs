@@ -1,0 +1,242 @@
+//! Property-based tests for the semantic substrate: the subsumption closure
+//! against naive graph reachability, triple-store pattern queries against a
+//! brute-force filter, matchmaker ranking invariants, and ontology
+//! round-tripping through the triple store.
+
+use proptest::prelude::*;
+
+use sds_semantic::{
+    match_request, BitSet, ClassId, Degree, Interner, Matchmaker, Ontology, ServiceProfile,
+    ServiceRequest, SubsumptionIndex, Triple, TriplePattern, TripleStore,
+};
+
+/// A random DAG as parent lists: class i may only have parents among 0..i,
+/// which is exactly the invariant `Ontology` enforces.
+fn arb_dag(max_classes: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), 1..max_classes)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, parents)| {
+                    let mut ps: Vec<usize> =
+                        parents.into_iter().filter(|_| i > 0).map(|ix| ix.index(i)).collect();
+                    ps.sort_unstable();
+                    ps.dedup();
+                    ps
+                })
+                .collect()
+        })
+}
+
+fn build_ontology(dag: &[Vec<usize>]) -> Ontology {
+    let mut o = Ontology::new();
+    for (i, parents) in dag.iter().enumerate() {
+        let ps: Vec<ClassId> = parents.iter().map(|&p| ClassId(p as u32)).collect();
+        o.class(&format!("C{i}"), &ps);
+    }
+    o
+}
+
+/// Naive reflexive-transitive reachability by DFS.
+fn naive_is_subclass(dag: &[Vec<usize>], sub: usize, sup: usize) -> bool {
+    if sub == sup {
+        return true;
+    }
+    let mut stack = vec![sub];
+    let mut seen = vec![false; dag.len()];
+    while let Some(v) = stack.pop() {
+        if v == sup {
+            return true;
+        }
+        if std::mem::replace(&mut seen[v], true) {
+            continue;
+        }
+        stack.extend(dag[v].iter().copied());
+    }
+    false
+}
+
+proptest! {
+    #[test]
+    fn closure_matches_naive_reachability(dag in arb_dag(24)) {
+        let ont = build_ontology(&dag);
+        let idx = SubsumptionIndex::build(&ont);
+        for sub in 0..dag.len() {
+            for sup in 0..dag.len() {
+                prop_assert_eq!(
+                    idx.is_subclass(ClassId(sub as u32), ClassId(sup as u32)),
+                    naive_is_subclass(&dag, sub, sup),
+                    "sub={} sup={}", sub, sup
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_iter_agrees_with_is_subclass(dag in arb_dag(20)) {
+        let ont = build_ontology(&dag);
+        let idx = SubsumptionIndex::build(&ont);
+        for c in ont.classes() {
+            let via_iter: Vec<ClassId> = idx.ancestors(c).collect();
+            for sup in ont.classes() {
+                prop_assert_eq!(via_iter.contains(&sup), idx.is_subclass(c, sup));
+            }
+        }
+    }
+
+    #[test]
+    fn ontology_round_trips_through_triples(dag in arb_dag(16)) {
+        let ont = build_ontology(&dag);
+        let mut interner = Interner::new();
+        let mut store = TripleStore::new();
+        ont.to_triples(&mut interner, &mut store);
+        let back = Ontology::from_triples(&interner, &store).expect("acyclic by construction");
+        prop_assert_eq!(back.len(), ont.len());
+        // Same subsumption semantics, though ids may be permuted.
+        let idx = SubsumptionIndex::build(&ont);
+        let idx_back = SubsumptionIndex::build(&back);
+        for a in 0..dag.len() {
+            for b in 0..dag.len() {
+                let (oa, ob) = (ClassId(a as u32), ClassId(b as u32));
+                let ba = back.lookup(ont.name(oa)).unwrap();
+                let bb = back.lookup(ont.name(ob)).unwrap();
+                prop_assert_eq!(idx.is_subclass(oa, ob), idx_back.is_subclass(ba, bb));
+            }
+        }
+    }
+
+    #[test]
+    fn triple_store_pattern_query_equals_filter(
+        triples in prop::collection::vec((0u32..12, 0u32..4, 0u32..12), 0..80),
+        s in prop::option::of(0u32..12),
+        p in prop::option::of(0u32..4),
+        o in prop::option::of(0u32..12),
+    ) {
+        let mut store = TripleStore::new();
+        let mut all: Vec<Triple> = Vec::new();
+        for (ts, tp, to) in triples {
+            let t = Triple::new(
+                sds_semantic::TermId(ts),
+                sds_semantic::TermId(tp + 100),
+                sds_semantic::TermId(to + 200),
+            );
+            store.insert(t);
+            if !all.contains(&t) {
+                all.push(t);
+            }
+        }
+        let pattern = TriplePattern {
+            s: s.map(sds_semantic::TermId),
+            p: p.map(|x| sds_semantic::TermId(x + 100)),
+            o: o.map(|x| sds_semantic::TermId(x + 200)),
+        };
+        let mut got: Vec<Triple> = store.query(pattern).collect();
+        let mut want: Vec<Triple> = all.iter().copied().filter(|t| pattern.matches(t)).collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn store_len_tracks_inserts_and_removes(
+        ops in prop::collection::vec((any::<bool>(), 0u32..6, 0u32..3, 0u32..6), 0..60)
+    ) {
+        let mut store = TripleStore::new();
+        let mut model: std::collections::BTreeSet<(u32, u32, u32)> = Default::default();
+        for (insert, s, p, o) in ops {
+            let t = Triple::new(
+                sds_semantic::TermId(s),
+                sds_semantic::TermId(p),
+                sds_semantic::TermId(o),
+            );
+            if insert {
+                prop_assert_eq!(store.insert(t), model.insert((s, p, o)));
+            } else {
+                prop_assert_eq!(store.remove(t), model.remove(&(s, p, o)));
+            }
+            prop_assert_eq!(store.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_truncated(
+        dag in arb_dag(12),
+        cats in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
+        req_cat in any::<prop::sample::Index>(),
+        limit in prop::option::of(0usize..8),
+    ) {
+        let ont = build_ontology(&dag);
+        let idx = SubsumptionIndex::build(&ont);
+        let profiles: Vec<ServiceProfile> = cats
+            .iter()
+            .enumerate()
+            .map(|(i, ix)| {
+                ServiceProfile::new(format!("s{i}"), ClassId(ix.index(dag.len()) as u32))
+            })
+            .collect();
+        let request = ServiceRequest::for_category(ClassId(req_cat.index(dag.len()) as u32));
+        let mm = Matchmaker::new(&idx);
+        let ranked = mm.rank(&request, &profiles, limit);
+
+        if let Some(k) = limit {
+            prop_assert!(ranked.len() <= k);
+        }
+        // No Fail results, ordering is non-increasing in degree.
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1.degree >= w[1].1.degree);
+        }
+        for (i, r) in &ranked {
+            prop_assert!(r.degree.is_match());
+            // Ranked results agree with direct matching.
+            let direct = match_request(&idx, &request, &profiles[*i]);
+            prop_assert_eq!(direct.degree, r.degree);
+        }
+        // Completeness (when unlimited): every matching profile is ranked.
+        if limit.is_none() {
+            let matching = profiles
+                .iter()
+                .filter(|p| match_request(&idx, &request, p).degree.is_match())
+                .count();
+            prop_assert_eq!(ranked.len(), matching);
+        }
+    }
+
+    #[test]
+    fn concept_match_degrees_are_antisymmetric(dag in arb_dag(16)) {
+        let ont = build_ontology(&dag);
+        let idx = SubsumptionIndex::build(&ont);
+        for a in ont.classes() {
+            for b in ont.classes() {
+                let ab = sds_semantic::match_concept(&idx, a, b);
+                let ba = sds_semantic::match_concept(&idx, b, a);
+                match ab {
+                    Degree::Exact => prop_assert_eq!(ba, Degree::Exact),
+                    Degree::PlugIn => prop_assert_eq!(ba, Degree::Subsumes),
+                    Degree::Subsumes => prop_assert_eq!(ba, Degree::PlugIn),
+                    Degree::Fail => prop_assert_eq!(ba, Degree::Fail),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_behaves_like_hashset(
+        bits in prop::collection::vec(0usize..200, 0..64),
+        probe in prop::collection::vec(0usize..220, 0..32),
+    ) {
+        let mut bs = BitSet::with_capacity(200);
+        let mut hs = std::collections::HashSet::new();
+        for b in bits {
+            bs.insert(b);
+            hs.insert(b);
+        }
+        prop_assert_eq!(bs.len(), hs.len());
+        for p in probe {
+            prop_assert_eq!(bs.contains(p), hs.contains(&p));
+        }
+        let via_iter: Vec<usize> = bs.iter().collect();
+        let mut sorted: Vec<usize> = hs.into_iter().collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(via_iter, sorted);
+    }
+}

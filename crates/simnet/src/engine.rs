@@ -1,0 +1,624 @@
+//! The discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::handler::{Action, Ctx, NodeHandler};
+use crate::ids::{LanId, NodeId, TimerId};
+use crate::message::{Destination, MsgKind};
+use crate::stats::{NetStats, Scope};
+use crate::time::SimTime;
+use crate::topology::Topology;
+
+/// Link-layer parameters. Defaults model a fast wired LAN and a slow WAN;
+/// experiments override them to model wireless/tactical links.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Base one-way LAN latency.
+    pub lan_latency: SimTime,
+    /// Uniform extra LAN jitter in `[0, lan_jitter]`.
+    pub lan_jitter: SimTime,
+    /// Base one-way WAN latency.
+    pub wan_latency: SimTime,
+    /// Uniform extra WAN jitter in `[0, wan_jitter]`.
+    pub wan_jitter: SimTime,
+    /// Probability a LAN transmission is lost (per receiver for multicast).
+    pub lan_loss: f64,
+    /// Probability a WAN transmission is lost.
+    pub wan_loss: f64,
+    /// Shared LAN medium capacity in kilobits per second (0 = unlimited).
+    /// Each LAN is one half-duplex broadcast channel: transmissions
+    /// serialize, so big semantic advertisements delay everything behind
+    /// them — the paper's "wireless connections with low network capacity".
+    pub lan_rate_kbps: u32,
+    /// Shared WAN uplink capacity in kilobits per second (0 = unlimited).
+    /// Modeled as one shared pipe (a tactical reach-back link).
+    pub wan_rate_kbps: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            lan_latency: 1,
+            lan_jitter: 1,
+            wan_latency: 20,
+            wan_jitter: 5,
+            lan_loss: 0.0,
+            wan_loss: 0.0,
+            lan_rate_kbps: 0,
+            wan_rate_kbps: 0,
+        }
+    }
+}
+
+/// A scheduled change to the world, for scripting scenarios
+/// ("at t=60s LAN 2 loses its registry", "at t=120s the WAN partitions").
+#[derive(Clone, Debug)]
+pub enum ControlAction {
+    /// Take a node down: it stops receiving messages and all its pending
+    /// timers are discarded.
+    Crash(NodeId),
+    /// Bring a crashed node back; `on_start` runs again.
+    Revive(NodeId),
+    /// Partition the WAN into the given LAN groups (see
+    /// [`Topology::partition`]).
+    Partition(Vec<Vec<LanId>>),
+    /// Heal all WAN partitions.
+    HealPartition,
+}
+
+enum EventKind<P> {
+    Deliver { to: NodeId, from: NodeId, payload: P, bytes: u32, kind: MsgKind },
+    Timer { node: NodeId, epoch: u32, id: TimerId, tag: u64 },
+    Control(ControlAction),
+}
+
+struct Event<P> {
+    at: SimTime,
+    kind: EventKind<P>,
+}
+
+/// The simulator: topology + node handlers + event queue + accounting.
+///
+/// `P` is the payload type carried by every message (the discovery stack
+/// instantiates it with its wire message type). Multicast clones the payload
+/// per receiver, hence `P: Clone`.
+pub struct Sim<P> {
+    cfg: SimConfig,
+    topo: Topology,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<EventKey>>,
+    // Events are stored out-of-line so the heap's ordering never looks at `P`.
+    slots: Vec<Option<Event<P>>>,
+    free_slots: Vec<usize>,
+    handlers: Vec<Option<Box<dyn NodeHandler<P>>>>,
+    alive: Vec<bool>,
+    epoch: Vec<u32>,
+    rngs: Vec<StdRng>,
+    link_rng: StdRng,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    stats: NetStats,
+    seed: u64,
+    /// Per-LAN medium busy-until time (bandwidth model).
+    lan_busy_until: Vec<SimTime>,
+    /// Shared WAN pipe busy-until time.
+    wan_busy_until: SimTime,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    at: SimTime,
+    seq: u64,
+    slot: usize,
+}
+
+impl<P: Clone + 'static> Sim<P> {
+    /// Creates a simulator over `topo`. `seed` fixes every random choice in
+    /// the run (link loss, jitter, each node's private RNG).
+    pub fn new(cfg: SimConfig, topo: Topology, seed: u64) -> Self {
+        let lan_count = topo.lan_count();
+        Self {
+            cfg,
+            topo,
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            handlers: Vec::new(),
+            alive: Vec::new(),
+            epoch: Vec::new(),
+            rngs: Vec::new(),
+            link_rng: StdRng::seed_from_u64(seed ^ 0xD6E8_FEB8_6659_FD93),
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            stats: NetStats::default(),
+            lan_busy_until: vec![0; lan_count],
+            wan_busy_until: 0,
+            // Folded into each node's private RNG in `add_node`.
+            seed,
+        }
+    }
+
+    /// Adds a node on `lan` with the given behaviour; `on_start` runs at the
+    /// current simulated time (time 0 for setup-phase adds).
+    pub fn add_node(&mut self, lan: LanId, handler: Box<dyn NodeHandler<P>>) -> NodeId {
+        let id = NodeId(self.handlers.len() as u32);
+        self.topo.attach_node(id, lan);
+        self.handlers.push(Some(handler));
+        self.alive.push(true);
+        self.epoch.push(0);
+        let node_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(id.0).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        self.rngs.push(StdRng::seed_from_u64(node_seed));
+        self.invoke(id, |h, ctx| h.on_start(ctx));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Resets the traffic counters (useful to measure only the steady state
+    /// after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.index()]
+    }
+
+    /// Immediately crashes a node (see [`ControlAction::Crash`]).
+    pub fn crash_node(&mut self, node: NodeId) {
+        if self.alive[node.index()] {
+            self.alive[node.index()] = false;
+            self.epoch[node.index()] += 1;
+        }
+    }
+
+    /// Immediately revives a crashed node and reruns its `on_start`.
+    pub fn revive_node(&mut self, node: NodeId) {
+        if !self.alive[node.index()] {
+            self.alive[node.index()] = true;
+            self.epoch[node.index()] += 1;
+            self.invoke(node, |h, ctx| h.on_start(ctx));
+        }
+    }
+
+    /// Schedules a control action at an absolute simulated time.
+    pub fn schedule(&mut self, at: SimTime, action: ControlAction) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.push_event(at, EventKind::Control(action));
+    }
+
+    /// Borrows a handler downcast to its concrete type, for inspection.
+    /// Returns `None` for a wrong type or unknown node.
+    pub fn handler<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.handlers
+            .get(node.index())?
+            .as_deref()?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutable variant of [`Sim::handler`], for test instrumentation.
+    pub fn handler_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.handlers
+            .get_mut(node.index())?
+            .as_deref_mut()?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Runs the handler callback `f` on a live node right now, applying its
+    /// queued actions. This is how experiments inject work ("client 3 issues
+    /// a query at t=10s") without going through the network.
+    pub fn with_node<T: 'static>(&mut self, node: NodeId, f: impl FnOnce(&mut T, &mut Ctx<'_, P>)) {
+        if !self.alive[node.index()] {
+            return;
+        }
+        self.invoke(node, move |h, ctx| {
+            if let Some(t) = h.as_any_mut().downcast_mut::<T>() {
+                f(t, ctx);
+            } else {
+                panic!("with_node: node {:?} is not the requested handler type", ctx.node());
+            }
+        });
+    }
+
+    /// Processes all events up to and including `until`, then advances the
+    /// clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if key.at > until {
+                break;
+            }
+            let Reverse(key) = self.queue.pop().expect("peeked");
+            let ev = self.slots[key.slot].take().expect("event slot occupied");
+            self.free_slots.push(key.slot);
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        self.now = until;
+    }
+
+    /// Runs until the event queue drains or `max` is reached; returns the
+    /// final simulated time.
+    pub fn run_to_quiescence(&mut self, max: SimTime) -> SimTime {
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if key.at > max {
+                break;
+            }
+            let Reverse(key) = self.queue.pop().expect("peeked");
+            let ev = self.slots[key.slot].take().expect("event slot occupied");
+            self.free_slots.push(key.slot);
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        self.now
+    }
+
+    fn dispatch(&mut self, kind: EventKind<P>) {
+        match kind {
+            EventKind::Deliver { to, from, payload, bytes, kind } => {
+                let _ = (bytes, kind);
+                if self.alive[to.index()] {
+                    self.invoke(to, move |h, ctx| h.on_message(ctx, from, payload));
+                } else {
+                    self.stats.record_drop();
+                }
+            }
+            EventKind::Timer { node, epoch, id, tag } => {
+                if self.cancelled.remove(&id) {
+                    return;
+                }
+                if self.alive[node.index()] && self.epoch[node.index()] == epoch {
+                    self.invoke(node, move |h, ctx| h.on_timer(ctx, id, tag));
+                }
+            }
+            EventKind::Control(action) => match action {
+                ControlAction::Crash(n) => self.crash_node(n),
+                ControlAction::Revive(n) => self.revive_node(n),
+                ControlAction::Partition(groups) => {
+                    let refs: Vec<&[LanId]> = groups.iter().map(|g| g.as_slice()).collect();
+                    self.topo.partition(&refs);
+                }
+                ControlAction::HealPartition => self.topo.heal_partition(),
+            },
+        }
+    }
+
+    fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NodeHandler<P>, &mut Ctx<'_, P>)) {
+        let mut handler = self.handlers[node.index()].take().expect("handler present");
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            lan: self.topo.lan_of(node),
+            rng: &mut self.rngs[node.index()],
+            next_timer: &mut self.next_timer,
+            actions: Vec::new(),
+        };
+        f(handler.as_mut(), &mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        self.handlers[node.index()] = Some(handler);
+        self.apply_actions(node, actions);
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P>>) {
+        for action in actions {
+            match action {
+                Action::Send { dest, payload, bytes, kind } => self.transmit(node, dest, payload, bytes, kind),
+                Action::SetTimer { id, fire_at, tag } => {
+                    let epoch = self.epoch[node.index()];
+                    self.push_event(fire_at, EventKind::Timer { node, epoch, id, tag });
+                }
+                Action::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, from: NodeId, dest: Destination, payload: P, bytes: u32, kind: MsgKind) {
+        match dest {
+            Destination::Unicast(to) => {
+                if to == from {
+                    // Loopback: free and instantaneous-ish.
+                    let at = self.now + 1;
+                    self.push_event(at, EventKind::Deliver { to, from, payload, bytes, kind });
+                    return;
+                }
+                let from_lan = self.topo.lan_of(from);
+                let to_lan = self.topo.lan_of(to);
+                let scope = if from_lan == to_lan { Scope::Lan } else { Scope::Wan };
+                // The sender transmits regardless of the receiver's fate, so
+                // the bytes are always charged.
+                self.stats.record(scope, kind, u64::from(bytes));
+                if scope == Scope::Wan && !self.topo.wan_reachable(from_lan, to_lan) {
+                    self.stats.record_drop();
+                    return;
+                }
+                if self.sample_loss(scope) {
+                    self.stats.record_drop();
+                    return;
+                }
+                let serialization = self.reserve_medium(scope, from_lan, bytes);
+                let at = self.now + serialization + self.sample_latency(scope);
+                self.push_event(at, EventKind::Deliver { to, from, payload, bytes, kind });
+            }
+            Destination::Multicast(lan) => {
+                assert_eq!(lan, self.topo.lan_of(from), "multicast is link-local: sender must be on the LAN");
+                // One transmission on the broadcast medium.
+                self.stats.record(Scope::Lan, kind, u64::from(bytes));
+                self.stats.record_multicast();
+                let serialization = self.reserve_medium(Scope::Lan, lan, bytes);
+                let members: Vec<NodeId> =
+                    self.topo.members(lan).iter().copied().filter(|&m| m != from).collect();
+                for to in members {
+                    if self.sample_loss(Scope::Lan) {
+                        self.stats.record_drop();
+                        continue;
+                    }
+                    let at = self.now + serialization + self.sample_latency(Scope::Lan);
+                    self.push_event(at, EventKind::Deliver { to, from, payload: payload.clone(), bytes, kind });
+                }
+            }
+        }
+    }
+
+    /// Reserves the shared medium for `bytes` and returns the serialization
+    /// delay from `now` until the transmission has fully left the sender
+    /// (queueing behind earlier transmissions included). Zero-rate = ideal.
+    fn reserve_medium(&mut self, scope: Scope, lan: LanId, bytes: u32) -> SimTime {
+        let rate_kbps = match scope {
+            Scope::Lan => self.cfg.lan_rate_kbps,
+            Scope::Wan => self.cfg.wan_rate_kbps,
+        };
+        if rate_kbps == 0 {
+            return 0;
+        }
+        // ms = bits / (kbits/s) = bytes*8 / rate_kbps
+        let tx_ms = (u64::from(bytes) * 8).div_ceil(u64::from(rate_kbps)).max(1);
+        let busy = match scope {
+            Scope::Lan => &mut self.lan_busy_until[lan.index()],
+            Scope::Wan => &mut self.wan_busy_until,
+        };
+        let start = (*busy).max(self.now);
+        *busy = start + tx_ms;
+        *busy - self.now
+    }
+
+    fn sample_loss(&mut self, scope: Scope) -> bool {
+        let p = match scope {
+            Scope::Lan => self.cfg.lan_loss,
+            Scope::Wan => self.cfg.wan_loss,
+        };
+        p > 0.0 && self.link_rng.gen_bool(p)
+    }
+
+    fn sample_latency(&mut self, scope: Scope) -> SimTime {
+        let (base, jitter) = match scope {
+            Scope::Lan => (self.cfg.lan_latency, self.cfg.lan_jitter),
+            Scope::Wan => (self.cfg.wan_latency, self.cfg.wan_jitter),
+        };
+        base + if jitter > 0 { self.link_rng.gen_range(0..=jitter) } else { 0 }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        let ev = Event { at, kind };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s] = Some(ev);
+                s
+            }
+            None => {
+                self.slots.push(Some(ev));
+                self.slots.len() - 1
+            }
+        };
+        self.queue.push(Reverse(EventKey { at, seq, slot }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        messages: Vec<(NodeId, String)>,
+        timers: Vec<u64>,
+        starts: u32,
+    }
+
+    impl NodeHandler<String> for Recorder {
+        fn on_start(&mut self, _ctx: &mut Ctx<'_, String>) {
+            self.starts += 1;
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, String>, from: NodeId, msg: String) {
+            self.messages.push((from, msg));
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, String>, _t: TimerId, tag: u64) {
+            self.timers.push(tag);
+        }
+    }
+
+    fn two_lan_sim() -> (Sim<String>, LanId, LanId) {
+        let mut topo = Topology::new();
+        let l0 = topo.add_lan();
+        let l1 = topo.add_lan();
+        (Sim::new(SimConfig::default(), topo, 7), l0, l1)
+    }
+
+    #[test]
+    fn unicast_lan_delivery_and_accounting() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(NodeId(1)), "hi".into(), 10, "test");
+        });
+        sim.run_until(100);
+        let rec = sim.handler::<Recorder>(b).unwrap();
+        assert_eq!(rec.messages, vec![(a, "hi".to_string())]);
+        assert_eq!(sim.stats().lan_bytes, 10);
+        assert_eq!(sim.stats().wan_bytes, 0);
+    }
+
+    #[test]
+    fn unicast_wan_crosses_lans() {
+        let (mut sim, l0, l1) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l1, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "wan".into(), 64, "test");
+        });
+        sim.run_until(100);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1);
+        assert_eq!(sim.stats().wan_bytes, 64);
+        assert_eq!(sim.stats().lan_bytes, 0);
+    }
+
+    #[test]
+    fn multicast_reaches_lan_only_charged_once() {
+        let (mut sim, l0, l1) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        let c = sim.add_node(l0, Box::<Recorder>::default());
+        let d = sim.add_node(l1, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            let lan = ctx.lan();
+            ctx.send(Destination::Multicast(lan), "probe".into(), 40, "probe");
+        });
+        sim.run_until(100);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1);
+        assert_eq!(sim.handler::<Recorder>(c).unwrap().messages.len(), 1);
+        assert_eq!(sim.handler::<Recorder>(d).unwrap().messages.len(), 0);
+        assert_eq!(sim.handler::<Recorder>(a).unwrap().messages.len(), 0, "sender excluded");
+        assert_eq!(sim.stats().lan_bytes, 40, "broadcast medium charges once");
+        assert_eq!(sim.stats().multicast_transmissions, 1);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing_and_timers_die() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(b, |_, ctx| {
+            ctx.set_timer(50, 1);
+        });
+        sim.crash_node(b);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "lost".into(), 8, "test");
+        });
+        sim.run_until(200);
+        let rec = sim.handler::<Recorder>(b).unwrap();
+        assert!(rec.messages.is_empty());
+        assert!(rec.timers.is_empty());
+        assert_eq!(sim.stats().dropped_messages, 1);
+        // Bytes still charged: the sender transmitted.
+        assert_eq!(sim.stats().lan_bytes, 8);
+    }
+
+    #[test]
+    fn revive_reruns_on_start_and_discards_stale_timers() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.set_timer(50, 9);
+        });
+        sim.crash_node(a);
+        sim.revive_node(a);
+        sim.run_until(200);
+        let rec = sim.handler::<Recorder>(a).unwrap();
+        assert_eq!(rec.starts, 2);
+        assert!(rec.timers.is_empty(), "pre-crash timer must not fire after revive");
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            let t = ctx.set_timer(50, 1);
+            ctx.set_timer(60, 2);
+            ctx.cancel_timer(t);
+        });
+        sim.run_until(200);
+        assert_eq!(sim.handler::<Recorder>(a).unwrap().timers, vec![2]);
+    }
+
+    #[test]
+    fn partition_blocks_wan_until_heal() {
+        let (mut sim, l0, l1) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l1, Box::<Recorder>::default());
+        sim.schedule(10, ControlAction::Partition(vec![vec![l0], vec![l1]]));
+        sim.schedule(100, ControlAction::HealPartition);
+        sim.run_until(20);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "blocked".into(), 8, "test");
+        });
+        sim.run_until(90);
+        assert!(sim.handler::<Recorder>(b).unwrap().messages.is_empty());
+        sim.run_until(110);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "open".into(), 8, "test");
+        });
+        sim.run_until(200);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let (mut sim, l0, l1) = two_lan_sim();
+            let a = sim.add_node(l0, Box::<Recorder>::default());
+            let b = sim.add_node(l1, Box::<Recorder>::default());
+            for i in 0..50 {
+                sim.with_node::<Recorder>(a, |_, ctx| {
+                    ctx.send(Destination::Unicast(b), format!("m{i}"), 16, "test");
+                });
+                sim.run_until(sim.now() + 10);
+            }
+            sim.run_until(10_000);
+            (
+                sim.stats().total_bytes(),
+                sim.handler::<Recorder>(b).unwrap().messages.clone(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn with_node_on_dead_node_is_noop() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        sim.crash_node(a);
+        let mut called = false;
+        sim.with_node::<Recorder>(a, |_, _| called = true);
+        assert!(!called);
+    }
+}

@@ -1,0 +1,126 @@
+//! The node-side API: the [`NodeHandler`] trait protocol roles implement and
+//! the [`Ctx`] through which they act on the network.
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+
+use crate::ids::{LanId, NodeId, TimerId};
+use crate::message::{Destination, MsgKind};
+use crate::time::SimTime;
+
+/// Blanket upcast to [`Any`] so tests and metric collectors can downcast a
+/// boxed handler back to its concrete role type.
+pub trait AsAny {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Behaviour of one node. A node may play any of the paper's three roles
+/// (client, service, registry) — or several at once, in which case the
+/// handler composes them.
+///
+/// Handlers are driven entirely by the engine: `on_start` when the node
+/// (re)boots, `on_message` for each delivered payload, `on_timer` for each
+/// timer that fires. All side effects go through the [`Ctx`]; they are
+/// applied by the engine after the callback returns.
+pub trait NodeHandler<P>: AsAny + 'static {
+    /// Called once when the node is added, and again each time it is revived
+    /// after a crash. A revived node keeps its Rust state; handlers that
+    /// should lose soft state on crash must reset themselves here.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, P>) {
+        let _ = ctx;
+    }
+
+    /// A message addressed to (or multicast past) this node arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, P>, from: NodeId, msg: P) {
+        let _ = (ctx, from, msg);
+    }
+
+    /// A timer set through [`Ctx::set_timer`] fired. `tag` is the caller's
+    /// discriminator.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, P>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+}
+
+/// Action queued by a handler, applied by the engine afterwards.
+pub(crate) enum Action<P> {
+    Send {
+        dest: Destination,
+        payload: P,
+        bytes: u32,
+        kind: MsgKind,
+    },
+    SetTimer {
+        id: TimerId,
+        fire_at: SimTime,
+        tag: u64,
+    },
+    CancelTimer(TimerId),
+}
+
+/// Execution context handed to a handler callback. Collects the handler's
+/// outgoing messages and timer operations and exposes the node's identity,
+/// the simulated clock, and the node's private deterministic RNG.
+pub struct Ctx<'a, P> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) lan: LanId,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) next_timer: &'a mut u64,
+    pub(crate) actions: Vec<Action<P>>,
+}
+
+impl<P> Ctx<'_, P> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The LAN this node is attached to. (A node knows its own link — it does
+    /// not get topology-wide knowledge.)
+    pub fn lan(&self) -> LanId {
+        self.lan
+    }
+
+    /// This node's deterministic private RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Queues a message. `bytes` is the on-the-wire size used for bandwidth
+    /// accounting; `kind` is a diagnostic label.
+    pub fn send(&mut self, dest: Destination, payload: P, bytes: u32, kind: MsgKind) {
+        self.actions.push(Action::Send { dest, payload, bytes, kind });
+    }
+
+    /// Schedules `on_timer` to fire after `delay` with the given tag and
+    /// returns a handle that can cancel it.
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer { id, fire_at: self.now.saturating_add(delay), tag });
+        id
+    }
+
+    /// Cancels a previously set timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer(id));
+    }
+}

@@ -1,0 +1,24 @@
+//! Message addressing and classification.
+
+use crate::ids::{LanId, NodeId};
+
+/// Where a message is sent.
+///
+/// The paper's protocol stack (its Fig. 3) requires both unicast and multicast
+/// bindings: multicast for registry discovery and decentralized LAN fallback,
+/// unicast for everything else.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Destination {
+    /// Point-to-point delivery. Crosses the WAN when the peer is on another
+    /// LAN (and is then subject to WAN latency/loss/partitions).
+    Unicast(NodeId),
+    /// Link-local multicast: delivered to every other live node on the given
+    /// LAN. On a broadcast medium one transmission reaches all listeners, so
+    /// the sender is charged the message size once.
+    Multicast(LanId),
+}
+
+/// A short static label classifying a message for per-kind accounting
+/// (e.g. `"query"`, `"advert"`, `"beacon"`). Purely diagnostic; protocol
+/// logic must not depend on it.
+pub type MsgKind = &'static str;

@@ -1,0 +1,112 @@
+//! Network accounting: bytes and message counts, per scope and per kind.
+//!
+//! Most of the paper's claims are about bandwidth ("massive overhead",
+//! "bandwidth efficient", "a too heavy burden on the network"), so the
+//! simulator keeps careful books. Charging rules:
+//!
+//! * LAN unicast: message size charged once to [`Scope::Lan`].
+//! * LAN multicast: broadcast medium — one transmission reaches every
+//!   listener, so the size is charged once to [`Scope::Lan`] regardless of
+//!   the receiver count.
+//! * WAN unicast (cross-LAN): charged once to [`Scope::Wan`] (the WAN link is
+//!   the scarce resource; the two LAN hops at each end are ignored, which
+//!   only makes the comparison conservative).
+
+use std::collections::BTreeMap;
+
+use crate::message::MsgKind;
+
+/// Which part of the network carried a message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scope {
+    Lan,
+    Wan,
+}
+
+/// Counters for one message kind.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct KindStats {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Aggregated traffic counters for a run.
+#[derive(Clone, Default, Debug)]
+pub struct NetStats {
+    pub lan_messages: u64,
+    pub lan_bytes: u64,
+    pub wan_messages: u64,
+    pub wan_bytes: u64,
+    /// Messages abandoned because the destination was down, unreachable
+    /// (partition), or lost to the configured loss probability.
+    pub dropped_messages: u64,
+    /// Multicast transmissions (also counted in `lan_messages`).
+    pub multicast_transmissions: u64,
+    by_kind: BTreeMap<MsgKind, KindStats>,
+}
+
+impl NetStats {
+    pub fn record(&mut self, scope: Scope, kind: MsgKind, bytes: u64) {
+        match scope {
+            Scope::Lan => {
+                self.lan_messages += 1;
+                self.lan_bytes += bytes;
+            }
+            Scope::Wan => {
+                self.wan_messages += 1;
+                self.wan_bytes += bytes;
+            }
+        }
+        let e = self.by_kind.entry(kind).or_default();
+        e.messages += 1;
+        e.bytes += bytes;
+    }
+
+    pub fn record_multicast(&mut self) {
+        self.multicast_transmissions += 1;
+    }
+
+    pub fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Total bytes across both scopes.
+    pub fn total_bytes(&self) -> u64 {
+        self.lan_bytes + self.wan_bytes
+    }
+
+    /// Total delivered-or-transmitted messages across both scopes.
+    pub fn total_messages(&self) -> u64 {
+        self.lan_messages + self.wan_messages
+    }
+
+    /// Counters for one message kind (zero if never seen).
+    pub fn kind(&self, kind: MsgKind) -> KindStats {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// All kinds seen, in label order.
+    pub fn kinds(&self) -> impl Iterator<Item = (MsgKind, KindStats)> + '_ {
+        self.by_kind.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_scope_and_kind() {
+        let mut s = NetStats::default();
+        s.record(Scope::Lan, "query", 100);
+        s.record(Scope::Wan, "query", 200);
+        s.record(Scope::Wan, "advert", 300);
+        assert_eq!(s.lan_bytes, 100);
+        assert_eq!(s.wan_bytes, 500);
+        assert_eq!(s.total_bytes(), 600);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.kind("query"), KindStats { messages: 2, bytes: 300 });
+        assert_eq!(s.kind("nothing"), KindStats::default());
+        assert_eq!(s.kinds().count(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! Simulated time. All times are milliseconds since simulation start.
+
+/// A point in simulated time, in milliseconds since the start of the run.
+pub type SimTime = u64;
+
+/// Convenience constructor: `millis(n)` milliseconds.
+#[inline]
+pub const fn millis(n: u64) -> SimTime {
+    n
+}
+
+/// Convenience constructor: `secs(n)` seconds expressed in [`SimTime`] units.
+#[inline]
+pub const fn secs(n: u64) -> SimTime {
+    n * 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_are_thousands_of_millis() {
+        assert_eq!(secs(3), millis(3_000));
+        assert_eq!(secs(0), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Network topology: LAN membership and WAN partitions.
+
+use crate::ids::{LanId, NodeId};
+
+/// The static shape of the network: which LAN each node sits on, plus the
+/// current WAN partition state.
+///
+/// LANs are broadcast domains (multicast works inside a LAN only, matching
+/// the paper's "local-scoped multicast"). All LANs are mutually reachable
+/// over the WAN unless a partition separates them.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    lan_count: u16,
+    /// Indexed by node id: the LAN the node is attached to.
+    node_lan: Vec<LanId>,
+    /// Indexed by LAN id: the nodes on that LAN.
+    lan_members: Vec<Vec<NodeId>>,
+    /// Partition group per LAN. LANs in different groups cannot exchange WAN
+    /// traffic. All zero (one group) means a fully connected WAN.
+    lan_group: Vec<u32>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a new LAN (multicast domain) and returns its id.
+    pub fn add_lan(&mut self) -> LanId {
+        let id = LanId(self.lan_count);
+        self.lan_count += 1;
+        self.lan_members.push(Vec::new());
+        self.lan_group.push(0);
+        id
+    }
+
+    /// Registers a node on a LAN. Called by the engine; node ids must be
+    /// added densely in order.
+    pub(crate) fn attach_node(&mut self, node: NodeId, lan: LanId) {
+        assert_eq!(node.index(), self.node_lan.len(), "nodes must be added in id order");
+        assert!(lan.index() < self.lan_members.len(), "unknown LAN {lan:?}");
+        self.node_lan.push(lan);
+        self.lan_members[lan.index()].push(node);
+    }
+
+    pub fn lan_count(&self) -> usize {
+        self.lan_count as usize
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.node_lan.len()
+    }
+
+    /// The LAN a node is attached to.
+    pub fn lan_of(&self, node: NodeId) -> LanId {
+        self.node_lan[node.index()]
+    }
+
+    /// All nodes attached to a LAN (live or not — liveness is the engine's
+    /// concern).
+    pub fn members(&self, lan: LanId) -> &[NodeId] {
+        &self.lan_members[lan.index()]
+    }
+
+    /// True when the two nodes share a broadcast domain.
+    pub fn same_lan(&self, a: NodeId, b: NodeId) -> bool {
+        self.lan_of(a) == self.lan_of(b)
+    }
+
+    /// Splits the WAN: each entry of `groups` lists the LANs of one side.
+    /// LANs not mentioned keep group 0. Cross-group WAN traffic is dropped
+    /// until [`Topology::heal_partition`].
+    pub fn partition(&mut self, groups: &[&[LanId]]) {
+        for g in self.lan_group.iter_mut() {
+            *g = 0;
+        }
+        for (i, group) in groups.iter().enumerate() {
+            for lan in group.iter() {
+                self.lan_group[lan.index()] = (i + 1) as u32;
+            }
+        }
+    }
+
+    /// Restores full WAN connectivity.
+    pub fn heal_partition(&mut self) {
+        for g in self.lan_group.iter_mut() {
+            *g = 0;
+        }
+    }
+
+    /// True when WAN traffic can flow between the two LANs.
+    pub fn wan_reachable(&self, a: LanId, b: LanId) -> bool {
+        a == b || self.lan_group[a.index()] == self.lan_group[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attach_and_lookup() {
+        let mut t = Topology::new();
+        let l0 = t.add_lan();
+        let l1 = t.add_lan();
+        t.attach_node(NodeId(0), l0);
+        t.attach_node(NodeId(1), l1);
+        t.attach_node(NodeId(2), l0);
+        assert_eq!(t.lan_of(NodeId(0)), l0);
+        assert_eq!(t.lan_of(NodeId(1)), l1);
+        assert_eq!(t.members(l0), &[NodeId(0), NodeId(2)]);
+        assert!(t.same_lan(NodeId(0), NodeId(2)));
+        assert!(!t.same_lan(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "id order")]
+    fn out_of_order_attach_panics() {
+        let mut t = Topology::new();
+        let l0 = t.add_lan();
+        t.attach_node(NodeId(1), l0);
+    }
+
+    #[test]
+    fn partitions_block_and_heal() {
+        let mut t = Topology::new();
+        let l0 = t.add_lan();
+        let l1 = t.add_lan();
+        let l2 = t.add_lan();
+        assert!(t.wan_reachable(l0, l2));
+        t.partition(&[&[l0], &[l1, l2]]);
+        assert!(!t.wan_reachable(l0, l1));
+        assert!(t.wan_reachable(l1, l2));
+        // Intra-LAN always reachable regardless of grouping.
+        assert!(t.wan_reachable(l0, l0));
+        t.heal_partition();
+        assert!(t.wan_reachable(l0, l1));
+    }
+}

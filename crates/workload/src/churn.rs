@@ -1,0 +1,157 @@
+//! Churn plans: scheduled crash/revive sequences modelling transient nodes.
+//!
+//! "Dynamic environments … may lead to frequent change in both service
+//! metadata and the topology of the nodes that are part of the system …
+//! both service nodes and registry nodes can come and go." Lifetimes and
+//! downtimes are exponentially distributed (the standard memoryless churn
+//! model), sampled by inverse CDF from the seeded RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sds_simnet::{ControlAction, NodeId, SimTime};
+
+/// One scheduled liveness flip.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChurnEvent {
+    pub at: SimTime,
+    pub node: NodeId,
+    /// `true` = revive, `false` = crash.
+    pub up: bool,
+}
+
+/// A deterministic churn schedule over a set of nodes.
+///
+/// ```
+/// use sds_simnet::NodeId;
+/// use sds_workload::ChurnPlan;
+///
+/// let nodes = [NodeId(1), NodeId(2)];
+/// let plan = ChurnPlan::exponential(&nodes, 20_000.0, 10_000.0, 120_000, 42);
+/// // Nodes start up; the schedule alternates crash/revive per node.
+/// assert!(plan.is_up_at(NodeId(1), 0));
+/// let same = ChurnPlan::exponential(&nodes, 20_000.0, 10_000.0, 120_000, 42);
+/// assert_eq!(plan.events, same.events, "deterministic for a seed");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    pub events: Vec<ChurnEvent>,
+}
+
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    // Inverse CDF; 1-gen::<f64>() avoids ln(0).
+    -mean * (1.0 - rng.gen::<f64>()).ln()
+}
+
+impl ChurnPlan {
+    /// Builds an alternating up/down schedule for each node: up for
+    /// Exp(`mean_up_ms`), down for Exp(`mean_down_ms`), repeating until
+    /// `horizon`. Nodes start up; the first event of each node is a crash.
+    pub fn exponential(
+        nodes: &[NodeId],
+        mean_up_ms: f64,
+        mean_down_ms: f64,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5ED);
+        let mut events = Vec::new();
+        for &node in nodes {
+            let mut t = 0f64;
+            let mut up = true;
+            loop {
+                let dwell = if up {
+                    exp_sample(&mut rng, mean_up_ms)
+                } else {
+                    exp_sample(&mut rng, mean_down_ms)
+                };
+                t += dwell.max(1.0);
+                if t >= horizon as f64 {
+                    break;
+                }
+                up = !up;
+                events.push(ChurnEvent { at: t as SimTime, node, up });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.node));
+        Self { events }
+    }
+
+    /// A one-shot plan: permanently crash each node at its given time.
+    pub fn crashes(schedule: &[(SimTime, NodeId)]) -> Self {
+        let mut events: Vec<ChurnEvent> =
+            schedule.iter().map(|&(at, node)| ChurnEvent { at, node, up: false }).collect();
+        events.sort_by_key(|e| (e.at, e.node));
+        Self { events }
+    }
+
+    /// Schedules every event on the simulator.
+    pub fn apply<P: Clone + 'static>(&self, sim: &mut sds_simnet::Sim<P>) {
+        for e in &self.events {
+            let action =
+                if e.up { ControlAction::Revive(e.node) } else { ControlAction::Crash(e.node) };
+            sim.schedule(e.at, action);
+        }
+    }
+
+    /// Whether `node` is up at time `t` under this plan (nodes start up).
+    pub fn is_up_at(&self, node: NodeId, t: SimTime) -> bool {
+        self.events
+            .iter().rfind(|e| e.node == node && e.at <= t)
+            .is_none_or(|e| e.up)
+    }
+
+    /// Expected fraction of flips per node (diagnostic).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_and_sorts() {
+        let nodes = [NodeId(1), NodeId(2)];
+        let plan = ChurnPlan::exponential(&nodes, 10_000.0, 5_000.0, 100_000, 7);
+        assert!(!plan.is_empty());
+        assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at), "sorted by time");
+        // Per node, flips alternate starting with a crash.
+        for &n in &nodes {
+            let flips: Vec<bool> =
+                plan.events.iter().filter(|e| e.node == n).map(|e| e.up).collect();
+            for (i, up) in flips.iter().enumerate() {
+                assert_eq!(*up, i % 2 == 1, "event {i} of node {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let nodes = [NodeId(1)];
+        let a = ChurnPlan::exponential(&nodes, 5_000.0, 5_000.0, 50_000, 3);
+        let b = ChurnPlan::exponential(&nodes, 5_000.0, 5_000.0, 50_000, 3);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn is_up_at_tracks_flips() {
+        let plan = ChurnPlan::crashes(&[(100, NodeId(1))]);
+        assert!(plan.is_up_at(NodeId(1), 99));
+        assert!(!plan.is_up_at(NodeId(1), 100));
+        assert!(plan.is_up_at(NodeId(2), 1_000_000), "unmentioned nodes stay up");
+    }
+
+    #[test]
+    fn shorter_mean_lifetime_means_more_events() {
+        let nodes: Vec<NodeId> = (0..20).map(NodeId).collect();
+        let fast = ChurnPlan::exponential(&nodes, 2_000.0, 2_000.0, 200_000, 5);
+        let slow = ChurnPlan::exponential(&nodes, 50_000.0, 2_000.0, 200_000, 5);
+        assert!(fast.len() > 2 * slow.len(), "{} vs {}", fast.len(), slow.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! # sds-workload — scenarios, populations, and ground truth
+//!
+//! The paper motivates its architecture with two scenarios: the **network
+//! centric battlefield** (MILCOM companion paper) and **crisis management**
+//! ("members from several agencies … carry with them various devices that
+//! spontaneously form a network where application layer services are
+//! offered"). This crate generates those worlds:
+//!
+//! * [`taxonomy`] — shared domain ontologies ("upper-level ontologies and
+//!   service taxonomies could be standardized"), both fixed (battlefield,
+//!   crisis response) and parametric;
+//! * [`population`] — service populations and query workloads over a
+//!   taxonomy, in any description model, with controllable semantic spread;
+//! * [`oracle`] — registry-free ground truth: which live providers *should*
+//!   match a query, so experiments can report recall and staleness;
+//! * [`churn`] — exponential on/off churn plans for transient nodes;
+//! * [`scenario`] — assembles `sds-core` deployments (centralized /
+//!   decentralized / federated) into ready-to-run simulations.
+
+pub mod churn;
+pub mod oracle;
+pub mod population;
+pub mod scenario;
+pub mod taxonomy;
+
+pub use churn::ChurnPlan;
+pub use oracle::Oracle;
+pub use population::{PopulationSpec, QuerySpec, Workload};
+pub use scenario::{Deployment, Scenario, ScenarioConfig};
+pub use taxonomy::{battlefield, crisis, parametric, BattlefieldClasses, CrisisClasses};

@@ -1,0 +1,225 @@
+//! Shared domain ontologies for the paper's two motivating scenarios.
+
+use sds_semantic::{ClassId, Ontology};
+
+/// Key classes of the battlefield taxonomy, for building profiles/requests
+/// without string lookups.
+#[derive(Clone, Copy, Debug)]
+pub struct BattlefieldClasses {
+    pub thing: ClassId,
+    // Information products.
+    pub sensor_data: ClassId,
+    pub radar_data: ClassId,
+    pub sonar_data: ClassId,
+    pub eo_image: ClassId,
+    pub track: ClassId,
+    pub air_track: ClassId,
+    pub surface_track: ClassId,
+    pub position_report: ClassId,
+    pub map_tile: ClassId,
+    // Service categories.
+    pub service: ClassId,
+    pub surveillance: ClassId,
+    pub radar_service: ClassId,
+    pub sonar_service: ClassId,
+    pub tracking: ClassId,
+    pub blueforce_tracking: ClassId,
+    pub logistics: ClassId,
+    pub resupply: ClassId,
+    pub messaging: ClassId,
+    pub chat: ClassId,
+    pub medevac: ClassId,
+    // Common inputs.
+    pub area_of_interest: ClassId,
+    pub unit_id: ClassId,
+}
+
+/// The network-centric-battlefield taxonomy (MILCOM scenario): sensors and
+/// the tactical services consuming/producing their data, with enough depth
+/// that PlugIn/Subsumes matches occur naturally (a `RadarService` *is a*
+/// `SurveillanceService`, `AirTrack` *is a* `Track`).
+pub fn battlefield() -> (Ontology, BattlefieldClasses) {
+    let mut o = Ontology::new();
+    let thing = o.class("Thing", &[]);
+
+    let info = o.class("InformationProduct", &[thing]);
+    let sensor_data = o.class("SensorData", &[info]);
+    let radar_data = o.class("RadarData", &[sensor_data]);
+    let sonar_data = o.class("SonarData", &[sensor_data]);
+    let eo_image = o.class("EOImage", &[sensor_data]);
+    let track = o.class("Track", &[info]);
+    let air_track = o.class("AirTrack", &[track]);
+    let surface_track = o.class("SurfaceTrack", &[track]);
+    let position_report = o.class("PositionReport", &[info]);
+    let map_tile = o.class("MapTile", &[info]);
+
+    let service = o.class("Service", &[thing]);
+    let surveillance = o.class("SurveillanceService", &[service]);
+    let radar_service = o.class("RadarService", &[surveillance]);
+    let sonar_service = o.class("SonarService", &[surveillance]);
+    let tracking = o.class("TrackingService", &[service]);
+    let blueforce_tracking = o.class("BlueForceTrackingService", &[tracking]);
+    let logistics = o.class("LogisticsService", &[service]);
+    let resupply = o.class("ResupplyService", &[logistics]);
+    let messaging = o.class("MessagingService", &[service]);
+    let chat = o.class("ChatService", &[messaging]);
+    let medevac = o.class("MedevacService", &[service]);
+
+    let area_of_interest = o.class("AreaOfInterest", &[thing]);
+    let unit_id = o.class("UnitId", &[thing]);
+
+    (
+        o,
+        BattlefieldClasses {
+            thing,
+            sensor_data,
+            radar_data,
+            sonar_data,
+            eo_image,
+            track,
+            air_track,
+            surface_track,
+            position_report,
+            map_tile,
+            service,
+            surveillance,
+            radar_service,
+            sonar_service,
+            tracking,
+            blueforce_tracking,
+            logistics,
+            resupply,
+            messaging,
+            chat,
+            medevac,
+            area_of_interest,
+            unit_id,
+        },
+    )
+}
+
+/// Key classes of the crisis-management taxonomy.
+#[derive(Clone, Copy, Debug)]
+pub struct CrisisClasses {
+    pub thing: ClassId,
+    pub service: ClassId,
+    pub casualty_report: ClassId,
+    pub triage_report: ClassId,
+    pub hazard_map: ClassId,
+    pub weather_report: ClassId,
+    pub victim_location: ClassId,
+    pub medical: ClassId,
+    pub triage: ClassId,
+    pub ambulance_dispatch: ClassId,
+    pub fire: ClassId,
+    pub hazmat: ClassId,
+    pub police: ClassId,
+    pub perimeter_control: ClassId,
+    pub search_and_rescue: ClassId,
+    pub area_of_interest: ClassId,
+}
+
+/// The crisis-management taxonomy (the ICDE paper's §1 example: "members
+/// from several agencies … have to cooperate"): medical, fire, police, and
+/// SAR agencies with their information products.
+pub fn crisis() -> (Ontology, CrisisClasses) {
+    let mut o = Ontology::new();
+    let thing = o.class("Thing", &[]);
+
+    let info = o.class("InformationProduct", &[thing]);
+    let casualty_report = o.class("CasualtyReport", &[info]);
+    let triage_report = o.class("TriageReport", &[casualty_report]);
+    let hazard_map = o.class("HazardMap", &[info]);
+    let weather_report = o.class("WeatherReport", &[info]);
+    let victim_location = o.class("VictimLocation", &[info]);
+
+    let service = o.class("Service", &[thing]);
+    let medical = o.class("MedicalService", &[service]);
+    let triage = o.class("TriageService", &[medical]);
+    let ambulance_dispatch = o.class("AmbulanceDispatchService", &[medical]);
+    let fire = o.class("FireService", &[service]);
+    let hazmat = o.class("HazmatService", &[fire]);
+    let police = o.class("PoliceService", &[service]);
+    let perimeter_control = o.class("PerimeterControlService", &[police]);
+    let search_and_rescue = o.class("SearchAndRescueService", &[service]);
+
+    let area_of_interest = o.class("AreaOfInterest", &[thing]);
+
+    (
+        o,
+        CrisisClasses {
+            thing,
+            service,
+            casualty_report,
+            triage_report,
+            hazard_map,
+            weather_report,
+            victim_location,
+            medical,
+            triage,
+            ambulance_dispatch,
+            fire,
+            hazmat,
+            police,
+            perimeter_control,
+            search_and_rescue,
+            area_of_interest,
+        },
+    )
+}
+
+/// A parametric balanced taxonomy: `roots` top classes, each expanded with
+/// `branching` children per node down to `depth` levels. Used to scale the
+/// reasoner/matchmaker benchmarks.
+pub fn parametric(roots: usize, branching: usize, depth: usize) -> Ontology {
+    let mut o = Ontology::new();
+    let mut frontier: Vec<ClassId> = (0..roots).map(|r| o.class(&format!("R{r}"), &[])).collect();
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for (i, parent) in frontier.iter().enumerate() {
+            for b in 0..branching {
+                next.push(o.class(&format!("C{level}_{i}_{b}"), &[*parent]));
+            }
+        }
+        frontier = next;
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sds_semantic::SubsumptionIndex;
+
+    #[test]
+    fn battlefield_subsumption_holds() {
+        let (o, c) = battlefield();
+        let idx = SubsumptionIndex::build(&o);
+        assert!(idx.is_subclass(c.radar_service, c.surveillance));
+        assert!(idx.is_subclass(c.radar_service, c.service));
+        assert!(idx.is_subclass(c.air_track, c.track));
+        assert!(!idx.is_subclass(c.track, c.air_track));
+        assert!(!idx.is_subclass(c.chat, c.logistics));
+        assert!(o.len() > 20);
+    }
+
+    #[test]
+    fn crisis_subsumption_holds() {
+        let (o, c) = crisis();
+        let idx = SubsumptionIndex::build(&o);
+        assert!(idx.is_subclass(c.triage, c.medical));
+        assert!(idx.is_subclass(c.triage_report, c.casualty_report));
+        assert!(!idx.is_subclass(c.hazmat, c.police));
+    }
+
+    #[test]
+    fn parametric_size_is_geometric() {
+        let o = parametric(2, 3, 2);
+        // 2 roots + 2*3 + 6*3 = 26
+        assert_eq!(o.len(), 26);
+        let idx = SubsumptionIndex::build(&o);
+        let leaf = o.lookup("C1_0_0").unwrap();
+        let root = o.lookup("R0").unwrap();
+        assert!(idx.is_subclass(leaf, root));
+    }
+}

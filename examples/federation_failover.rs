@@ -1,0 +1,103 @@
+//! Registry-network dynamics: federation bootstrap, WAN partition,
+//! healing, and gateway election — the paper's §4.5/§4.7/§4.9 machinery
+//! observed end to end.
+//!
+//! Run with: `cargo run -p semdisc-examples --bin federation_failover`
+
+use sds_core::{
+    ClientConfig, ClientNode, QueryMode, QueryOptions, RegistryConfig, RegistryNode,
+    ServiceConfig, ServiceNode,
+};
+use sds_protocol::{Description, DiscoveryMessage, QueryPayload};
+use sds_simnet::{secs, ControlAction, Sim, SimConfig, Topology};
+
+fn main() {
+    // Three LANs; LAN 0 runs TWO registries (gateway election applies).
+    let mut topology = Topology::new();
+    let lan0 = topology.add_lan();
+    let lan1 = topology.add_lan();
+    let lan2 = topology.add_lan();
+    let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topology, 5);
+
+    let r0 = sim.add_node(lan0, Box::new(RegistryNode::new(RegistryConfig::default(), None)));
+    let r1 = sim.add_node(
+        lan1,
+        Box::new(RegistryNode::new(RegistryConfig { seeds: vec![r0], ..Default::default() }, None)),
+    );
+    let r2 = sim.add_node(
+        lan2,
+        Box::new(RegistryNode::new(RegistryConfig { seeds: vec![r0], ..Default::default() }, None)),
+    );
+    let r0b = sim.add_node(
+        lan0,
+        Box::new(RegistryNode::new(RegistryConfig { seeds: vec![r1], ..Default::default() }, None)),
+    );
+
+    let _far_service = sim.add_node(
+        lan2,
+        Box::new(ServiceNode::new(
+            ServiceConfig::default(),
+            vec![Description::Uri("urn:svc:weather".into())],
+            None,
+        )),
+    );
+    let client = sim.add_node(lan0, Box::new(ClientNode::new(ClientConfig::default())));
+
+    // Phase 1: bootstrap. Watch the federation form from two seeds.
+    sim.run_until(secs(40));
+    for (name, r) in [("r0", r0), ("r1", r1), ("r2", r2), ("r0b", r0b)] {
+        let reg = sim.handler::<RegistryNode>(r).unwrap();
+        println!(
+            "{name}: {} WAN peers, {} co-located registries",
+            reg.peer_ids().len(),
+            reg.local_registry_ids().len()
+        );
+    }
+
+    // Phase 2: discovery across the federation (multicast query exercises
+    // gateway election on LAN 0 — only one registry forwards to the WAN).
+    sim.with_node::<ClientNode>(client, |cl, ctx| {
+        cl.issue_query(
+            ctx,
+            QueryPayload::Uri("urn:svc:weather".into()),
+            QueryOptions { mode: QueryMode::MulticastLan, ..Default::default() },
+        );
+    });
+    sim.run_until(secs(46));
+    let hits = sim.handler::<ClientNode>(client).unwrap().completed[0].hits.len();
+    println!("\nweather service found across 2 WAN hops: {hits} hit(s)");
+    assert_eq!(hits, 1);
+    let dup = sim.handler::<RegistryNode>(r2).unwrap().stats.duplicate_queries_dropped;
+    println!("duplicate WAN queries dropped at r2 (election active): {dup}");
+
+    // Phase 3: the WAN partitions LAN 2 away. Local discovery must survive;
+    // remote discovery must fail — and recover after healing.
+    println!("\n-- WAN partition: {{lan0, lan1}} | {{lan2}} at t=46s --");
+    sim.schedule(secs(46), ControlAction::Partition(vec![vec![lan0, lan1], vec![lan2]]));
+    sim.run_until(secs(50));
+    sim.with_node::<ClientNode>(client, |cl, ctx| {
+        cl.issue_query(ctx, QueryPayload::Uri("urn:svc:weather".into()), QueryOptions::default());
+    });
+    sim.run_until(secs(56));
+    let during = sim.handler::<ClientNode>(client).unwrap().completed[1].hits.len();
+    println!("during partition: {during} hit(s)");
+    assert_eq!(during, 0);
+
+    println!("-- partition heals at t=60s --");
+    sim.schedule(secs(60), ControlAction::HealPartition);
+    sim.run_until(secs(110)); // seed retry + peer pings rebuild the overlay
+    sim.with_node::<ClientNode>(client, |cl, ctx| {
+        cl.issue_query(ctx, QueryPayload::Uri("urn:svc:weather".into()), QueryOptions::default());
+    });
+    sim.run_until(secs(116));
+    let after = sim.handler::<ClientNode>(client).unwrap().completed[2].hits.len();
+    println!("after healing: {after} hit(s)");
+    assert_eq!(after, 1, "the registry network reconnects and discovery resumes");
+
+    println!(
+        "\ntotals: {} msgs LAN / {} msgs WAN, {} dropped",
+        sim.stats().lan_messages,
+        sim.stats().wan_messages,
+        sim.stats().dropped_messages
+    );
+}

@@ -1,0 +1,28 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use sds_core::{ClientNode, QueryOptions};
+use sds_protocol::QueryPayload;
+use sds_simnet::NodeId;
+use sds_workload::Scenario;
+
+/// Issues `payload` from scenario client `ci`, runs the simulation until the
+/// query completes, and returns the hit providers.
+pub fn query_and_collect(
+    s: &mut Scenario,
+    ci: usize,
+    payload: QueryPayload,
+    options: QueryOptions,
+) -> Vec<NodeId> {
+    let client = s.clients[ci % s.clients.len()];
+    let before = s.sim.handler::<ClientNode>(client).unwrap().completed.len();
+    let deadline = s.sim.now() + options.timeout + 1_000;
+    s.sim.with_node::<ClientNode>(client, |c, ctx| {
+        c.issue_query(ctx, payload, options);
+    });
+    s.sim.run_until(deadline);
+    s.sim.handler::<ClientNode>(client).unwrap().completed[before]
+        .hits
+        .iter()
+        .map(|h| h.advert.provider)
+        .collect()
+}

@@ -1,0 +1,145 @@
+//! Whole-system integration tests: generated workloads driven through full
+//! deployments, checked against the ground-truth oracle.
+
+use sds_core::QueryOptions;
+use sds_integration::query_and_collect;
+use sds_metrics::recall;
+use sds_protocol::ModelId;
+use sds_simnet::secs;
+use sds_workload::{ChurnPlan, Deployment, PopulationSpec, Scenario, ScenarioConfig};
+
+fn config(deployment: Deployment, model: ModelId, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        lans: 3,
+        clients_per_lan: 1,
+        deployment,
+        population: PopulationSpec {
+            model,
+            services: 18,
+            queries: 12,
+            generalization_rate: 0.5,
+            seed,
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn federated_deployment_reaches_full_recall_on_every_model() {
+    for model in [ModelId::Uri, ModelId::Template, ModelId::Semantic] {
+        let mut s = Scenario::build(config(
+            Deployment::Federated { registries_per_lan: 1 },
+            model,
+            11,
+        ));
+        s.sim.run_until(secs(4));
+        for qi in 0..6 {
+            let payload = s.queries[qi].clone();
+            let expected = s.expected_now(&payload);
+            let got = query_and_collect(&mut s, qi, payload, QueryOptions::default());
+            assert_eq!(
+                recall(&expected, &got),
+                1.0,
+                "{model:?} query {qi}: expected {expected:?}, got {got:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_scenario_runs_are_deterministic() {
+    let run = |seed: u64| -> (u64, u64, Vec<usize>) {
+        let mut s = Scenario::build(config(
+            Deployment::Federated { registries_per_lan: 2 },
+            ModelId::Semantic,
+            seed,
+        ));
+        s.sim.run_until(secs(5));
+        let mut hit_counts = Vec::new();
+        for qi in 0..5 {
+            let payload = s.queries[qi].clone();
+            hit_counts.push(query_and_collect(&mut s, qi, payload, QueryOptions::default()).len());
+        }
+        (s.sim.stats().total_bytes(), s.sim.stats().total_messages(), hit_counts)
+    };
+    assert_eq!(run(99), run(99), "same seed, same world, same bytes");
+    assert_ne!(run(99).0, run(100).0, "different seeds diverge");
+}
+
+#[test]
+fn churned_federation_recovers_after_revivals() {
+    let mut s = Scenario::build(config(
+        Deployment::Federated { registries_per_lan: 1 },
+        ModelId::Uri,
+        21,
+    ));
+    let providers: Vec<_> = s.services.iter().map(|(n, _)| *n).collect();
+    // One churn cycle: everyone down briefly at some point in the first
+    // minute, then stable.
+    let plan = ChurnPlan::exponential(&providers, 20_000.0, 8_000.0, secs(60), 5);
+    plan.apply(&mut s.sim);
+    s.sim.run_until(secs(120));
+
+    // After churn settles, every live provider must be rediscoverable
+    // (republish-on-revive plus lease purging of dead incarnations).
+    for qi in 0..8 {
+        let payload = s.queries[qi].clone();
+        let expected = s.expected_now(&payload);
+        let got = query_and_collect(&mut s, qi, payload, QueryOptions::default());
+        assert_eq!(
+            recall(&expected, &got),
+            1.0,
+            "query {qi} after churn: expected {expected:?}, got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn decentralized_matches_oracle_for_local_scope() {
+    let mut s = Scenario::build(config(Deployment::Decentralized, ModelId::Semantic, 31));
+    s.sim.run_until(secs(2));
+    for qi in 0..6 {
+        let payload = s.queries[qi].clone();
+        let client_lan = s.sim.topology().lan_of(s.clients[qi % s.clients.len()]);
+        let expected_local: Vec<_> = s
+            .expected_now(&payload)
+            .into_iter()
+            .filter(|&p| s.sim.topology().lan_of(p) == client_lan)
+            .collect();
+        let got = query_and_collect(&mut s, qi, payload, QueryOptions::default());
+        assert_eq!(
+            recall(&expected_local, &got),
+            1.0,
+            "decentralized discovery covers exactly the local LAN (query {qi})"
+        );
+        assert!(
+            got.iter().all(|&p| s.sim.topology().lan_of(p) == client_lan),
+            "no cross-LAN hits without registries"
+        );
+    }
+}
+
+#[test]
+fn response_control_is_enforced_end_to_end() {
+    let mut s = Scenario::build(config(
+        Deployment::Federated { registries_per_lan: 1 },
+        ModelId::Semantic,
+        41,
+    ));
+    s.sim.run_until(secs(4));
+    // A broad query that matches many providers, capped at 2.
+    let broad = s
+        .queries
+        .iter()
+        .position(|q| s.expected_now(q).len() >= 3)
+        .expect("some broad query exists");
+    let payload = s.queries[broad].clone();
+    let got = query_and_collect(
+        &mut s,
+        0,
+        payload,
+        QueryOptions { max_responses: Some(2), ..Default::default() },
+    );
+    assert_eq!(got.len(), 2, "federation-wide response control");
+}

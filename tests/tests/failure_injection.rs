@@ -1,0 +1,190 @@
+//! Failure-injection tests: lossy links, partitions plus churn, graceful vs
+//! crash departures. "Robustness and survivability against registry failure
+//! or disappearance" under degraded network conditions.
+
+use sds_core::{ClientNode, QueryOptions, RegistryNode, ServiceNode};
+use sds_integration::query_and_collect;
+use sds_protocol::ModelId;
+use sds_simnet::{secs, SimConfig};
+use sds_workload::{Deployment, PopulationSpec, Scenario, ScenarioConfig};
+
+fn lossy_config(lan_loss: f64, wan_loss: f64, seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        lans: 3,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        population: PopulationSpec {
+            model: ModelId::Uri,
+            services: 12,
+            queries: 12,
+            generalization_rate: 0.0,
+            seed,
+        },
+        seed,
+        net: SimConfig { lan_loss, wan_loss, ..SimConfig::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn discovery_survives_moderately_lossy_links() {
+    // 5% loss on both scopes: periodic retries (probes, beacons, renewals)
+    // make control state converge; individual queries may still fail.
+    let mut s = Scenario::build(lossy_config(0.05, 0.05, 5));
+    s.sim.run_until(secs(10));
+    let mut successes = 0;
+    let n = 20;
+    for qi in 0..n {
+        let payload = s.queries[qi % s.queries.len()].clone();
+        let expected = s.expected_now(&payload);
+        let got = query_and_collect(&mut s, qi, payload, QueryOptions::default());
+        if expected.is_empty() || got.iter().any(|p| expected.contains(p)) {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= n * 7 / 10,
+        "≥70% discovery success at 5% loss, got {successes}/{n}"
+    );
+}
+
+#[test]
+fn heavy_loss_degrades_but_does_not_wedge() {
+    let mut s = Scenario::build(lossy_config(0.25, 0.25, 6));
+    s.sim.run_until(secs(15));
+    // Even at 25% loss nothing panics, queries complete (possibly empty),
+    // and at least some succeed thanks to retry mechanisms.
+    let mut successes = 0;
+    for qi in 0..20 {
+        let payload = s.queries[qi % s.queries.len()].clone();
+        let expected = s.expected_now(&payload);
+        let got = query_and_collect(&mut s, qi, payload, QueryOptions::default());
+        if !expected.is_empty() && got.iter().any(|p| expected.contains(p)) {
+            successes += 1;
+        }
+    }
+    assert!(successes > 0, "some queries still succeed at 25% loss");
+}
+
+#[test]
+fn graceful_deregistration_beats_lease_expiry() {
+    let mut s = Scenario::build(ScenarioConfig {
+        lans: 1,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        population: PopulationSpec {
+            model: ModelId::Uri,
+            services: 4,
+            queries: 4,
+            generalization_rate: 0.0,
+            seed: 7,
+        },
+        seed: 7,
+        ..Default::default()
+    });
+    s.sim.run_until(secs(2));
+    let registry = s.registries[0];
+    let initial = s
+        .sim
+        .handler::<RegistryNode>(registry)
+        .unwrap()
+        .engine()
+        .store()
+        .len();
+    assert_eq!(initial, 4);
+
+    // Service 0 leaves gracefully; service 1 crashes.
+    let (leaver, _) = s.services[0];
+    let (crasher, _) = s.services[1];
+    s.sim.with_node::<ServiceNode>(leaver, |svc, ctx| svc.deregister_all(ctx));
+    s.sim.crash_node(leaver);
+    s.sim.crash_node(crasher);
+
+    // Immediately after: the graceful leaver is gone, the crasher lingers
+    // until its lease runs out.
+    s.sim.run_until(secs(4));
+    let mid = s.sim.handler::<RegistryNode>(registry).unwrap().engine().store().len();
+    assert_eq!(mid, 3, "explicit Remove is immediate; the crashed advert remains");
+
+    // After the lease window both are gone.
+    s.sim.run_until(secs(40));
+    let late = s.sim.handler::<RegistryNode>(registry).unwrap().engine().store().len();
+    assert_eq!(late, 2, "leases clean up what dereg could not");
+}
+
+#[test]
+fn discovery_works_end_to_end_on_a_64kbps_radio_lan() {
+    // The whole stack on a tactical-radio-class medium: slower, but correct.
+    let mut s = Scenario::build(ScenarioConfig {
+        lans: 2,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        population: PopulationSpec {
+            model: ModelId::Uri,
+            services: 8,
+            queries: 8,
+            generalization_rate: 0.0,
+            seed: 9,
+        },
+        seed: 9,
+        net: SimConfig { lan_rate_kbps: 64, wan_rate_kbps: 64, ..SimConfig::default() },
+        ..Default::default()
+    });
+    // Generous settling time: publishes serialize on the narrow medium.
+    s.sim.run_until(secs(20));
+    for qi in 0..4 {
+        let payload = s.queries[qi].clone();
+        let expected = s.expected_now(&payload);
+        let got = query_and_collect(
+            &mut s,
+            qi,
+            payload,
+            QueryOptions { timeout: secs(8), ..Default::default() },
+        );
+        assert_eq!(
+            sds_metrics::recall(&expected, &got),
+            1.0,
+            "query {qi} on 64 kbps: {expected:?} vs {got:?}"
+        );
+    }
+}
+
+#[test]
+fn simultaneous_registry_and_service_churn_converges() {
+    let mut s = Scenario::build(ScenarioConfig {
+        lans: 3,
+        deployment: Deployment::Federated { registries_per_lan: 2 },
+        population: PopulationSpec {
+            model: ModelId::Uri,
+            services: 12,
+            queries: 12,
+            generalization_rate: 0.0,
+            seed: 8,
+        },
+        seed: 8,
+        ..Default::default()
+    });
+    s.sim.run_until(secs(5));
+    // Bounce one registry per LAN and a third of the services.
+    for li in 0..3 {
+        let r = s.registries[li * 2];
+        let down_at = secs(6 + li as u64);
+        s.sim.schedule(down_at, sds_simnet::ControlAction::Crash(r));
+        s.sim.schedule(down_at + secs(20), sds_simnet::ControlAction::Revive(r));
+    }
+    for i in (0..s.services.len()).step_by(3) {
+        let (node, _) = s.services[i];
+        s.sim.schedule(secs(8), sds_simnet::ControlAction::Crash(node));
+        s.sim.schedule(secs(30), sds_simnet::ControlAction::Revive(node));
+    }
+    // Give failover, republish, and federation repair time to settle.
+    s.sim.run_until(secs(120));
+    for qi in 0..8 {
+        let payload = s.queries[qi].clone();
+        let expected = s.expected_now(&payload);
+        let got = query_and_collect(&mut s, qi, payload, QueryOptions::default());
+        let recall = sds_metrics::recall(&expected, &got);
+        assert_eq!(recall, 1.0, "query {qi} after combined churn: {expected:?} vs {got:?}");
+    }
+    // Clients ended up attached somewhere sane.
+    for &c in &s.clients {
+        assert!(s.sim.handler::<ClientNode>(c).unwrap().home_registry().is_some());
+    }
+}

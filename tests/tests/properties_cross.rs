@@ -1,0 +1,169 @@
+//! Cross-crate property tests: the ground-truth oracle, the registry
+//! engine, and a provider's fallback self-evaluation must agree on what
+//! matches — they are three code paths over one matching semantics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use sds_protocol::{Advertisement, Description, DescriptionTemplate, QueryId, QueryMessage, QueryPayload, Uuid};
+use sds_registry::{LeasePolicy, RegistryEngine, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
+use sds_semantic::{ClassId, Ontology, ServiceProfile, ServiceRequest, SubsumptionIndex};
+use sds_simnet::NodeId;
+use sds_workload::Oracle;
+
+fn taxonomy() -> (Ontology, usize) {
+    // Depth-3 taxonomy with 10 classes: room for every degree of match.
+    let mut o = Ontology::new();
+    let thing = o.class("Thing", &[]);
+    let a = o.class("A", &[thing]);
+    let a1 = o.class("A1", &[a]);
+    let a2 = o.class("A2", &[a]);
+    let _a11 = o.class("A11", &[a1]);
+    let b = o.class("B", &[thing]);
+    let b1 = o.class("B1", &[b]);
+    let _b11 = o.class("B11", &[b1]);
+    let c = o.class("C", &[thing]);
+    let _c1 = o.class("C1", &[c]);
+    let _ = a2;
+    let n = o.len();
+    assert_eq!(n, 10, "strategies below assume 10 classes");
+    (o, n)
+}
+
+fn arb_class(n: usize) -> impl Strategy<Value = ClassId> {
+    (0..n as u32).prop_map(ClassId)
+}
+
+fn arb_profile(n: usize) -> impl Strategy<Value = ServiceProfile> {
+    (
+        arb_class(n),
+        prop::collection::vec(arb_class(n), 0..3),
+        prop::collection::vec(arb_class(n), 0..3),
+    )
+        .prop_map(|(category, inputs, outputs)| {
+            ServiceProfile::new("p", category).with_inputs(&inputs).with_outputs(&outputs)
+        })
+}
+
+fn arb_request(n: usize) -> impl Strategy<Value = ServiceRequest> {
+    (
+        prop::option::of(arb_class(n)),
+        prop::collection::vec(arb_class(n), 0..3),
+        prop::collection::vec(arb_class(n), 0..3),
+    )
+        .prop_map(|(category, outputs, provided)| ServiceRequest {
+            category,
+            outputs,
+            provided_inputs: provided,
+            qos: Vec::new(),
+        })
+}
+
+fn arb_description(n: usize) -> impl Strategy<Value = Description> {
+    prop_oneof![
+        (0u32..6).prop_map(|i| Description::Uri(format!("urn:svc:{i}"))),
+        (0u32..6).prop_map(|i| Description::Template(DescriptionTemplate {
+            name: None,
+            type_uri: Some(format!("urn:svc:{i}")),
+            attrs: vec![],
+        })),
+        arb_profile(n).prop_map(Description::Semantic),
+    ]
+}
+
+fn arb_payload(n: usize) -> impl Strategy<Value = QueryPayload> {
+    prop_oneof![
+        (0u32..6).prop_map(|i| QueryPayload::Uri(format!("urn:svc:{i}"))),
+        (0u32..6).prop_map(|i| QueryPayload::Template(DescriptionTemplate {
+            name: None,
+            type_uri: Some(format!("urn:svc:{i}")),
+            attrs: vec![],
+        })),
+        arb_request(n).prop_map(QueryPayload::Semantic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn oracle_and_registry_engine_agree(
+        descriptions in prop::collection::vec(arb_description(10), 1..12),
+        payload in arb_payload(10),
+    ) {
+        let (ont, _) = taxonomy();
+        let idx = Arc::new(SubsumptionIndex::build(&ont));
+        let oracle = Oracle::new(idx.clone());
+
+        let mut engine = RegistryEngine::new(LeasePolicy::default());
+        engine.register_evaluator(Box::new(UriEvaluator));
+        engine.register_evaluator(Box::new(TemplateEvaluator));
+        engine.register_evaluator(Box::new(SemanticEvaluator::new(idx)));
+
+        let services: Vec<(NodeId, Description)> = descriptions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (NodeId(i as u32 + 100), d.clone()))
+            .collect();
+        for (i, (node, d)) in services.iter().enumerate() {
+            let advert = Advertisement {
+                id: Uuid(i as u128 + 1),
+                provider: *node,
+                description: d.clone(),
+                version: 1,
+            };
+            engine.publish(advert, *node, 0, 1_000_000);
+        }
+
+        let query = QueryMessage {
+            id: QueryId { origin: NodeId(0), seq: 0 },
+            payload: payload.clone(),
+            max_responses: None,
+            ttl: 0,
+            reply_to: None,
+        };
+        let mut engine_hits: Vec<NodeId> =
+            engine.evaluate(&query, 100).iter().map(|h| h.advert.provider).collect();
+        let mut oracle_hits = oracle.expected_providers(&payload, &services, |_| true);
+        engine_hits.sort();
+        oracle_hits.sort();
+        prop_assert_eq!(engine_hits, oracle_hits);
+    }
+
+    #[test]
+    fn response_control_returns_a_prefix_of_the_unlimited_ranking(
+        descriptions in prop::collection::vec(arb_description(10), 1..12),
+        payload in arb_payload(10),
+        k in 0u16..8,
+    ) {
+        let (ont, _) = taxonomy();
+        let idx = Arc::new(SubsumptionIndex::build(&ont));
+        let mut engine = RegistryEngine::new(LeasePolicy::default());
+        engine.register_evaluator(Box::new(UriEvaluator));
+        engine.register_evaluator(Box::new(TemplateEvaluator));
+        engine.register_evaluator(Box::new(SemanticEvaluator::new(idx)));
+        for (i, d) in descriptions.iter().enumerate() {
+            let advert = Advertisement {
+                id: Uuid(i as u128 + 1),
+                provider: NodeId(i as u32),
+                description: d.clone(),
+                version: 1,
+            };
+            engine.publish(advert, NodeId(i as u32), 0, 1_000_000);
+        }
+        let mk = |max| QueryMessage {
+            id: QueryId { origin: NodeId(0), seq: 0 },
+            payload: payload.clone(),
+            max_responses: max,
+            ttl: 0,
+            reply_to: None,
+        };
+        let unlimited = engine.evaluate(&mk(None), 100);
+        let limited = engine.evaluate(&mk(Some(k)), 100);
+        prop_assert_eq!(limited.len(), unlimited.len().min(k as usize));
+        for (l, u) in limited.iter().zip(unlimited.iter()) {
+            prop_assert_eq!(&l.advert.id, &u.advert.id, "truncation preserves ranking order");
+        }
+    }
+}
