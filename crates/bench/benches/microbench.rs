@@ -1,10 +1,13 @@
-//! Criterion microbenchmarks for the hot paths of the discovery stack:
+//! Microbenchmarks for the hot paths of the discovery stack:
 //! subsumption-closure construction, matchmaking, triple-store operations,
 //! registry evaluation, wire codec, and raw simulator event throughput.
+//! Runs under the in-workspace wall-clock harness (`sds_bench::harness`);
+//! filter with `cargo bench -- <substring>`, smoke-run with
+//! `SDS_BENCH_QUICK=1`.
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sds_bench::harness::{black_box, Harness};
 
 use sds_protocol::{
     codec, Advertisement, Description, DiscoveryMessage, ModelId, PublishOp, QueryId,
@@ -17,37 +20,30 @@ use sds_semantic::{
 use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, Sim, SimConfig, Topology};
 use sds_workload::{battlefield, parametric, PopulationSpec, Workload};
 
-fn bench_subsumption(c: &mut Criterion) {
-    let mut g = c.benchmark_group("subsumption");
+fn bench_subsumption(h: &mut Harness) {
+    let mut g = h.group("subsumption");
     for (roots, branching, depth) in [(2usize, 3usize, 4usize), (4, 4, 5)] {
         let ont = parametric(roots, branching, depth);
-        g.bench_with_input(
-            BenchmarkId::new("closure_build", format!("{}classes", ont.len())),
-            &ont,
-            |b, ont| b.iter(|| SubsumptionIndex::build(black_box(ont))),
-        );
+        g.bench(&format!("closure_build/{}classes", ont.len()), |b| {
+            b.iter(|| SubsumptionIndex::build(black_box(&ont)))
+        });
         let idx = SubsumptionIndex::build(&ont);
         let classes: Vec<_> = ont.classes().collect();
-        g.bench_with_input(
-            BenchmarkId::new("is_subclass", format!("{}classes", ont.len())),
-            &idx,
-            |b, idx| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    i = (i + 1) % classes.len();
-                    black_box(idx.is_subclass(classes[i], classes[i / 2]))
-                })
-            },
-        );
+        let mut i = 0usize;
+        g.bench(&format!("is_subclass/{}classes", ont.len()), |b| {
+            b.iter(|| {
+                i = (i + 1) % classes.len();
+                black_box(idx.is_subclass(classes[i], classes[i / 2]))
+            })
+        });
     }
-    g.finish();
 }
 
-fn bench_matchmaker(c: &mut Criterion) {
+fn bench_matchmaker(h: &mut Harness) {
     let (ont, classes) = battlefield();
     let idx = SubsumptionIndex::build(&ont);
     let mm = Matchmaker::new(&idx);
-    let mut g = c.benchmark_group("matchmaker");
+    let mut g = h.group("matchmaker");
     for n in [100usize, 1_000] {
         let w = Workload::generate(
             &ont,
@@ -70,16 +66,15 @@ fn bench_matchmaker(c: &mut Criterion) {
             .collect();
         let request = ServiceRequest::for_category(classes.surveillance)
             .with_provided_inputs(&[classes.area_of_interest, classes.unit_id]);
-        g.bench_with_input(BenchmarkId::new("rank", n), &profiles, |b, profiles| {
-            b.iter(|| mm.rank(black_box(&request), black_box(profiles), Some(10)))
+        g.bench(&format!("rank/{n}"), |b| {
+            b.iter(|| mm.rank(black_box(&request), black_box(&profiles), Some(10)))
         });
     }
-    g.finish();
 }
 
-fn bench_triple_store(c: &mut Criterion) {
-    let mut g = c.benchmark_group("triple_store");
-    g.bench_function("insert_10k", |b| {
+fn bench_triple_store(h: &mut Harness) {
+    let mut g = h.group("triple_store");
+    g.bench("insert_10k", |b| {
         b.iter(|| {
             let mut interner = Interner::new();
             let mut store = TripleStore::new();
@@ -103,19 +98,18 @@ fn bench_triple_store(c: &mut Criterion) {
     }
     let s0 = interner.get("s0").unwrap();
     let p0 = interner.get("p0").unwrap();
-    g.bench_function("query_by_subject", |b| {
+    g.bench("query_by_subject", |b| {
         b.iter(|| black_box(store.query(TriplePattern::any().with_s(s0)).count()))
     });
-    g.bench_function("query_by_predicate", |b| {
+    g.bench("query_by_predicate", |b| {
         b.iter(|| black_box(store.query(TriplePattern::any().with_p(p0)).count()))
     });
-    g.finish();
 }
 
-fn bench_registry_evaluate(c: &mut Criterion) {
+fn bench_registry_evaluate(h: &mut Harness) {
     let (ont, classes) = battlefield();
     let idx = Arc::new(SubsumptionIndex::build(&ont));
-    let mut g = c.benchmark_group("registry_evaluate");
+    let mut g = h.group("registry_evaluate");
     for model in [ModelId::Uri, ModelId::Semantic] {
         let w = Workload::generate(
             &ont,
@@ -147,22 +141,17 @@ fn bench_registry_evaluate(c: &mut Criterion) {
                 reply_to: None,
             })
             .collect();
-        g.bench_with_input(
-            BenchmarkId::new("evaluate_1k_store", format!("{model:?}")),
-            &queries,
-            |b, queries| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    i = (i + 1) % queries.len();
-                    black_box(engine.evaluate(&queries[i], 100))
-                })
-            },
-        );
+        let mut i = 0usize;
+        g.bench(&format!("evaluate_1k_store/{model:?}"), |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(engine.evaluate(&queries[i], 100))
+            })
+        });
     }
-    g.finish();
 }
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(h: &mut Harness) {
     let (ont, classes) = battlefield();
     let w = Workload::generate(
         &ont,
@@ -185,12 +174,11 @@ fn bench_codec(c: &mut Criterion) {
         lease_ms: 30_000,
     });
     let bytes = codec::encode(&msg);
-    let mut g = c.benchmark_group("codec");
-    g.bench_function("encode_publish", |b| b.iter(|| black_box(codec::encode(black_box(&msg)))));
-    g.bench_function("decode_publish", |b| {
+    let mut g = h.group("codec");
+    g.bench("encode_publish", |b| b.iter(|| black_box(codec::encode(black_box(&msg)))));
+    g.bench("decode_publish", |b| {
         b.iter(|| black_box(codec::decode(black_box(&bytes)).unwrap()))
     });
-    g.finish();
 }
 
 struct PingPong {
@@ -207,8 +195,9 @@ impl NodeHandler<u32> for PingPong {
     }
 }
 
-fn bench_simnet(c: &mut Criterion) {
-    c.bench_function("simnet_100k_events", |b| {
+fn bench_simnet(h: &mut Harness) {
+    let mut g = h.group("simnet");
+    g.bench("100k_events", |b| {
         b.iter(|| {
             let mut topo = Topology::new();
             let lan = topo.add_lan();
@@ -224,13 +213,13 @@ fn bench_simnet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_subsumption,
-    bench_matchmaker,
-    bench_triple_store,
-    bench_registry_evaluate,
-    bench_codec,
-    bench_simnet
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_subsumption(&mut h);
+    bench_matchmaker(&mut h);
+    bench_triple_store(&mut h);
+    bench_registry_evaluate(&mut h);
+    bench_codec(&mut h);
+    bench_simnet(&mut h);
+    h.finish();
+}

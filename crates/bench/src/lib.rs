@@ -6,6 +6,8 @@
 //! queries one at a time, measuring recall, staleness, response counts, and
 //! first-response latency against the ground-truth oracle.
 
+pub mod harness;
+
 use sds_core::{ClientNode, QueryOptions};
 use sds_metrics::{ratio, recall, Summary};
 use sds_simnet::NodeId;

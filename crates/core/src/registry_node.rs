@@ -22,9 +22,6 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-
 use sds_protocol::{
     Advertisement, DiscoveryMessage, MaintenanceOp, ModelId, PublishOp, QueryId, QueryMessage,
     QueryOp, QueryPayload, ResponseHit, Uuid,
@@ -265,7 +262,7 @@ impl RegistryNode {
             }
             ForwardStrategy::RandomWalk { walkers, .. } => {
                 let mut chosen = peers;
-                chosen.shuffle(ctx.rng());
+                ctx.rng().shuffle(&mut chosen);
                 chosen.truncate(*walkers as usize);
                 chosen.into_iter().map(|p| (p, remaining_ttl - 1)).collect()
             }
@@ -294,7 +291,7 @@ impl RegistryNode {
             }
             ForwardStrategy::RandomWalk { .. } => {
                 // A walk continues through exactly one random neighbour.
-                let &next = peers.choose(ctx.rng()).expect("non-empty");
+                let &next = ctx.rng().choose(&peers).expect("non-empty");
                 vec![(next, remaining_ttl - 1)]
             }
         }

@@ -3,9 +3,7 @@
 
 use std::collections::VecDeque;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use sds_rand::Rng;
 
 /// A simple undirected graph over nodes `0..n`.
 ///
@@ -174,10 +172,10 @@ impl Graph {
     /// Removes `steps` batches of `batch` nodes, chosen uniformly at random
     /// (the "random failure" column of E9).
     pub fn random_removal(&self, batch: usize, steps: usize, seed: u64) -> RemovalReport {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let order = {
             let mut v: Vec<usize> = (0..self.node_count()).collect();
-            v.shuffle(&mut rng);
+            rng.shuffle(&mut v);
             v
         };
         self.removal_by_order(&order, batch, steps)
@@ -269,7 +267,7 @@ pub mod topologies {
     /// Erdős–Rényi G(n, p), plus a ring backbone to keep it connected at
     /// small n.
     pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut g = ring(n);
         for a in 0..n {
             for b in (a + 1)..n {
@@ -308,7 +306,7 @@ pub mod topologies {
                 g.add_edge(c * cluster_size + 1, next * cluster_size + 1);
             }
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         for _ in 0..extra_links {
             let a = rng.gen_range(0..clusters) * cluster_size;
             let b = rng.gen_range(0..clusters) * cluster_size;

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use rand::Rng;
+use sds_rand::Rng;
 
 /// A 128-bit random identifier (UUIDv4-like; version bits are not encoded
 /// since nothing interoperates with real UUID parsers here).
@@ -15,9 +15,13 @@ use rand::Rng;
 pub struct Uuid(pub u128);
 
 impl Uuid {
-    /// Draws a fresh identifier from `rng`.
-    pub fn generate<R: Rng + ?Sized>(rng: &mut R) -> Self {
-        Self(rng.gen())
+    /// Draws a fresh identifier from `rng`. Built from `fill_bytes` so the
+    /// identifier matches what a wire-level implementation reading 16 raw
+    /// octets would produce.
+    pub fn generate(rng: &mut Rng) -> Self {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        Self(u128::from_le_bytes(bytes))
     }
 
     /// The nil UUID, never produced by [`Uuid::generate`] in practice.
@@ -48,19 +52,17 @@ impl fmt::Display for Uuid {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_from_seeded_rng() {
-        let mut a = StdRng::seed_from_u64(1);
-        let mut b = StdRng::seed_from_u64(1);
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(1);
         assert_eq!(Uuid::generate(&mut a), Uuid::generate(&mut b));
     }
 
     #[test]
     fn distinct_in_sequence() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let x = Uuid::generate(&mut rng);
         let y = Uuid::generate(&mut rng);
         assert_ne!(x, y);

@@ -1,7 +1,9 @@
 //! Property-based tests: every representable message round-trips through
-//! the codec, and decoding never panics on arbitrary bytes.
+//! the codec, and decoding never panics on arbitrary bytes. Run under the
+//! in-workspace seeded harness (`sds_rand::check`).
 
-use proptest::prelude::*;
+use sds_rand::check::{gen, Checker};
+use sds_rand::Rng;
 
 use sds_protocol::{
     codec, Advertisement, Description, DescriptionTemplate, DiscoveryMessage, MaintenanceOp,
@@ -13,248 +15,240 @@ use sds_semantic::{
 };
 use sds_simnet::NodeId;
 
-fn arb_qos_key() -> impl Strategy<Value = QosKey> {
-    prop_oneof![
-        Just(QosKey::LatencyMs),
-        Just(QosKey::UpdatePeriodS),
-        Just(QosKey::CoverageM),
-        Just(QosKey::Accuracy),
-    ]
+fn arb_qos_key(rng: &mut Rng) -> QosKey {
+    match rng.gen_range(0..4u32) {
+        0 => QosKey::LatencyMs,
+        1 => QosKey::UpdatePeriodS,
+        2 => QosKey::CoverageM,
+        _ => QosKey::Accuracy,
+    }
 }
 
-fn arb_class() -> impl Strategy<Value = ClassId> {
-    (0u32..1000).prop_map(ClassId)
+fn arb_qos_bound(rng: &mut Rng) -> f64 {
+    // Uniform in [-1e6, 1e6), matching the old strategy's range.
+    (rng.gen_f64() - 0.5) * 2e6
 }
 
-fn arb_profile() -> impl Strategy<Value = ServiceProfile> {
-    (
-        "[a-z0-9-]{0,12}",
-        arb_class(),
-        prop::collection::vec(arb_class(), 0..4),
-        prop::collection::vec(arb_class(), 0..4),
-        prop::collection::vec((arb_qos_key(), -1e6f64..1e6), 0..3),
-    )
-        .prop_map(|(name, category, inputs, outputs, qos)| ServiceProfile {
-            name,
-            category,
-            inputs,
-            outputs,
-            qos: qos.into_iter().map(|(key, value)| QosValue { key, value }).collect(),
-        })
+fn arb_class(rng: &mut Rng) -> ClassId {
+    ClassId(rng.gen_range(0..1000u32))
 }
 
-fn arb_request() -> impl Strategy<Value = ServiceRequest> {
-    (
-        prop::option::of(arb_class()),
-        prop::collection::vec(arb_class(), 0..4),
-        prop::collection::vec(arb_class(), 0..4),
-        prop::collection::vec((arb_qos_key(), -1e6f64..1e6), 0..3),
-    )
-        .prop_map(|(category, outputs, provided_inputs, qos)| ServiceRequest {
-            category,
-            outputs,
-            provided_inputs,
-            qos: qos.into_iter().map(|(key, bound)| QosConstraint { key, bound }).collect(),
-        })
+fn arb_profile(rng: &mut Rng) -> ServiceProfile {
+    ServiceProfile {
+        name: gen::ident(rng, 0, 12),
+        category: arb_class(rng),
+        inputs: gen::vec_of(rng, 0, 4, arb_class),
+        outputs: gen::vec_of(rng, 0, 4, arb_class),
+        qos: gen::vec_of(rng, 0, 3, |r| QosValue { key: arb_qos_key(r), value: arb_qos_bound(r) }),
+    }
 }
 
-fn arb_template() -> impl Strategy<Value = DescriptionTemplate> {
-    (
-        prop::option::of("[a-z ]{0,10}"),
-        prop::option::of("urn:[a-z:]{0,16}"),
-        prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{0,8}"), 0..4),
-    )
-        .prop_map(|(name, type_uri, attrs)| DescriptionTemplate { name, type_uri, attrs })
+fn arb_request(rng: &mut Rng) -> ServiceRequest {
+    ServiceRequest {
+        category: gen::option_of(rng, arb_class),
+        outputs: gen::vec_of(rng, 0, 4, arb_class),
+        provided_inputs: gen::vec_of(rng, 0, 4, arb_class),
+        qos: gen::vec_of(rng, 0, 3, |r| QosConstraint { key: arb_qos_key(r), bound: arb_qos_bound(r) }),
+    }
 }
 
-fn arb_description() -> impl Strategy<Value = Description> {
-    prop_oneof![
-        "urn:[a-z:0-9]{0,24}".prop_map(Description::Uri),
-        arb_template().prop_map(Description::Template),
-        arb_profile().prop_map(Description::Semantic),
-    ]
+fn arb_template(rng: &mut Rng) -> DescriptionTemplate {
+    DescriptionTemplate {
+        name: gen::option_of(rng, |r| gen::ident(r, 0, 10)),
+        type_uri: gen::option_of(rng, |r| format!("urn:{}", gen::ident(r, 0, 12))),
+        attrs: gen::vec_of(rng, 0, 4, |r| (gen::ident(r, 1, 6), gen::ident(r, 0, 8))),
+    }
 }
 
-fn arb_payload() -> impl Strategy<Value = QueryPayload> {
-    prop_oneof![
-        "urn:[a-z:0-9]{0,24}".prop_map(QueryPayload::Uri),
-        arb_template().prop_map(QueryPayload::Template),
-        arb_request().prop_map(QueryPayload::Semantic),
-    ]
+fn arb_description(rng: &mut Rng) -> Description {
+    match rng.gen_range(0..3u32) {
+        0 => Description::Uri(format!("urn:{}", gen::ident(rng, 0, 20))),
+        1 => Description::Template(arb_template(rng)),
+        _ => Description::Semantic(arb_profile(rng)),
+    }
 }
 
-fn arb_advert() -> impl Strategy<Value = Advertisement> {
-    (any::<u128>(), 0u32..10_000, any::<u32>(), arb_description()).prop_map(
-        |(id, provider, version, description)| Advertisement {
-            id: Uuid(id),
-            provider: NodeId(provider),
-            description,
-            version,
+fn arb_payload(rng: &mut Rng) -> QueryPayload {
+    match rng.gen_range(0..3u32) {
+        0 => QueryPayload::Uri(format!("urn:{}", gen::ident(rng, 0, 20))),
+        1 => QueryPayload::Template(arb_template(rng)),
+        _ => QueryPayload::Semantic(arb_request(rng)),
+    }
+}
+
+fn arb_advert(rng: &mut Rng) -> Advertisement {
+    Advertisement {
+        id: Uuid(rng.gen_u128()),
+        provider: NodeId(rng.gen_range(0..10_000u32)),
+        description: arb_description(rng),
+        version: rng.next_u32(),
+    }
+}
+
+fn arb_query_id(rng: &mut Rng) -> QueryId {
+    QueryId { origin: NodeId(rng.gen_range(0..10_000u32)), seq: rng.next_u64() }
+}
+
+fn arb_query(rng: &mut Rng) -> QueryMessage {
+    QueryMessage {
+        id: arb_query_id(rng),
+        payload: arb_payload(rng),
+        max_responses: gen::option_of(rng, |r| r.next_u64() as u16),
+        ttl: rng.gen_range(0..=255u8),
+        reply_to: gen::option_of(rng, |r| NodeId(r.gen_range(0..10_000u32))),
+    }
+}
+
+fn arb_degree(rng: &mut Rng) -> Degree {
+    match rng.gen_range(0..4u32) {
+        0 => Degree::Fail,
+        1 => Degree::Subsumes,
+        2 => Degree::PlugIn,
+        _ => Degree::Exact,
+    }
+}
+
+fn arb_nodes(rng: &mut Rng) -> Vec<NodeId> {
+    gen::vec_of(rng, 0, 6, |r| NodeId(r.gen_range(0..10_000u32)))
+}
+
+fn arb_model_id(rng: &mut Rng) -> ModelId {
+    match rng.gen_range(0..3u32) {
+        0 => ModelId::Uri,
+        1 => ModelId::Template,
+        _ => ModelId::Semantic,
+    }
+}
+
+fn arb_maintenance(rng: &mut Rng) -> MaintenanceOp {
+    match rng.gen_range(0..13u32) {
+        0 => MaintenanceOp::RegistryProbe,
+        1 => MaintenanceOp::RegistryProbeReply { advert_count: rng.next_u32(), load: rng.next_u32() },
+        2 => MaintenanceOp::RegistryBeacon { advert_count: rng.next_u32() },
+        3 => MaintenanceOp::Ping,
+        4 => MaintenanceOp::Pong,
+        5 => MaintenanceOp::RegistryListRequest { from_registry: rng.gen_bool(0.5) },
+        6 => MaintenanceOp::RegistryList { registries: arb_nodes(rng) },
+        7 => MaintenanceOp::FederationJoin { known_peers: arb_nodes(rng) },
+        8 => MaintenanceOp::FederationAck { peers: arb_nodes(rng) },
+        9 => MaintenanceOp::SummaryAdvert {
+            advert_count: rng.next_u32(),
+            models: gen::vec_of(rng, 0, 3, arb_model_id),
         },
-    )
+        10 => MaintenanceOp::AdvertPullRequest,
+        11 => MaintenanceOp::ArtifactRequest { name: gen::ident(rng, 0, 12) },
+        _ => MaintenanceOp::ArtifactResponse {
+            name: gen::ident(rng, 0, 12),
+            found: rng.gen_bool(0.5),
+            size: rng.next_u32(),
+        },
+    }
 }
 
-fn arb_query() -> impl Strategy<Value = QueryMessage> {
-    (
-        0u32..10_000,
-        any::<u64>(),
-        arb_payload(),
-        prop::option::of(any::<u16>()),
-        any::<u8>(),
-        prop::option::of(0u32..10_000),
-    )
-        .prop_map(|(origin, seq, payload, max_responses, ttl, reply_to)| QueryMessage {
-            id: QueryId { origin: NodeId(origin), seq },
-            payload,
-            max_responses,
-            ttl,
-            reply_to: reply_to.map(NodeId),
-        })
+fn arb_publish(rng: &mut Rng) -> PublishOp {
+    match rng.gen_range(0..7u32) {
+        0 => PublishOp::Publish { advert: arb_advert(rng), lease_ms: rng.next_u64() },
+        1 => PublishOp::PublishAck { id: Uuid(rng.gen_u128()), lease_until: rng.next_u64() },
+        2 => PublishOp::RenewLease { id: Uuid(rng.gen_u128()) },
+        3 => PublishOp::RenewAck {
+            id: Uuid(rng.gen_u128()),
+            lease_until: rng.next_u64(),
+            known: rng.gen_bool(0.5),
+        },
+        4 => PublishOp::Remove { id: Uuid(rng.gen_u128()) },
+        5 => PublishOp::Update { advert: arb_advert(rng), lease_ms: rng.next_u64() },
+        _ => PublishOp::ForwardAdverts { adverts: gen::vec_of(rng, 0, 4, arb_advert) },
+    }
 }
 
-fn arb_degree() -> impl Strategy<Value = Degree> {
-    prop_oneof![
-        Just(Degree::Fail),
-        Just(Degree::Subsumes),
-        Just(Degree::PlugIn),
-        Just(Degree::Exact)
-    ]
+fn arb_queryop(rng: &mut Rng) -> QueryOp {
+    match rng.gen_range(0..7u32) {
+        0 => QueryOp::Query(arb_query(rng)),
+        1 => QueryOp::Subscribe {
+            id: arb_query_id(rng),
+            payload: arb_payload(rng),
+            lease_ms: rng.next_u64(),
+        },
+        2 => QueryOp::SubscribeAck { id: arb_query_id(rng), lease_until: rng.next_u64() },
+        3 => QueryOp::Unsubscribe { id: arb_query_id(rng) },
+        4 => QueryOp::Notify {
+            subscription: arb_query_id(rng),
+            hit: ResponseHit {
+                advert: arb_advert(rng),
+                degree: arb_degree(rng),
+                distance: rng.next_u32(),
+            },
+        },
+        5 => QueryOp::ComposeRequest {
+            id: arb_query_id(rng),
+            request: arb_request(rng),
+            max_depth: rng.gen_range(0..=255u8),
+        },
+        _ => match rng.gen_bool(0.5) {
+            true => QueryOp::ComposeResponse {
+                id: arb_query_id(rng),
+                found: rng.gen_bool(0.5),
+                chain: gen::vec_of(rng, 0, 4, arb_advert),
+            },
+            false => QueryOp::QueryResponse {
+                query_id: arb_query_id(rng),
+                hits: gen::vec_of(rng, 0, 4, |r| ResponseHit {
+                    advert: arb_advert(r),
+                    degree: arb_degree(r),
+                    distance: r.next_u32(),
+                }),
+                responder: NodeId(rng.gen_range(0..10_000u32)),
+            },
+        },
+    }
 }
 
-fn arb_nodes() -> impl Strategy<Value = Vec<NodeId>> {
-    prop::collection::vec((0u32..10_000).prop_map(NodeId), 0..6)
+fn arb_message(rng: &mut Rng) -> DiscoveryMessage {
+    match rng.gen_range(0..3u32) {
+        0 => DiscoveryMessage::maintenance(arb_maintenance(rng)),
+        1 => DiscoveryMessage::publishing(arb_publish(rng)),
+        _ => DiscoveryMessage::querying(arb_queryop(rng)),
+    }
 }
 
-fn arb_maintenance() -> impl Strategy<Value = MaintenanceOp> {
-    prop_oneof![
-        Just(MaintenanceOp::RegistryProbe),
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(advert_count, load)| MaintenanceOp::RegistryProbeReply { advert_count, load }),
-        any::<u32>().prop_map(|advert_count| MaintenanceOp::RegistryBeacon { advert_count }),
-        Just(MaintenanceOp::Ping),
-        Just(MaintenanceOp::Pong),
-        any::<bool>().prop_map(|from_registry| MaintenanceOp::RegistryListRequest { from_registry }),
-        arb_nodes().prop_map(|registries| MaintenanceOp::RegistryList { registries }),
-        arb_nodes().prop_map(|known_peers| MaintenanceOp::FederationJoin { known_peers }),
-        arb_nodes().prop_map(|peers| MaintenanceOp::FederationAck { peers }),
-        (any::<u32>(), prop::collection::vec(
-            prop_oneof![Just(ModelId::Uri), Just(ModelId::Template), Just(ModelId::Semantic)], 0..3
-        )).prop_map(|(advert_count, models)| MaintenanceOp::SummaryAdvert { advert_count, models }),
-        Just(MaintenanceOp::AdvertPullRequest),
-        "[a-z-]{0,12}".prop_map(|name| MaintenanceOp::ArtifactRequest { name }),
-        ("[a-z-]{0,12}", any::<bool>(), any::<u32>())
-            .prop_map(|(name, found, size)| MaintenanceOp::ArtifactResponse { name, found, size }),
-    ]
-}
-
-fn arb_publish() -> impl Strategy<Value = PublishOp> {
-    prop_oneof![
-        (arb_advert(), any::<u64>())
-            .prop_map(|(advert, lease_ms)| PublishOp::Publish { advert, lease_ms }),
-        (any::<u128>(), any::<u64>())
-            .prop_map(|(id, lease_until)| PublishOp::PublishAck { id: Uuid(id), lease_until }),
-        any::<u128>().prop_map(|id| PublishOp::RenewLease { id: Uuid(id) }),
-        (any::<u128>(), any::<u64>(), any::<bool>()).prop_map(|(id, lease_until, known)| {
-            PublishOp::RenewAck { id: Uuid(id), lease_until, known }
-        }),
-        any::<u128>().prop_map(|id| PublishOp::Remove { id: Uuid(id) }),
-        (arb_advert(), any::<u64>())
-            .prop_map(|(advert, lease_ms)| PublishOp::Update { advert, lease_ms }),
-        prop::collection::vec(arb_advert(), 0..4)
-            .prop_map(|adverts| PublishOp::ForwardAdverts { adverts }),
-    ]
-}
-
-fn arb_queryop() -> impl Strategy<Value = QueryOp> {
-    prop_oneof![
-        arb_query().prop_map(QueryOp::Query),
-        (0u32..10_000, any::<u64>(), arb_payload(), any::<u64>()).prop_map(
-            |(origin, seq, payload, lease_ms)| QueryOp::Subscribe {
-                id: QueryId { origin: NodeId(origin), seq },
-                payload,
-                lease_ms,
-            }
-        ),
-        (0u32..10_000, any::<u64>(), any::<u64>()).prop_map(|(origin, seq, lease_until)| {
-            QueryOp::SubscribeAck { id: QueryId { origin: NodeId(origin), seq }, lease_until }
-        }),
-        (0u32..10_000, any::<u64>()).prop_map(|(origin, seq)| QueryOp::Unsubscribe {
-            id: QueryId { origin: NodeId(origin), seq },
-        }),
-        (0u32..10_000, any::<u64>(), arb_advert(), arb_degree(), any::<u32>()).prop_map(
-            |(origin, seq, advert, degree, distance)| QueryOp::Notify {
-                subscription: QueryId { origin: NodeId(origin), seq },
-                hit: ResponseHit { advert, degree, distance },
-            }
-        ),
-        (0u32..10_000, any::<u64>(), arb_request(), any::<u8>()).prop_map(
-            |(origin, seq, request, max_depth)| QueryOp::ComposeRequest {
-                id: QueryId { origin: NodeId(origin), seq },
-                request,
-                max_depth,
-            }
-        ),
-        (0u32..10_000, any::<u64>(), any::<bool>(), prop::collection::vec(arb_advert(), 0..4))
-            .prop_map(|(origin, seq, found, chain)| QueryOp::ComposeResponse {
-                id: QueryId { origin: NodeId(origin), seq },
-                found,
-                chain,
-            }),
-        (
-            0u32..10_000,
-            any::<u64>(),
-            0u32..10_000,
-            prop::collection::vec((arb_advert(), arb_degree(), any::<u32>()), 0..4)
-        )
-            .prop_map(|(origin, seq, responder, hits)| QueryOp::QueryResponse {
-                query_id: QueryId { origin: NodeId(origin), seq },
-                hits: hits
-                    .into_iter()
-                    .map(|(advert, degree, distance)| ResponseHit { advert, degree, distance })
-                    .collect(),
-                responder: NodeId(responder),
-            }),
-    ]
-}
-
-fn arb_message() -> impl Strategy<Value = DiscoveryMessage> {
-    prop_oneof![
-        arb_maintenance().prop_map(DiscoveryMessage::maintenance),
-        arb_publish().prop_map(DiscoveryMessage::publishing),
-        arb_queryop().prop_map(DiscoveryMessage::querying),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn every_message_round_trips(msg in arb_message()) {
+#[test]
+fn every_message_round_trips() {
+    Checker::new("every_message_round_trips").cases(256).run(|rng| {
+        let msg = arb_message(rng);
         let bytes = codec::encode(&msg);
         let back = codec::decode(&bytes).expect("decode what we encoded");
-        prop_assert_eq!(back, msg);
-    }
+        assert_eq!(back, msg);
+    });
+}
 
-    #[test]
-    fn decoding_arbitrary_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn decoding_arbitrary_bytes_never_panics() {
+    Checker::new("decoding_arbitrary_bytes_never_panics").cases(256).run(|rng| {
+        let bytes = gen::vec_of(rng, 0, 256, |r| r.gen_range(0..=255u8));
         let _ = codec::decode(&bytes); // must return Err, not panic
-    }
+    });
+}
 
-    #[test]
-    fn truncation_always_fails_cleanly(msg in arb_message(), cut in any::<prop::sample::Index>()) {
+#[test]
+fn truncation_always_fails_cleanly() {
+    Checker::new("truncation_always_fails_cleanly").cases(256).run(|rng| {
+        let msg = arb_message(rng);
         let bytes = codec::encode(&msg);
         if bytes.len() > 1 {
-            let cut = 1 + cut.index(bytes.len() - 1);
-            if cut < bytes.len() {
-                prop_assert!(codec::decode(&bytes[..cut]).is_err());
-            }
+            let cut = rng.gen_range(1..bytes.len());
+            assert!(codec::decode(&bytes[..cut]).is_err());
         }
-    }
+    });
+}
 
-    #[test]
-    fn wire_size_is_positive_and_stable(msg in arb_message()) {
+#[test]
+fn wire_size_is_positive_and_stable() {
+    Checker::new("wire_size_is_positive_and_stable").cases(256).run(|rng| {
+        let msg = arb_message(rng);
         let a = msg.body_size();
         let b = msg.body_size();
-        prop_assert_eq!(a, b, "size model is a pure function");
+        assert_eq!(a, b, "size model is a pure function");
         // Every message costs at least its operation framing.
-        prop_assert!(a >= 8, "size {} too small", a);
-    }
+        assert!(a >= 8, "size {a} too small");
+    });
 }

@@ -1,0 +1,212 @@
+//! A minimal seeded property-test harness.
+//!
+//! Replaces `proptest` for this workspace's needs: run a property closure
+//! over N deterministically seeded cases, report the failing case seed on
+//! panic, and re-run explicitly registered regression seeds first. There is
+//! no shrinking — cases are seeds, so a failure reproduces exactly by
+//! pinning its seed with [`Checker::regression`] and debugging under it.
+//!
+//! ```
+//! use sds_rand::check::Checker;
+//!
+//! Checker::new("addition_commutes").cases(64).run(|rng| {
+//!     let a = rng.gen_range(0..1000u64);
+//!     let b = rng.gen_range(0..1000u64);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Environment overrides (both optional):
+//! * `SDS_CHECK_CASES` — case count for every checker (stress runs);
+//! * `SDS_CHECK_SEED` — replaces the per-property base seed (exploration).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{Rng, Seed};
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 128;
+
+/// A property runner: a name (which fixes the default seed), a case count,
+/// and any pinned regression seeds.
+pub struct Checker {
+    name: String,
+    cases: u32,
+    base: Seed,
+    regressions: Vec<u64>,
+}
+
+impl Checker {
+    /// A checker whose base seed derives from `name`, so distinct properties
+    /// explore independent case streams by default.
+    pub fn new(name: &str) -> Self {
+        let base = match std::env::var("SDS_CHECK_SEED").ok().and_then(|s| parse_seed(&s)) {
+            Some(s) => Seed(s).derive(name),
+            None => Seed(0).derive(name),
+        };
+        let cases = std::env::var("SDS_CHECK_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        Self { name: name.to_string(), cases, base, regressions: Vec::new() }
+    }
+
+    /// Overrides the number of generated cases (env `SDS_CHECK_CASES` wins).
+    pub fn cases(mut self, n: u32) -> Self {
+        if std::env::var_os("SDS_CHECK_CASES").is_none() {
+            self.cases = n;
+        }
+        self
+    }
+
+    /// Pins a previously failing case seed: it re-runs before any generated
+    /// case, the moral equivalent of a `proptest-regressions` entry — but
+    /// named, in code, and reviewable.
+    pub fn regression(mut self, case_seed: u64) -> Self {
+        self.regressions.push(case_seed);
+        self
+    }
+
+    /// Runs the property: every pinned regression seed first, then `cases`
+    /// generated cases. On failure, prints the case seed (for
+    /// [`Checker::regression`]) and re-raises the panic.
+    pub fn run<F: FnMut(&mut Rng)>(self, mut property: F) {
+        for i in 0..self.regressions.len() {
+            self.run_case(self.regressions[i], "regression", &mut property);
+        }
+        for i in 0..self.cases {
+            let case_seed = self.base.derive_idx("case", u64::from(i)).0;
+            self.run_case(case_seed, "generated", &mut property);
+        }
+    }
+
+    fn run_case<F: FnMut(&mut Rng)>(&self, case_seed: u64, kind: &str, property: &mut F) {
+        let mut rng = Rng::seed_from_u64(case_seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            eprintln!(
+                "property '{}' failed on {} case seed {:#018x}; pin it with \
+                 `.regression({:#018x})` to debug",
+                self.name, kind, case_seed, case_seed
+            );
+            resume_unwind(panic);
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Generator helpers shared by property tests: structured values from a
+/// case's [`Rng`].
+pub mod gen {
+    use crate::Rng;
+
+    /// A vector of `len` in `min..max` elements produced by `f`.
+    pub fn vec_of<T>(rng: &mut Rng, min: usize, max: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
+        let len = if min == max { min } else { rng.gen_range(min..max) };
+        (0..len).map(|_| f(rng)).collect()
+    }
+
+    /// `Some(f(rng))` half the time.
+    pub fn option_of<T>(rng: &mut Rng, f: impl FnOnce(&mut Rng) -> T) -> Option<T> {
+        if rng.gen_bool(0.5) {
+            Some(f(rng))
+        } else {
+            None
+        }
+    }
+
+    /// A lowercase ASCII identifier of `len` in `min..=max` characters.
+    pub fn ident(rng: &mut Rng, min: usize, max: usize) -> String {
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| {
+                // [a-z0-9-], weighted toward letters.
+                match rng.gen_range(0..10u32) {
+                    0 => '-',
+                    1 | 2 => char::from(b'0' + rng.gen_range(0..10u8)),
+                    _ => char::from(b'a' + rng.gen_range(0..26u8)),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case() {
+        let mut count = 0;
+        Checker::new("counting").cases(17).run(|rng| {
+            let _ = rng.next_u64();
+            count += 1;
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let collect = || {
+            let mut seen = Vec::new();
+            Checker::new("det").cases(5).run(|rng| seen.push(rng.next_u64()));
+            seen
+        };
+        let a = collect();
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, collect());
+        // Distinct cases explore distinct streams.
+        assert!(a.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn regressions_run_first() {
+        let mut order = Vec::new();
+        Checker::new("reg")
+            .cases(1)
+            .regression(99)
+            .run(|rng| order.push(rng.next_u64()));
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], Rng::seed_from_u64(99).next_u64());
+    }
+
+    #[test]
+    fn failing_case_panics_through() {
+        let result = catch_unwind(|| {
+            Checker::new("fails").cases(3).run(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gen_helpers_respect_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = gen::vec_of(&mut rng, 1, 5, |r| r.gen_range(0..3u32));
+            assert!((1..5).contains(&v.len()));
+            let s = gen::ident(&mut rng, 0, 8);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+        let mut somes = 0;
+        for _ in 0..1000 {
+            if gen::option_of(&mut rng, |r| r.next_u64()).is_some() {
+                somes += 1;
+            }
+        }
+        assert!((400..600).contains(&somes));
+    }
+
+    #[test]
+    fn parse_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

@@ -1,0 +1,330 @@
+//! The generator: xoshiro256++ (Blackman & Vigna) seeded via SplitMix64.
+//!
+//! xoshiro256++ is the reference general-purpose choice of its family: 256
+//! bits of state, period 2^256 − 1, passes BigCrush, and is a handful of
+//! shifts and adds per draw. SplitMix64 expands a 64-bit seed into the four
+//! state words, which guarantees a non-zero state and decorrelates nearby
+//! seeds (consecutive integers are the common case for experiment sweeps).
+
+/// The SplitMix64 finalizer: a bijective avalanche over `u64`.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ pseudo-random generator.
+///
+/// Not cryptographically secure — it exists to make simulation runs
+/// reproducible, not to resist prediction.
+///
+/// ```
+/// use sds_rand::Rng;
+///
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let die = a.gen_range(1..=6u32);
+/// assert!((1..=6).contains(&die));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self { s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)] }
+    }
+
+    /// The core draw: the next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly distributed bits (upper half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly distributed `u128` (two 64-bit draws).
+    #[inline]
+    pub fn gen_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Fills `dest` with uniformly distributed bytes (little-endian draws).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        self.gen_f64() < p
+    }
+
+    /// Uniform draw in `[0, n)` without modulo bias (Lemire's method).
+    /// Panics when `n == 0`.
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        let mut m = u128::from(self.next_u64()) * u128::from(n);
+        if (m as u64) < n {
+            // Rejection zone: n.wrapping_neg() % n == (2^64 - n) mod n.
+            let zone = n.wrapping_neg() % n;
+            while (m as u64) < zone {
+                m = u128::from(self.next_u64()) * u128::from(n);
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range, e.g.
+    /// `rng.gen_range(0..peers.len())` or `rng.gen_range(0..=jitter)`.
+    /// Panics on an empty range.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Value {
+        range.sample(self)
+    }
+
+    /// Uniform index into a collection of length `len`; panics when empty.
+    #[inline]
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_below(len as u64) as usize
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_index(slice.len())])
+        }
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            slice.swap(i, self.gen_index(i + 1));
+        }
+    }
+
+    /// An `Exp(1/mean)` sample by inverse CDF: inter-arrival times of a
+    /// Poisson process with the given mean gap (the memoryless churn model).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // 1 - gen_f64() lies in (0, 1], avoiding ln(0).
+        -mean * (1.0 - self.gen_f64()).ln()
+    }
+
+    /// A `Geometric(p)` sample: number of failures before the first success
+    /// of a Bernoulli(`p`) process (support `0, 1, 2, …`).
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric p {p} outside (0, 1]");
+        if p >= 1.0 {
+            return 0;
+        }
+        // Inverse CDF: floor(ln(U) / ln(1-p)) with U in (0, 1].
+        let u = 1.0 - self.gen_f64();
+        (u.ln() / (1.0 - p).ln()) as u64
+    }
+}
+
+/// Integer ranges [`Rng::gen_range`] can sample from uniformly.
+pub trait UniformRange {
+    type Value;
+    fn sample(self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! impl_uniform_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.gen_below(width) as i128) as $t
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.gen_below(width as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_xoshiro256plusplus_reference_vectors() {
+        // State {1, 2, 3, 4} → first outputs of the reference C
+        // implementation (xoshiro256plusplus.c, Blackman & Vigna).
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let expected = [
+            41943041u64,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+        ];
+        for e in expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(8);
+        assert_ne!(Rng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..6usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..6 drawn: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&v));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.gen_range(5..=5u64), 5);
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(2);
+        let n = 10u64;
+        let draws = 100_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..draws {
+            counts[rng.gen_below(n) as usize] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {v}: count {c} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(3..3u32);
+    }
+
+    #[test]
+    fn gen_bool_edge_cases_and_rate() {
+        let mut rng = Rng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "~25% hit rate, got {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "13 zero bytes is absurdly unlikely");
+        // Prefix-stability: the first 8 bytes equal the first draw.
+        let mut rng2 = Rng::seed_from_u64(4);
+        assert_eq!(buf[..8], rng2.next_u64().to_le_bytes());
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_selects() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>(), "a permutation");
+        assert_ne!(v, sorted, "seed 5 does not produce the identity permutation");
+        assert!(rng.choose(&v).is_some());
+        assert_eq!(rng.choose::<u32>(&[]), None);
+        rng.shuffle::<u32>(&mut []); // empty and singleton are fine
+        rng.shuffle(&mut [1u32]);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = Rng::seed_from_u64(6);
+        let n = 50_000;
+        let mean = 40.0;
+        let sum: f64 = (0..n).map(|_| rng.exp(mean)).sum();
+        let got = sum / f64::from(n);
+        assert!((got - mean).abs() / mean < 0.05, "sample mean {got} vs {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_is_close() {
+        let mut rng = Rng::seed_from_u64(7);
+        let p = 0.2;
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let got = sum as f64 / f64::from(n);
+        let want = (1.0 - p) / p; // mean of the failures-counting variant
+        assert!((got - want).abs() / want < 0.08, "sample mean {got} vs {want}");
+        assert_eq!(rng.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,8 +1,10 @@
 //! Property-based tests for the registry store: lease arithmetic, purge
 //! correctness against a naive model, version monotonicity, and the
-//! query-id dedup cache.
+//! query-id dedup cache. Run under the in-workspace seeded harness
+//! (`sds_rand::check`).
 
-use proptest::prelude::*;
+use sds_rand::check::{gen, Checker};
+use sds_rand::Rng;
 
 use sds_protocol::{Advertisement, Description, QueryId, Uuid};
 use sds_registry::{LeasePolicy, RegistryStore, SeenQueries};
@@ -25,15 +27,20 @@ enum StoreOp {
     Purge { now: u64 },
 }
 
-fn arb_store_op() -> impl Strategy<Value = StoreOp> {
-    prop_oneof![
-        (0u128..8, 0u32..4, 1u64..1_000).prop_map(|(id, version, lease_until)| {
-            StoreOp::Publish { id, version, lease_until }
-        }),
-        (0u128..8, 1u64..1_000).prop_map(|(id, lease_until)| StoreOp::Renew { id, lease_until }),
-        (0u128..8).prop_map(|id| StoreOp::Remove { id }),
-        (0u64..1_000).prop_map(|now| StoreOp::Purge { now }),
-    ]
+fn arb_store_op(rng: &mut Rng) -> StoreOp {
+    match rng.gen_range(0..4u32) {
+        0 => StoreOp::Publish {
+            id: u128::from(rng.gen_range(0..8u64)),
+            version: rng.gen_range(0..4u32),
+            lease_until: rng.gen_range(1..1_000u64),
+        },
+        1 => StoreOp::Renew {
+            id: u128::from(rng.gen_range(0..8u64)),
+            lease_until: rng.gen_range(1..1_000u64),
+        },
+        2 => StoreOp::Remove { id: u128::from(rng.gen_range(0..8u64)) },
+        _ => StoreOp::Purge { now: rng.gen_range(0..1_000u64) },
+    }
 }
 
 /// Naive reference model of the store.
@@ -42,9 +49,10 @@ struct Model {
     adverts: std::collections::HashMap<u128, (u32, u64)>, // id → (version, lease_until)
 }
 
-proptest! {
-    #[test]
-    fn store_agrees_with_naive_model(ops in prop::collection::vec(arb_store_op(), 0..80)) {
+#[test]
+fn store_agrees_with_naive_model() {
+    Checker::new("store_agrees_with_naive_model").run(|rng| {
+        let ops = gen::vec_of(rng, 0, 80, arb_store_op);
         let mut store = RegistryStore::new();
         let mut model = Model::default();
         for op in ops {
@@ -64,14 +72,14 @@ proptest! {
                 }
                 StoreOp::Renew { id, lease_until } => {
                     let known = store.renew(Uuid(id), lease_until);
-                    prop_assert_eq!(known, model.adverts.contains_key(&id));
+                    assert_eq!(known, model.adverts.contains_key(&id));
                     if let Some((_, l)) = model.adverts.get_mut(&id) {
                         *l = (*l).max(lease_until);
                     }
                 }
                 StoreOp::Remove { id } => {
                     let had = store.remove(Uuid(id));
-                    prop_assert_eq!(had, model.adverts.remove(&id).is_some());
+                    assert_eq!(had, model.adverts.remove(&id).is_some());
                 }
                 StoreOp::Purge { now } => {
                     let mut purged = store.purge_expired(now);
@@ -84,44 +92,46 @@ proptest! {
                         .collect();
                     expected.sort();
                     model.adverts.retain(|_, &mut (_, l)| l > now);
-                    prop_assert_eq!(purged, expected);
+                    assert_eq!(purged, expected);
                 }
             }
-            prop_assert_eq!(store.len(), model.adverts.len());
+            assert_eq!(store.len(), model.adverts.len());
             for (&id, &(version, lease_until)) in &model.adverts {
                 let stored = store.get(&Uuid(id)).expect("model says present");
-                prop_assert_eq!(stored.advert.version, version);
-                prop_assert_eq!(stored.lease_until, lease_until);
+                assert_eq!(stored.advert.version, version);
+                assert_eq!(stored.lease_until, lease_until);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn lease_grants_are_bounded_and_monotone(
-        now in 0u64..1_000_000,
-        requested in 0u64..10_000_000,
-        default_ms in 1u64..100_000,
-        max_ms in 1u64..1_000_000,
-    ) {
+#[test]
+fn lease_grants_are_bounded_and_monotone() {
+    Checker::new("lease_grants_are_bounded_and_monotone").run(|rng| {
+        let now = rng.gen_range(0..1_000_000u64);
+        let requested = rng.gen_range(0..10_000_000u64);
+        let default_ms = rng.gen_range(1..100_000u64);
+        let max_ms = rng.gen_range(1..1_000_000u64);
         let p = LeasePolicy { default_ms, max_ms, leasing_enabled: true };
         let granted = p.grant(now, requested);
-        prop_assert!(granted > now, "a lease always lies in the future");
-        prop_assert!(
+        assert!(granted > now, "a lease always lies in the future");
+        assert!(
             granted <= now + max_ms.max(default_ms),
             "never beyond the policy bound"
         );
         // Lease-less policy is infinite regardless of inputs.
         let un = LeasePolicy { leasing_enabled: false, ..p };
-        prop_assert_eq!(un.grant(now, requested), u64::MAX);
-    }
+        assert_eq!(un.grant(now, requested), u64::MAX);
+    });
+}
 
-    #[test]
-    fn seen_cache_drops_exactly_in_window_duplicates(
-        events in prop::collection::vec((0u64..16, 0u64..5_000), 1..60),
-        retention in 1u64..2_000,
-    ) {
+#[test]
+fn seen_cache_drops_exactly_in_window_duplicates() {
+    Checker::new("seen_cache_drops_exactly_in_window_duplicates").run(|rng| {
+        let events = gen::vec_of(rng, 1, 60, |r| (r.gen_range(0..16u64), r.gen_range(0..5_000u64)));
+        let retention = rng.gen_range(1..2_000u64);
         let mut cache = SeenQueries::new(retention);
-        let mut sorted = events.clone();
+        let mut sorted = events;
         sorted.sort_by_key(|&(_, t)| t);
         let mut last_accepted: std::collections::HashMap<u64, u64> = Default::default();
         for (seq, t) in sorted {
@@ -131,10 +141,10 @@ proptest! {
                 Some(&prev) => t.saturating_sub(prev) >= retention,
                 None => true,
             };
-            prop_assert_eq!(fresh, expected, "seq {} at {}", seq, t);
+            assert_eq!(fresh, expected, "seq {seq} at {t}");
             if fresh {
                 last_accepted.insert(seq, t);
             }
         }
-    }
+    });
 }

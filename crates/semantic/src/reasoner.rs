@@ -53,9 +53,16 @@ impl SubsumptionIndex {
 
     /// Reflexive subsumption: true when `sub` ⊑ `sup` (every `sub` is a
     /// `sup`), including `sub == sup`.
+    ///
+    /// Total over all of `ClassId`: ids outside this ontology (they arrive
+    /// from the wire, where any `u32` decodes) subsume nothing and are
+    /// subsumed by nothing except themselves.
     #[inline]
     pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
-        self.ancestors[sub.index()].contains(sup.index())
+        match self.ancestors.get(sub.index()) {
+            Some(set) => set.contains(sup.index()),
+            None => sub == sup,
+        }
     }
 
     /// Strict subsumption: `sub` ⊏ `sup`.
@@ -64,14 +71,21 @@ impl SubsumptionIndex {
         sub != sup && self.is_subclass(sub, sup)
     }
 
-    /// All ancestors of `c`, itself included.
+    /// All ancestors of `c`, itself included. A class outside this ontology
+    /// is its own sole ancestor, matching [`SubsumptionIndex::is_subclass`].
     pub fn ancestors(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
-        self.ancestors[c.index()].iter().map(|i| ClassId(i as u32))
+        let known = self.ancestors.get(c.index());
+        let unknown = known.is_none().then_some(c);
+        known
+            .into_iter()
+            .flat_map(|set| set.iter().map(|i| ClassId(i as u32)))
+            .chain(unknown)
     }
 
-    /// Depth of `c` (longest chain to a root; roots have depth 0).
+    /// Depth of `c` (longest chain to a root; roots have depth 0). Classes
+    /// outside this ontology count as roots of their own trivial hierarchy.
     pub fn depth(&self, c: ClassId) -> u32 {
-        self.depth[c.index()]
+        self.depth.get(c.index()).copied().unwrap_or(0)
     }
 
     /// True when the classes are related in either direction.
@@ -155,5 +169,24 @@ mod tests {
     fn empty_ontology() {
         let idx = SubsumptionIndex::build(&Ontology::new());
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn out_of_ontology_ids_are_isolated_not_panics() {
+        // Wire messages may carry any u32 as a ClassId; the index must stay
+        // total. (Latent seed bug: indexing panicked, so one malformed
+        // advert could crash a registry node.)
+        let (o, [thing, ..]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        let ghost = ClassId(o.len() as u32);
+        let ghost2 = ClassId(o.len() as u32 + 7);
+        assert!(idx.is_subclass(ghost, ghost), "reflexivity holds everywhere");
+        assert!(!idx.is_subclass(ghost, thing));
+        assert!(!idx.is_subclass(thing, ghost));
+        assert!(!idx.is_subclass(ghost, ghost2));
+        assert_eq!(idx.ancestors(ghost).collect::<Vec<_>>(), vec![ghost]);
+        assert_eq!(idx.depth(ghost), 0);
+        assert_eq!(idx.up_distance(ghost, thing), None);
+        assert_eq!(idx.up_distance(ghost, ghost), Some(0));
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the composition planner and vocabulary
-//! mediation.
+//! mediation. Run under the in-workspace seeded harness (`sds_rand::check`).
 
-use proptest::prelude::*;
+use sds_rand::check::{gen, Checker};
+use sds_rand::Rng;
 
 use sds_semantic::{
     compose, ClassId, ClassMapping, Ontology, ServiceProfile, ServiceRequest, SubsumptionIndex,
@@ -21,25 +22,19 @@ fn taxonomy(depth: usize, extra: usize) -> Ontology {
     o
 }
 
-fn arb_profiles(n_classes: usize) -> impl Strategy<Value = Vec<ServiceProfile>> {
-    prop::collection::vec(
-        (
-            0..n_classes as u32,
-            prop::collection::vec(0..n_classes as u32, 0..2),
-            prop::collection::vec(0..n_classes as u32, 0..2),
-        ),
-        0..10,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (cat, inputs, outputs))| {
-                ServiceProfile::new(format!("s{i}"), ClassId(cat))
-                    .with_inputs(&inputs.into_iter().map(ClassId).collect::<Vec<_>>())
-                    .with_outputs(&outputs.into_iter().map(ClassId).collect::<Vec<_>>())
-            })
-            .collect()
-    })
+fn arb_classes(rng: &mut Rng, n_classes: u32, min: usize, max: usize) -> Vec<ClassId> {
+    gen::vec_of(rng, min, max, |r| ClassId(r.gen_range(0..n_classes)))
+}
+
+fn arb_profiles(rng: &mut Rng, n_classes: u32) -> Vec<ServiceProfile> {
+    let n = rng.gen_range(0..10usize);
+    (0..n)
+        .map(|i| {
+            ServiceProfile::new(format!("s{i}"), ClassId(rng.gen_range(0..n_classes)))
+                .with_inputs(&arb_classes(rng, n_classes, 0, 2))
+                .with_outputs(&arb_classes(rng, n_classes, 0, 2))
+        })
+        .collect()
 }
 
 /// Replays a plan: checks each step's inputs are satisfied when it runs and
@@ -65,21 +60,16 @@ fn replay(
     Some(available)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn plans_are_executable_and_achieve_the_goal(
-        profiles in arb_profiles(8),
-        outputs in prop::collection::vec(0..8u32, 0..2),
-        provided in prop::collection::vec(0..8u32, 0..3),
-    ) {
+#[test]
+fn plans_are_executable_and_achieve_the_goal() {
+    Checker::new("plans_are_executable_and_achieve_the_goal").run(|rng| {
+        let profiles = arb_profiles(rng, 8);
         let ont = taxonomy(5, 3);
         let idx = SubsumptionIndex::build(&ont);
         let request = ServiceRequest {
             category: None,
-            outputs: outputs.iter().copied().map(ClassId).collect(),
-            provided_inputs: provided.iter().copied().map(ClassId).collect(),
+            outputs: arb_classes(rng, 8, 0, 2),
+            provided_inputs: arb_classes(rng, 8, 0, 3),
             qos: Vec::new(),
         };
         if let Some(plan) = compose(&idx, &request, &profiles, 6) {
@@ -87,23 +77,25 @@ proptest! {
             let mut sorted = plan.steps.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            prop_assert_eq!(sorted.len(), plan.steps.len(), "steps are unique");
+            assert_eq!(sorted.len(), plan.steps.len(), "steps are unique");
             // The plan replays: every step applicable in order, goal reached.
             let available = replay(&idx, &request.provided_inputs, &profiles, &plan.steps)
                 .expect("every step's inputs satisfied in order");
             for &goal in &request.outputs {
-                prop_assert!(
+                assert!(
                     available.iter().any(|&a| idx.is_subclass(a, goal)),
-                    "goal {:?} satisfied by plan {:?}",
-                    goal,
+                    "goal {goal:?} satisfied by plan {:?}",
                     plan.steps
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn composition_finds_linear_chains_of_any_length(len in 1usize..7) {
+#[test]
+fn composition_finds_linear_chains_of_any_length() {
+    Checker::new("composition_finds_linear_chains_of_any_length").cases(32).run(|rng| {
+        let len = rng.gen_range(1..7usize);
         // Profiles s_i: input K_i → output K_{i+1} over unrelated roots.
         let mut o = Ontology::new();
         let ks: Vec<ClassId> = (0..=len).map(|i| o.class(&format!("K{i}"), &[])).collect();
@@ -119,17 +111,22 @@ proptest! {
             .with_outputs(&[ks[len]])
             .with_provided_inputs(&[ks[0]]);
         let plan = compose(&idx, &request, &profiles, len).expect("chain exists");
-        prop_assert_eq!(plan.steps.len(), len, "every link needed");
+        assert_eq!(plan.steps.len(), len, "every link needed");
         let too_shallow = compose(&idx, &request, &profiles, len - 1);
-        prop_assert!(too_shallow.is_none() || len == 1, "depth bound respected");
-    }
+        assert!(too_shallow.is_none() || len == 1, "depth bound respected");
+    });
+}
 
-    #[test]
-    fn injective_mapping_round_trips_profiles(
-        pairs in prop::collection::btree_map(0u32..30, 0u32..30, 1..12),
-        cat in 0u32..30,
-        ios in prop::collection::vec(0u32..30, 0..4),
-    ) {
+#[test]
+fn injective_mapping_round_trips_profiles() {
+    Checker::new("injective_mapping_round_trips_profiles").run(|rng| {
+        let n_pairs = rng.gen_range(1..12usize);
+        let mut pairs = std::collections::BTreeMap::new();
+        for _ in 0..n_pairs {
+            pairs.insert(rng.gen_range(0..30u32), rng.gen_range(0..30u32));
+        }
+        let cat = rng.gen_range(0..30u32);
+        let ios = arb_classes(rng, 30, 0, 4);
         // Make the mapping injective by keeping first-come targets only.
         let mut fwd = ClassMapping::new();
         let mut used = std::collections::HashSet::new();
@@ -139,42 +136,40 @@ proptest! {
             }
         }
         let inv = fwd.inverse().expect("injective by construction");
-        let profile = ServiceProfile::new("p", ClassId(cat))
-            .with_inputs(&ios.iter().copied().map(ClassId).collect::<Vec<_>>());
+        let profile = ServiceProfile::new("p", ClassId(cat)).with_inputs(&ios);
         match fwd.translate_profile(&profile) {
             Some(translated) => {
                 let back = inv.translate_profile(&translated).expect("inverse covers image");
-                prop_assert_eq!(back.category, profile.category);
-                prop_assert_eq!(back.inputs, profile.inputs);
+                assert_eq!(back.category, profile.category);
+                assert_eq!(back.inputs, profile.inputs);
             }
             None => {
                 // Some referenced concept is unmapped — consistent with
                 // translate_class on at least one concept.
                 let all: Vec<ClassId> =
                     std::iter::once(profile.category).chain(profile.inputs.iter().copied()).collect();
-                prop_assert!(all.iter().any(|&c| fwd.translate_class(c).is_none()));
+                assert!(all.iter().any(|&c| fwd.translate_class(c).is_none()));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn mapping_composition_agrees_with_sequential_translation(
-        ab in prop::collection::btree_map(0u32..12, 12u32..24, 0..10),
-        bc in prop::collection::btree_map(12u32..24, 24u32..36, 0..10),
-        probe in 0u32..12,
-    ) {
+#[test]
+fn mapping_composition_agrees_with_sequential_translation() {
+    Checker::new("mapping_composition_agrees_with_sequential_translation").run(|rng| {
         let mut m_ab = ClassMapping::new();
-        for (&s, &d) in &ab {
-            m_ab.map(ClassId(s), ClassId(d));
+        for _ in 0..rng.gen_range(0..10usize) {
+            m_ab.map(ClassId(rng.gen_range(0..12u32)), ClassId(rng.gen_range(12..24u32)));
         }
         let mut m_bc = ClassMapping::new();
-        for (&s, &d) in &bc {
-            m_bc.map(ClassId(s), ClassId(d));
+        for _ in 0..rng.gen_range(0..10usize) {
+            m_bc.map(ClassId(rng.gen_range(12..24u32)), ClassId(rng.gen_range(24..36u32)));
         }
+        let probe = rng.gen_range(0..12u32);
         let m_ac = m_ab.compose(&m_bc);
         let sequential = m_ab
             .translate_class(ClassId(probe))
             .and_then(|mid| m_bc.translate_class(mid));
-        prop_assert_eq!(m_ac.translate_class(ClassId(probe)), sequential);
-    }
+        assert_eq!(m_ac.translate_class(ClassId(probe)), sequential);
+    });
 }

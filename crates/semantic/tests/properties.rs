@@ -1,9 +1,11 @@
 //! Property-based tests for the semantic substrate: the subsumption closure
 //! against naive graph reachability, triple-store pattern queries against a
 //! brute-force filter, matchmaker ranking invariants, and ontology
-//! round-tripping through the triple store.
+//! round-tripping through the triple store. Run under the in-workspace
+//! seeded harness (`sds_rand::check`).
 
-use proptest::prelude::*;
+use sds_rand::check::{gen, Checker};
+use sds_rand::Rng;
 
 use sds_semantic::{
     match_request, BitSet, ClassId, Degree, Interner, Matchmaker, Ontology, ServiceProfile,
@@ -12,20 +14,19 @@ use sds_semantic::{
 
 /// A random DAG as parent lists: class i may only have parents among 0..i,
 /// which is exactly the invariant `Ontology` enforces.
-fn arb_dag(max_classes: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
-    prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), 1..max_classes)
-        .prop_map(|raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, parents)| {
-                    let mut ps: Vec<usize> =
-                        parents.into_iter().filter(|_| i > 0).map(|ix| ix.index(i)).collect();
-                    ps.sort_unstable();
-                    ps.dedup();
-                    ps
-                })
-                .collect()
+fn arb_dag(rng: &mut Rng, max_classes: usize) -> Vec<Vec<usize>> {
+    let len = rng.gen_range(1..max_classes);
+    (0..len)
+        .map(|i| {
+            if i == 0 {
+                return Vec::new();
+            }
+            let mut ps = gen::vec_of(rng, 0, 3, |r| r.gen_index(i));
+            ps.sort_unstable();
+            ps.dedup();
+            ps
         })
+        .collect()
 }
 
 fn build_ontology(dag: &[Vec<usize>]) -> Ontology {
@@ -56,42 +57,49 @@ fn naive_is_subclass(dag: &[Vec<usize>], sub: usize, sup: usize) -> bool {
     false
 }
 
-proptest! {
-    #[test]
-    fn closure_matches_naive_reachability(dag in arb_dag(24)) {
+#[test]
+fn closure_matches_naive_reachability() {
+    Checker::new("closure_matches_naive_reachability").run(|rng| {
+        let dag = arb_dag(rng, 24);
         let ont = build_ontology(&dag);
         let idx = SubsumptionIndex::build(&ont);
         for sub in 0..dag.len() {
             for sup in 0..dag.len() {
-                prop_assert_eq!(
+                assert_eq!(
                     idx.is_subclass(ClassId(sub as u32), ClassId(sup as u32)),
                     naive_is_subclass(&dag, sub, sup),
-                    "sub={} sup={}", sub, sup
+                    "sub={sub} sup={sup}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ancestors_iter_agrees_with_is_subclass(dag in arb_dag(20)) {
+#[test]
+fn ancestors_iter_agrees_with_is_subclass() {
+    Checker::new("ancestors_iter_agrees_with_is_subclass").run(|rng| {
+        let dag = arb_dag(rng, 20);
         let ont = build_ontology(&dag);
         let idx = SubsumptionIndex::build(&ont);
         for c in ont.classes() {
             let via_iter: Vec<ClassId> = idx.ancestors(c).collect();
             for sup in ont.classes() {
-                prop_assert_eq!(via_iter.contains(&sup), idx.is_subclass(c, sup));
+                assert_eq!(via_iter.contains(&sup), idx.is_subclass(c, sup));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn ontology_round_trips_through_triples(dag in arb_dag(16)) {
+#[test]
+fn ontology_round_trips_through_triples() {
+    Checker::new("ontology_round_trips_through_triples").run(|rng| {
+        let dag = arb_dag(rng, 16);
         let ont = build_ontology(&dag);
         let mut interner = Interner::new();
         let mut store = TripleStore::new();
         ont.to_triples(&mut interner, &mut store);
         let back = Ontology::from_triples(&interner, &store).expect("acyclic by construction");
-        prop_assert_eq!(back.len(), ont.len());
+        assert_eq!(back.len(), ont.len());
         // Same subsumption semantics, though ids may be permuted.
         let idx = SubsumptionIndex::build(&ont);
         let idx_back = SubsumptionIndex::build(&back);
@@ -100,18 +108,21 @@ proptest! {
                 let (oa, ob) = (ClassId(a as u32), ClassId(b as u32));
                 let ba = back.lookup(ont.name(oa)).unwrap();
                 let bb = back.lookup(ont.name(ob)).unwrap();
-                prop_assert_eq!(idx.is_subclass(oa, ob), idx_back.is_subclass(ba, bb));
+                assert_eq!(idx.is_subclass(oa, ob), idx_back.is_subclass(ba, bb));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn triple_store_pattern_query_equals_filter(
-        triples in prop::collection::vec((0u32..12, 0u32..4, 0u32..12), 0..80),
-        s in prop::option::of(0u32..12),
-        p in prop::option::of(0u32..4),
-        o in prop::option::of(0u32..12),
-    ) {
+#[test]
+fn triple_store_pattern_query_equals_filter() {
+    Checker::new("triple_store_pattern_query_equals_filter").run(|rng| {
+        let triples = gen::vec_of(rng, 0, 80, |r| {
+            (r.gen_range(0..12u32), r.gen_range(0..4u32), r.gen_range(0..12u32))
+        });
+        let s = gen::option_of(rng, |r| r.gen_range(0..12u32));
+        let p = gen::option_of(rng, |r| r.gen_range(0..4u32));
+        let o = gen::option_of(rng, |r| r.gen_range(0..12u32));
         let mut store = TripleStore::new();
         let mut all: Vec<Triple> = Vec::new();
         for (ts, tp, to) in triples {
@@ -134,13 +145,16 @@ proptest! {
         let mut want: Vec<Triple> = all.iter().copied().filter(|t| pattern.matches(t)).collect();
         got.sort();
         want.sort();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    #[test]
-    fn store_len_tracks_inserts_and_removes(
-        ops in prop::collection::vec((any::<bool>(), 0u32..6, 0u32..3, 0u32..6), 0..60)
-    ) {
+#[test]
+fn store_len_tracks_inserts_and_removes() {
+    Checker::new("store_len_tracks_inserts_and_removes").run(|rng| {
+        let ops = gen::vec_of(rng, 0, 60, |r| {
+            (r.gen_bool(0.5), r.gen_range(0..6u32), r.gen_range(0..3u32), r.gen_range(0..6u32))
+        });
         let mut store = TripleStore::new();
         let mut model: std::collections::BTreeSet<(u32, u32, u32)> = Default::default();
         for (insert, s, p, o) in ops {
@@ -150,46 +164,42 @@ proptest! {
                 sds_semantic::TermId(o),
             );
             if insert {
-                prop_assert_eq!(store.insert(t), model.insert((s, p, o)));
+                assert_eq!(store.insert(t), model.insert((s, p, o)));
             } else {
-                prop_assert_eq!(store.remove(t), model.remove(&(s, p, o)));
+                assert_eq!(store.remove(t), model.remove(&(s, p, o)));
             }
-            prop_assert_eq!(store.len(), model.len());
+            assert_eq!(store.len(), model.len());
         }
-    }
+    });
+}
 
-    #[test]
-    fn ranking_is_sorted_and_truncated(
-        dag in arb_dag(12),
-        cats in prop::collection::vec(any::<prop::sample::Index>(), 1..20),
-        req_cat in any::<prop::sample::Index>(),
-        limit in prop::option::of(0usize..8),
-    ) {
+#[test]
+fn ranking_is_sorted_and_truncated() {
+    Checker::new("ranking_is_sorted_and_truncated").run(|rng| {
+        let dag = arb_dag(rng, 12);
+        let n_profiles = rng.gen_range(1..20usize);
+        let profiles: Vec<ServiceProfile> = (0..n_profiles)
+            .map(|i| ServiceProfile::new(format!("s{i}"), ClassId(rng.gen_index(dag.len()) as u32)))
+            .collect();
+        let request = ServiceRequest::for_category(ClassId(rng.gen_index(dag.len()) as u32));
+        let limit = gen::option_of(rng, |r| r.gen_range(0..8usize));
         let ont = build_ontology(&dag);
         let idx = SubsumptionIndex::build(&ont);
-        let profiles: Vec<ServiceProfile> = cats
-            .iter()
-            .enumerate()
-            .map(|(i, ix)| {
-                ServiceProfile::new(format!("s{i}"), ClassId(ix.index(dag.len()) as u32))
-            })
-            .collect();
-        let request = ServiceRequest::for_category(ClassId(req_cat.index(dag.len()) as u32));
         let mm = Matchmaker::new(&idx);
         let ranked = mm.rank(&request, &profiles, limit);
 
         if let Some(k) = limit {
-            prop_assert!(ranked.len() <= k);
+            assert!(ranked.len() <= k);
         }
         // No Fail results, ordering is non-increasing in degree.
         for w in ranked.windows(2) {
-            prop_assert!(w[0].1.degree >= w[1].1.degree);
+            assert!(w[0].1.degree >= w[1].1.degree);
         }
         for (i, r) in &ranked {
-            prop_assert!(r.degree.is_match());
+            assert!(r.degree.is_match());
             // Ranked results agree with direct matching.
             let direct = match_request(&idx, &request, &profiles[*i]);
-            prop_assert_eq!(direct.degree, r.degree);
+            assert_eq!(direct.degree, r.degree);
         }
         // Completeness (when unlimited): every matching profile is ranked.
         if limit.is_none() {
@@ -197,12 +207,15 @@ proptest! {
                 .iter()
                 .filter(|p| match_request(&idx, &request, p).degree.is_match())
                 .count();
-            prop_assert_eq!(ranked.len(), matching);
+            assert_eq!(ranked.len(), matching);
         }
-    }
+    });
+}
 
-    #[test]
-    fn concept_match_degrees_are_antisymmetric(dag in arb_dag(16)) {
+#[test]
+fn concept_match_degrees_are_antisymmetric() {
+    Checker::new("concept_match_degrees_are_antisymmetric").run(|rng| {
+        let dag = arb_dag(rng, 16);
         let ont = build_ontology(&dag);
         let idx = SubsumptionIndex::build(&ont);
         for a in ont.classes() {
@@ -210,33 +223,34 @@ proptest! {
                 let ab = sds_semantic::match_concept(&idx, a, b);
                 let ba = sds_semantic::match_concept(&idx, b, a);
                 match ab {
-                    Degree::Exact => prop_assert_eq!(ba, Degree::Exact),
-                    Degree::PlugIn => prop_assert_eq!(ba, Degree::Subsumes),
-                    Degree::Subsumes => prop_assert_eq!(ba, Degree::PlugIn),
-                    Degree::Fail => prop_assert_eq!(ba, Degree::Fail),
+                    Degree::Exact => assert_eq!(ba, Degree::Exact),
+                    Degree::PlugIn => assert_eq!(ba, Degree::Subsumes),
+                    Degree::Subsumes => assert_eq!(ba, Degree::PlugIn),
+                    Degree::Fail => assert_eq!(ba, Degree::Fail),
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn bitset_behaves_like_hashset(
-        bits in prop::collection::vec(0usize..200, 0..64),
-        probe in prop::collection::vec(0usize..220, 0..32),
-    ) {
+#[test]
+fn bitset_behaves_like_hashset() {
+    Checker::new("bitset_behaves_like_hashset").run(|rng| {
+        let bits = gen::vec_of(rng, 0, 64, |r| r.gen_range(0..200usize));
+        let probe = gen::vec_of(rng, 0, 32, |r| r.gen_range(0..220usize));
         let mut bs = BitSet::with_capacity(200);
         let mut hs = std::collections::HashSet::new();
         for b in bits {
             bs.insert(b);
             hs.insert(b);
         }
-        prop_assert_eq!(bs.len(), hs.len());
+        assert_eq!(bs.len(), hs.len());
         for p in probe {
-            prop_assert_eq!(bs.contains(p), hs.contains(&p));
+            assert_eq!(bs.contains(p), hs.contains(&p));
         }
         let via_iter: Vec<usize> = bs.iter().collect();
         let mut sorted: Vec<usize> = hs.into_iter().collect();
         sorted.sort_unstable();
-        prop_assert_eq!(via_iter, sorted);
-    }
+        assert_eq!(via_iter, sorted);
+    });
 }

@@ -3,8 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sds_rand::{Rng, Seed};
 
 use crate::handler::{Action, Ctx, NodeHandler};
 use crate::ids::{LanId, NodeId, TimerId};
@@ -98,8 +97,8 @@ pub struct Sim<P> {
     handlers: Vec<Option<Box<dyn NodeHandler<P>>>>,
     alive: Vec<bool>,
     epoch: Vec<u32>,
-    rngs: Vec<StdRng>,
-    link_rng: StdRng,
+    rngs: Vec<Rng>,
+    link_rng: Rng,
     next_timer: u64,
     cancelled: HashSet<TimerId>,
     stats: NetStats,
@@ -134,7 +133,7 @@ impl<P: Clone + 'static> Sim<P> {
             alive: Vec::new(),
             epoch: Vec::new(),
             rngs: Vec::new(),
-            link_rng: StdRng::seed_from_u64(seed ^ 0xD6E8_FEB8_6659_FD93),
+            link_rng: Seed(seed).derive("simnet.link").rng(),
             next_timer: 0,
             cancelled: HashSet::new(),
             stats: NetStats::default(),
@@ -153,11 +152,7 @@ impl<P: Clone + 'static> Sim<P> {
         self.handlers.push(Some(handler));
         self.alive.push(true);
         self.epoch.push(0);
-        let node_seed = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(u64::from(id.0).wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        self.rngs.push(StdRng::seed_from_u64(node_seed));
+        self.rngs.push(Seed(self.seed).derive_idx("simnet.node", u64::from(id.0)).rng());
         self.invoke(id, |h, ctx| h.on_start(ctx));
         id
     }

@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use rand::rngs::StdRng;
+use sds_rand::Rng;
 
 use crate::ids::{LanId, NodeId, TimerId};
 use crate::message::{Destination, MsgKind};
@@ -76,7 +76,7 @@ pub struct Ctx<'a, P> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
     pub(crate) lan: LanId,
-    pub(crate) rng: &'a mut StdRng,
+    pub(crate) rng: &'a mut Rng,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) actions: Vec<Action<P>>,
 }
@@ -98,8 +98,10 @@ impl<P> Ctx<'_, P> {
         self.lan
     }
 
-    /// This node's deterministic private RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    /// This node's deterministic private RNG. Each node's stream is derived
+    /// independently from the simulation seed, so one handler drawing more
+    /// (or fewer) values never perturbs another node's behaviour.
+    pub fn rng(&mut self) -> &mut Rng {
         self.rng
     }
 

@@ -57,6 +57,9 @@ mod time;
 mod topology;
 
 pub use engine::{ControlAction, Sim, SimConfig};
+// Handlers receive a `&mut Rng` through `Ctx::rng`; re-exported so roles can
+// name the type without depending on sds-rand directly.
+pub use sds_rand::{Rng, Seed};
 pub use handler::{Ctx, NodeHandler};
 pub use ids::{LanId, NodeId, TimerId};
 pub use message::{Destination, MsgKind};

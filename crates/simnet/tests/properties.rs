@@ -1,8 +1,9 @@
 //! Property-based tests for the simulator: delivery conservation,
 //! determinism under arbitrary scripts, timer correctness, crash semantics.
+//! Run under the in-workspace seeded harness (`sds_rand::check`).
 
-use proptest::prelude::*;
-
+use sds_rand::check::{gen, Checker};
+use sds_rand::Rng;
 use sds_simnet::{
     Ctx, Destination, LanId, NodeHandler, NodeId, Sim, SimConfig, TimerId, Topology,
 };
@@ -33,20 +34,23 @@ enum Op {
     Revive { node: usize },
 }
 
-fn arb_op(nodes: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..nodes, 0..nodes, any::<u32>())
-            .prop_map(|(from, to, marker)| Op::Send { from, to, marker }),
-        (0..nodes, any::<u32>()).prop_map(|(from, marker)| Op::Multicast { from, marker }),
-        (0..nodes, 1u64..500, any::<u64>()).prop_map(|(node, delay, tag)| Op::Timer {
-            node,
-            delay,
-            tag
-        }),
-        (1u64..200).prop_map(|ms| Op::Advance { ms }),
-        (0..nodes).prop_map(|node| Op::Crash { node }),
-        (0..nodes).prop_map(|node| Op::Revive { node }),
-    ]
+fn arb_op(rng: &mut Rng, nodes: usize) -> Op {
+    match rng.gen_range(0..6u32) {
+        0 => Op::Send {
+            from: rng.gen_range(0..nodes),
+            to: rng.gen_range(0..nodes),
+            marker: rng.next_u32(),
+        },
+        1 => Op::Multicast { from: rng.gen_range(0..nodes), marker: rng.next_u32() },
+        2 => Op::Timer {
+            node: rng.gen_range(0..nodes),
+            delay: rng.gen_range(1..500u64),
+            tag: rng.next_u64(),
+        },
+        3 => Op::Advance { ms: rng.gen_range(1..200u64) },
+        4 => Op::Crash { node: rng.gen_range(0..nodes) },
+        _ => Op::Revive { node: rng.gen_range(0..nodes) },
+    }
 }
 
 const NODES: usize = 6;
@@ -101,36 +105,37 @@ fn run_script(script: &[Op], seed: u64) -> WorldState {
     (sim.stats().total_messages(), sim.stats().total_bytes(), sim.stats().dropped_messages, received)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn identical_scripts_produce_identical_worlds() {
+    Checker::new("identical_scripts_produce_identical_worlds").cases(64).run(|rng| {
+        let script = gen::vec_of(rng, 0, 60, |r| arb_op(r, NODES));
+        let seed = rng.next_u64();
+        assert_eq!(run_script(&script, seed), run_script(&script, seed));
+    });
+}
 
-    #[test]
-    fn identical_scripts_produce_identical_worlds(
-        script in prop::collection::vec(arb_op(NODES), 0..60),
-        seed in any::<u64>(),
-    ) {
-        prop_assert_eq!(run_script(&script, seed), run_script(&script, seed));
-    }
-
-    #[test]
-    fn without_crashes_every_unicast_is_delivered(
-        sends in prop::collection::vec((0usize..NODES, 0usize..NODES, any::<u32>()), 1..40),
-    ) {
+#[test]
+fn without_crashes_every_unicast_is_delivered() {
+    Checker::new("without_crashes_every_unicast_is_delivered").cases(64).run(|rng| {
+        let sends = gen::vec_of(rng, 1, 40, |r| {
+            (r.gen_range(0..NODES), r.gen_range(0..NODES), r.next_u32())
+        });
         let script: Vec<Op> = sends
             .iter()
             .map(|&(from, to, marker)| Op::Send { from, to, marker })
             .collect();
         let (_, _, dropped, received) = run_script(&script, 7);
-        prop_assert_eq!(dropped, 0, "no loss configured, nobody crashed");
+        assert_eq!(dropped, 0, "no loss configured, nobody crashed");
         // Every non-self send arrives exactly once (self-sends loop back too).
         let total_received: usize = received.iter().map(Vec::len).sum();
-        prop_assert_eq!(total_received, sends.len());
-    }
+        assert_eq!(total_received, sends.len());
+    });
+}
 
-    #[test]
-    fn bytes_equal_message_count_times_size(
-        sends in prop::collection::vec((0usize..NODES, 0usize..NODES), 1..40),
-    ) {
+#[test]
+fn bytes_equal_message_count_times_size() {
+    Checker::new("bytes_equal_message_count_times_size").cases(64).run(|rng| {
+        let sends = gen::vec_of(rng, 1, 40, |r| (r.gen_range(0..NODES), r.gen_range(0..NODES)));
         let script: Vec<Op> = sends
             .iter()
             .enumerate()
@@ -138,56 +143,59 @@ proptest! {
             .map(|(i, &(from, to))| Op::Send { from, to, marker: i as u32 })
             .collect();
         let (msgs, bytes, _, _) = run_script(&script, 9);
-        prop_assert_eq!(bytes, msgs * 64, "uniform 64-byte messages");
-    }
+        assert_eq!(bytes, msgs * 64, "uniform 64-byte messages");
+    });
+}
 
-    #[test]
-    fn crashed_nodes_receive_nothing(
-        sends in prop::collection::vec((0usize..NODES, 0usize..NODES, any::<u32>()), 1..30),
-        victim in 0usize..NODES,
-    ) {
+#[test]
+fn crashed_nodes_receive_nothing() {
+    Checker::new("crashed_nodes_receive_nothing").cases(64).run(|rng| {
+        let sends = gen::vec_of(rng, 1, 30, |r| {
+            (r.gen_range(0..NODES), r.gen_range(0..NODES), r.next_u32())
+        });
+        let victim = rng.gen_range(0..NODES);
         let mut script = vec![Op::Crash { node: victim }];
         script.extend(
             sends.iter().map(|&(from, to, marker)| Op::Send { from, to, marker }),
         );
         let (_, _, _, received) = run_script(&script, 11);
-        prop_assert!(received[victim].is_empty());
-    }
+        assert!(received[victim].is_empty());
+    });
+}
 
-    #[test]
-    fn timers_on_live_nodes_all_fire(
-        timers in prop::collection::vec((0usize..NODES, 1u64..2_000, any::<u64>()), 1..30),
-    ) {
-        let script: Vec<Op> =
-            timers.iter().map(|&(node, delay, tag)| Op::Timer { node, delay, tag }).collect();
+#[test]
+fn timers_on_live_nodes_all_fire() {
+    Checker::new("timers_on_live_nodes_all_fire").cases(64).run(|rng| {
+        let timers = gen::vec_of(rng, 1, 30, |r| {
+            (r.gen_range(0..NODES), r.gen_range(1..2_000u64), r.next_u64())
+        });
         let (mut sim, ids) = build(13);
-        for op in &script {
-            if let Op::Timer { node, delay, tag } = *op {
-                sim.with_node::<Probe>(ids[node], |_, ctx| {
-                    ctx.set_timer(delay, tag);
-                });
-            }
+        for &(node, delay, tag) in &timers {
+            sim.with_node::<Probe>(ids[node], |_, ctx| {
+                ctx.set_timer(delay, tag);
+            });
         }
         sim.run_until(10_000);
         let fired: usize =
             ids.iter().map(|&id| sim.handler::<Probe>(id).unwrap().timers_fired.len()).sum();
-        prop_assert_eq!(fired, timers.len());
-    }
+        assert_eq!(fired, timers.len());
+    });
+}
 
-    #[test]
-    fn multicast_reaches_exactly_the_lan_peers(
-        from in 0usize..NODES,
-        marker in any::<u32>(),
-    ) {
+#[test]
+fn multicast_reaches_exactly_the_lan_peers() {
+    Checker::new("multicast_reaches_exactly_the_lan_peers").cases(64).run(|rng| {
+        let from = rng.gen_range(0..NODES);
+        let marker = rng.next_u32();
         let script = vec![Op::Multicast { from, marker }];
         let (_, _, _, received) = run_script(&script, 17);
         // Node i is on LAN (i % 2); peers share parity, sender excluded.
         for (i, inbox) in received.iter().enumerate() {
             let same_lan = i % 2 == from % 2;
             let expected = usize::from(same_lan && i != from);
-            prop_assert_eq!(inbox.len(), expected, "node {}", i);
+            assert_eq!(inbox.len(), expected, "node {i}");
         }
-    }
+    });
 }
 
 #[test]

@@ -6,8 +6,7 @@
 //! downtimes are exponentially distributed (the standard memoryless churn
 //! model), sampled by inverse CDF from the seeded RNG.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sds_rand::Seed;
 
 use sds_simnet::{ControlAction, NodeId, SimTime};
 
@@ -38,11 +37,6 @@ pub struct ChurnPlan {
     pub events: Vec<ChurnEvent>,
 }
 
-fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
-    // Inverse CDF; 1-gen::<f64>() avoids ln(0).
-    -mean * (1.0 - rng.gen::<f64>()).ln()
-}
-
 impl ChurnPlan {
     /// Builds an alternating up/down schedule for each node: up for
     /// Exp(`mean_up_ms`), down for Exp(`mean_down_ms`), repeating until
@@ -54,17 +48,13 @@ impl ChurnPlan {
         horizon: SimTime,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FF_EE00_D15E_A5ED);
+        let mut rng = Seed(seed).derive("workload.churn").rng();
         let mut events = Vec::new();
         for &node in nodes {
             let mut t = 0f64;
             let mut up = true;
             loop {
-                let dwell = if up {
-                    exp_sample(&mut rng, mean_up_ms)
-                } else {
-                    exp_sample(&mut rng, mean_down_ms)
-                };
+                let dwell = if up { rng.exp(mean_up_ms) } else { rng.exp(mean_down_ms) };
                 t += dwell.max(1.0);
                 if t >= horizon as f64 {
                     break;

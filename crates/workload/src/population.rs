@@ -1,7 +1,6 @@
 //! Service populations and query workloads over the battlefield taxonomy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sds_rand::{Rng, Seed};
 
 use sds_protocol::{Description, DescriptionTemplate, ModelId, QueryPayload};
 use sds_semantic::{ClassId, Ontology, QosKey, ServiceProfile, ServiceRequest};
@@ -90,7 +89,7 @@ pub struct QuerySpec {
 impl Workload {
     /// Generates a population and query set over the battlefield taxonomy.
     pub fn generate(ont: &Ontology, classes: &BattlefieldClasses, spec: &PopulationSpec) -> Self {
-        let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(0x5DEECE66D));
+        let mut rng = Seed(spec.seed).derive("workload.population").rng();
         let pool = archetypes(classes);
 
         let descriptions: Vec<Description> = (0..spec.services)
@@ -101,13 +100,13 @@ impl Workload {
                     ModelId::Template => Description::Template(DescriptionTemplate {
                         name: Some(format!("svc-{i}")),
                         type_uri: Some(type_uri(ont, a.category)),
-                        attrs: vec![("area".into(), format!("sector-{}", rng.gen_range(0..4)))],
+                        attrs: vec![("area".into(), format!("sector-{}", rng.gen_range(0..4u32)))],
                     }),
                     ModelId::Semantic => Description::Semantic(
                         ServiceProfile::new(format!("svc-{i}"), a.category)
                             .with_outputs(&a.outputs)
                             .with_inputs(&a.inputs)
-                            .with_qos(QosKey::Accuracy, 0.5 + 0.5 * rng.gen::<f64>()),
+                            .with_qos(QosKey::Accuracy, 0.5 + 0.5 * rng.gen_f64()),
                     ),
                 }
             })
@@ -124,7 +123,7 @@ impl Workload {
         classes: &BattlefieldClasses,
         spec: &PopulationSpec,
         pool: &[Archetype],
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> QueryPayload {
         let a = &pool[rng.gen_range(0..pool.len())];
         match spec.model {

@@ -1,75 +1,75 @@
-//! Property-based tests for workload generation and churn plans.
+//! Property-based tests for workload generation and churn plans, run under
+//! the in-workspace seeded harness (`sds_rand::check`).
 
-use proptest::prelude::*;
+use sds_rand::check::Checker;
+use sds_rand::Rng;
 
 use sds_protocol::ModelId;
 use sds_simnet::NodeId;
 use sds_workload::{battlefield, ChurnPlan, PopulationSpec, Workload};
 
-fn arb_model() -> impl Strategy<Value = ModelId> {
-    prop_oneof![Just(ModelId::Uri), Just(ModelId::Template), Just(ModelId::Semantic)]
+fn arb_model(rng: &mut Rng) -> ModelId {
+    *rng.choose(&[ModelId::Uri, ModelId::Template, ModelId::Semantic]).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn workload_counts_and_models_hold(
-        model in arb_model(),
-        services in 0usize..64,
-        queries in 0usize..64,
-        rate in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn workload_counts_and_models_hold() {
+    Checker::new("workload_counts_and_models_hold").run(|rng| {
+        let model = arb_model(rng);
+        let services = rng.gen_range(0..64usize);
+        let queries = rng.gen_range(0..64usize);
+        let rate = rng.gen_f64();
+        let seed = rng.next_u64();
         let (ont, classes) = battlefield();
         let w = Workload::generate(
             &ont,
             &classes,
             &PopulationSpec { model, services, queries, generalization_rate: rate, seed },
         );
-        prop_assert_eq!(w.descriptions.len(), services);
-        prop_assert_eq!(w.queries.len(), queries);
-        prop_assert!(w.descriptions.iter().all(|d| d.model() == model));
-        prop_assert!(w.queries.iter().all(|q| q.model() == model));
-    }
+        assert_eq!(w.descriptions.len(), services);
+        assert_eq!(w.queries.len(), queries);
+        assert!(w.descriptions.iter().all(|d| d.model() == model));
+        assert!(w.queries.iter().all(|q| q.model() == model));
+    });
+}
 
-    #[test]
-    fn workload_is_a_pure_function_of_its_spec(
-        model in arb_model(),
-        seed in any::<u64>(),
-        rate in 0.0f64..=1.0,
-    ) {
-        let (ont, classes) = battlefield();
+#[test]
+fn workload_is_a_pure_function_of_its_spec() {
+    Checker::new("workload_is_a_pure_function_of_its_spec").run(|rng| {
         let spec = PopulationSpec {
-            model,
+            model: arb_model(rng),
             services: 16,
             queries: 16,
-            generalization_rate: rate,
-            seed,
+            generalization_rate: rng.gen_f64(),
+            seed: rng.next_u64(),
         };
+        let (ont, classes) = battlefield();
         let a = Workload::generate(&ont, &classes, &spec);
         let b = Workload::generate(&ont, &classes, &spec);
-        prop_assert_eq!(a.descriptions, b.descriptions);
-        prop_assert_eq!(a.queries, b.queries);
-    }
+        assert_eq!(a.descriptions, b.descriptions);
+        assert_eq!(a.queries, b.queries);
+    });
+}
 
-    #[test]
-    fn churn_plan_is_well_formed(
-        n_nodes in 1usize..12,
-        mean_up in 500.0f64..60_000.0,
-        mean_down in 500.0f64..60_000.0,
-        horizon in 1_000u64..300_000,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn churn_plan_is_well_formed() {
+    Checker::new("churn_plan_is_well_formed").run(|rng| {
+        let n_nodes = rng.gen_range(1..12usize);
+        let mean_up = rng.gen_range(500..60_000u32) as f64;
+        let mean_down = rng.gen_range(500..60_000u32) as f64;
+        let horizon = rng.gen_range(1_000..300_000u64);
+        let seed = rng.next_u64();
         let nodes: Vec<NodeId> = (0..n_nodes as u32).map(NodeId).collect();
         let plan = ChurnPlan::exponential(&nodes, mean_up, mean_down, horizon, seed);
         // Sorted, inside the horizon, strictly alternating per node starting
         // with a crash.
-        prop_assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at));
-        prop_assert!(plan.events.iter().all(|e| e.at < horizon));
+        assert!(plan.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(plan.events.iter().all(|e| e.at < horizon));
         for &node in &nodes {
             let flips: Vec<bool> =
                 plan.events.iter().filter(|e| e.node == node).map(|e| e.up).collect();
             for (i, up) in flips.iter().enumerate() {
-                prop_assert_eq!(*up, i % 2 == 1);
+                assert_eq!(*up, i % 2 == 1);
             }
         }
         // is_up_at is consistent with replaying the events.
@@ -79,12 +79,12 @@ proptest! {
             for e in plan.events.iter().filter(|e| e.node == node) {
                 // Just before this event the state is the previous one.
                 if e.at > t_prev {
-                    prop_assert_eq!(plan.is_up_at(node, e.at - 1), up);
+                    assert_eq!(plan.is_up_at(node, e.at - 1), up);
                 }
                 up = e.up;
                 t_prev = e.at;
-                prop_assert_eq!(plan.is_up_at(node, e.at), up);
+                assert_eq!(plan.is_up_at(node, e.at), up);
             }
         }
-    }
+    });
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable with no network access and no crates.io registry.
+# The zero-external-dependency policy (see DESIGN.md) is what makes the
+# --offline flags below safe from a cold target directory; the
+# zero_deps_guard integration test enforces it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

@@ -1,10 +1,12 @@
 //! Cross-crate property tests: the ground-truth oracle, the registry
 //! engine, and a provider's fallback self-evaluation must agree on what
-//! matches — they are three code paths over one matching semantics.
+//! matches — they are three code paths over one matching semantics. Run
+//! under the in-workspace seeded harness (`sds_rand::check`).
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use sds_rand::check::{gen, Checker};
+use sds_rand::Rng;
 
 use sds_protocol::{Advertisement, Description, DescriptionTemplate, QueryId, QueryMessage, QueryPayload, Uuid};
 use sds_registry::{LeasePolicy, RegistryEngine, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
@@ -12,7 +14,7 @@ use sds_semantic::{ClassId, Ontology, ServiceProfile, ServiceRequest, Subsumptio
 use sds_simnet::NodeId;
 use sds_workload::Oracle;
 
-fn taxonomy() -> (Ontology, usize) {
+fn taxonomy() -> (Ontology, u32) {
     // Depth-3 taxonomy with 10 classes: room for every degree of match.
     let mut o = Ontology::new();
     let thing = o.class("Thing", &[]);
@@ -27,116 +29,137 @@ fn taxonomy() -> (Ontology, usize) {
     let _c1 = o.class("C1", &[c]);
     let _ = a2;
     let n = o.len();
-    assert_eq!(n, 10, "strategies below assume 10 classes");
-    (o, n)
+    assert_eq!(n, 10, "generators below assume 10 classes");
+    (o, n as u32)
 }
 
-fn arb_class(n: usize) -> impl Strategy<Value = ClassId> {
-    (0..n as u32).prop_map(ClassId)
+fn arb_class(rng: &mut Rng, n: u32) -> ClassId {
+    ClassId(rng.gen_range(0..n))
 }
 
-fn arb_profile(n: usize) -> impl Strategy<Value = ServiceProfile> {
-    (
-        arb_class(n),
-        prop::collection::vec(arb_class(n), 0..3),
-        prop::collection::vec(arb_class(n), 0..3),
-    )
-        .prop_map(|(category, inputs, outputs)| {
-            ServiceProfile::new("p", category).with_inputs(&inputs).with_outputs(&outputs)
-        })
+fn arb_profile(rng: &mut Rng, n: u32) -> ServiceProfile {
+    ServiceProfile::new("p", arb_class(rng, n))
+        .with_inputs(&gen::vec_of(rng, 0, 3, |r| arb_class(r, n)))
+        .with_outputs(&gen::vec_of(rng, 0, 3, |r| arb_class(r, n)))
 }
 
-fn arb_request(n: usize) -> impl Strategy<Value = ServiceRequest> {
-    (
-        prop::option::of(arb_class(n)),
-        prop::collection::vec(arb_class(n), 0..3),
-        prop::collection::vec(arb_class(n), 0..3),
-    )
-        .prop_map(|(category, outputs, provided)| ServiceRequest {
-            category,
-            outputs,
-            provided_inputs: provided,
-            qos: Vec::new(),
-        })
+fn arb_request(rng: &mut Rng, n: u32) -> ServiceRequest {
+    ServiceRequest {
+        category: gen::option_of(rng, |r| arb_class(r, n)),
+        outputs: gen::vec_of(rng, 0, 3, |r| arb_class(r, n)),
+        provided_inputs: gen::vec_of(rng, 0, 3, |r| arb_class(r, n)),
+        qos: Vec::new(),
+    }
 }
 
-fn arb_description(n: usize) -> impl Strategy<Value = Description> {
-    prop_oneof![
-        (0u32..6).prop_map(|i| Description::Uri(format!("urn:svc:{i}"))),
-        (0u32..6).prop_map(|i| Description::Template(DescriptionTemplate {
+fn arb_description(rng: &mut Rng, n: u32) -> Description {
+    match rng.gen_range(0..3u32) {
+        0 => Description::Uri(format!("urn:svc:{}", rng.gen_range(0..6u32))),
+        1 => Description::Template(DescriptionTemplate {
             name: None,
-            type_uri: Some(format!("urn:svc:{i}")),
+            type_uri: Some(format!("urn:svc:{}", rng.gen_range(0..6u32))),
             attrs: vec![],
-        })),
-        arb_profile(n).prop_map(Description::Semantic),
-    ]
+        }),
+        _ => Description::Semantic(arb_profile(rng, n)),
+    }
 }
 
-fn arb_payload(n: usize) -> impl Strategy<Value = QueryPayload> {
-    prop_oneof![
-        (0u32..6).prop_map(|i| QueryPayload::Uri(format!("urn:svc:{i}"))),
-        (0u32..6).prop_map(|i| QueryPayload::Template(DescriptionTemplate {
+fn arb_payload(rng: &mut Rng, n: u32) -> QueryPayload {
+    match rng.gen_range(0..3u32) {
+        0 => QueryPayload::Uri(format!("urn:svc:{}", rng.gen_range(0..6u32))),
+        1 => QueryPayload::Template(DescriptionTemplate {
             name: None,
-            type_uri: Some(format!("urn:svc:{i}")),
+            type_uri: Some(format!("urn:svc:{}", rng.gen_range(0..6u32))),
             attrs: vec![],
-        })),
-        arb_request(n).prop_map(QueryPayload::Semantic),
-    ]
+        }),
+        _ => QueryPayload::Semantic(arb_request(rng, n)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Builds the engine, publishes `descriptions`, and returns sorted provider
+/// hit lists from both the engine and the oracle for `payload`.
+fn engine_vs_oracle(descriptions: &[Description], payload: &QueryPayload) -> (Vec<NodeId>, Vec<NodeId>) {
+    let (ont, _) = taxonomy();
+    let idx = Arc::new(SubsumptionIndex::build(&ont));
+    let oracle = Oracle::new(idx.clone());
 
-    #[test]
-    fn oracle_and_registry_engine_agree(
-        descriptions in prop::collection::vec(arb_description(10), 1..12),
-        payload in arb_payload(10),
-    ) {
-        let (ont, _) = taxonomy();
-        let idx = Arc::new(SubsumptionIndex::build(&ont));
-        let oracle = Oracle::new(idx.clone());
+    let mut engine = RegistryEngine::new(LeasePolicy::default());
+    engine.register_evaluator(Box::new(UriEvaluator));
+    engine.register_evaluator(Box::new(TemplateEvaluator));
+    engine.register_evaluator(Box::new(SemanticEvaluator::new(idx)));
 
-        let mut engine = RegistryEngine::new(LeasePolicy::default());
-        engine.register_evaluator(Box::new(UriEvaluator));
-        engine.register_evaluator(Box::new(TemplateEvaluator));
-        engine.register_evaluator(Box::new(SemanticEvaluator::new(idx)));
-
-        let services: Vec<(NodeId, Description)> = descriptions
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (NodeId(i as u32 + 100), d.clone()))
-            .collect();
-        for (i, (node, d)) in services.iter().enumerate() {
-            let advert = Advertisement {
-                id: Uuid(i as u128 + 1),
-                provider: *node,
-                description: d.clone(),
-                version: 1,
-            };
-            engine.publish(advert, *node, 0, 1_000_000);
-        }
-
-        let query = QueryMessage {
-            id: QueryId { origin: NodeId(0), seq: 0 },
-            payload: payload.clone(),
-            max_responses: None,
-            ttl: 0,
-            reply_to: None,
+    let services: Vec<(NodeId, Description)> = descriptions
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (NodeId(i as u32 + 100), d.clone()))
+        .collect();
+    for (i, (node, d)) in services.iter().enumerate() {
+        let advert = Advertisement {
+            id: Uuid(i as u128 + 1),
+            provider: *node,
+            description: d.clone(),
+            version: 1,
         };
-        let mut engine_hits: Vec<NodeId> =
-            engine.evaluate(&query, 100).iter().map(|h| h.advert.provider).collect();
-        let mut oracle_hits = oracle.expected_providers(&payload, &services, |_| true);
-        engine_hits.sort();
-        oracle_hits.sort();
-        prop_assert_eq!(engine_hits, oracle_hits);
+        engine.publish(advert, *node, 0, 1_000_000);
     }
 
-    #[test]
-    fn response_control_returns_a_prefix_of_the_unlimited_ranking(
-        descriptions in prop::collection::vec(arb_description(10), 1..12),
-        payload in arb_payload(10),
-        k in 0u16..8,
-    ) {
+    let query = QueryMessage {
+        id: QueryId { origin: NodeId(0), seq: 0 },
+        payload: payload.clone(),
+        max_responses: None,
+        ttl: 0,
+        reply_to: None,
+    };
+    let mut engine_hits: Vec<NodeId> =
+        engine.evaluate(&query, 100).iter().map(|h| h.advert.provider).collect();
+    let mut oracle_hits = oracle.expected_providers(payload, &services, |_| true);
+    engine_hits.sort();
+    oracle_hits.sort();
+    (engine_hits, oracle_hits)
+}
+
+#[test]
+fn oracle_and_registry_engine_agree() {
+    Checker::new("oracle_and_registry_engine_agree").run(|rng| {
+        let n = taxonomy().1;
+        let descriptions = gen::vec_of(rng, 1, 12, |r| arb_description(r, n));
+        let payload = arb_payload(rng, n);
+        let (engine_hits, oracle_hits) = engine_vs_oracle(&descriptions, &payload);
+        assert_eq!(engine_hits, oracle_hits);
+    });
+}
+
+/// The shrunken case preserved from `properties_cross.proptest-regressions`:
+/// a semantic profile whose input concept (ClassId(10)) lies OUTSIDE the
+/// 10-class taxonomy, queried with a request providing only ClassId(0). The
+/// engine and the oracle must agree on how an out-of-ontology input fails to
+/// be covered.
+#[test]
+fn regression_profile_with_out_of_taxonomy_input() {
+    let descriptions = vec![Description::Semantic(ServiceProfile {
+        name: "p".into(),
+        category: ClassId(0),
+        inputs: vec![ClassId(10)],
+        outputs: vec![],
+        qos: vec![],
+    })];
+    let payload = QueryPayload::Semantic(ServiceRequest {
+        category: None,
+        outputs: vec![],
+        provided_inputs: vec![ClassId(0)],
+        qos: vec![],
+    });
+    let (engine_hits, oracle_hits) = engine_vs_oracle(&descriptions, &payload);
+    assert_eq!(engine_hits, oracle_hits);
+}
+
+#[test]
+fn response_control_returns_a_prefix_of_the_unlimited_ranking() {
+    Checker::new("response_control_returns_a_prefix_of_the_unlimited_ranking").run(|rng| {
+        let n = taxonomy().1;
+        let descriptions = gen::vec_of(rng, 1, 12, |r| arb_description(r, n));
+        let payload = arb_payload(rng, n);
+        let k = rng.gen_range(0..8u16);
         let (ont, _) = taxonomy();
         let idx = Arc::new(SubsumptionIndex::build(&ont));
         let mut engine = RegistryEngine::new(LeasePolicy::default());
@@ -161,9 +184,9 @@ proptest! {
         };
         let unlimited = engine.evaluate(&mk(None), 100);
         let limited = engine.evaluate(&mk(Some(k)), 100);
-        prop_assert_eq!(limited.len(), unlimited.len().min(k as usize));
+        assert_eq!(limited.len(), unlimited.len().min(k as usize));
         for (l, u) in limited.iter().zip(unlimited.iter()) {
-            prop_assert_eq!(&l.advert.id, &u.advert.id, "truncation preserves ranking order");
+            assert_eq!(&l.advert.id, &u.advert.id, "truncation preserves ranking order");
         }
-    }
+    });
 }

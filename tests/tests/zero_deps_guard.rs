@@ -1,0 +1,188 @@
+//! Guard: the workspace stays buildable fully offline.
+//!
+//! The build environment has no crates.io registry, so every dependency in
+//! every manifest must resolve inside the repository — either a `path`
+//! dependency or `workspace = true` inheriting a root entry that is itself a
+//! `path` dependency. This test parses all `Cargo.toml`s (no TOML crate,
+//! for the same reason) and fails the moment anyone reintroduces an
+//! external dependency like the `rand`/`proptest`/`criterion` entries that
+//! broke the seed build.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // tests/ is a direct member of the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("tests/ has a parent").to_path_buf()
+}
+
+fn collect_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable workspace dir") {
+        let entry = entry.expect("readable dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // target/ holds generated manifests for external crates; hidden
+            // dirs (.git) are not ours.
+            if name != "target" && !name.starts_with('.') {
+                collect_manifests(&path, out);
+            }
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// True for section headers whose entries declare dependencies.
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim();
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.ends_with(".dependencies")
+        || h.ends_with(".dev-dependencies")
+        || h.ends_with(".build-dependencies")
+}
+
+/// Lints one manifest; returns violation descriptions.
+fn lint_manifest(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("readable manifest");
+    let mut violations = Vec::new();
+    let mut in_dep_section = false;
+    let mut dep_table_header: Option<String> = None; // e.g. [dependencies.foo]
+    let mut dep_table_ok = false;
+
+    let flush_table = |header: &mut Option<String>, ok: bool, violations: &mut Vec<String>| {
+        if let Some(h) = header.take() {
+            if !ok {
+                violations.push(format!("[{h}] has no `path` and no `workspace = true`"));
+            }
+        }
+    };
+
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_table(&mut dep_table_header, dep_table_ok, &mut violations);
+            let header = line.trim_matches(['[', ']']);
+            // A `[dependencies.foo]`-style expanded dependency table.
+            let parent = header.rsplit_once('.').map(|(p, _)| p).unwrap_or("");
+            if is_dependency_section(parent) {
+                dep_table_header = Some(header.to_string());
+                dep_table_ok = false;
+                in_dep_section = false;
+            } else {
+                in_dep_section = is_dependency_section(header);
+            }
+            continue;
+        }
+        if dep_table_header.is_some() {
+            if line.starts_with("path") || line == "workspace = true" {
+                dep_table_ok = true;
+            }
+            continue;
+        }
+        if in_dep_section {
+            let Some((name, value)) = line.split_once('=') else { continue };
+            let (name, value) = (name.trim(), value.trim());
+            if !(value.contains("path") || value.contains("workspace = true")) {
+                violations.push(format!(
+                    "dependency `{name}` = `{value}` is external (needs `path` or `workspace = true`)"
+                ));
+            }
+        }
+    }
+    flush_table(&mut dep_table_header, dep_table_ok, &mut violations);
+    violations
+}
+
+#[test]
+fn every_dependency_in_every_manifest_is_in_workspace() {
+    let root = workspace_root();
+    let mut manifests = Vec::new();
+    collect_manifests(&root, &mut manifests);
+    assert!(
+        manifests.len() >= 12,
+        "expected the full workspace (root + 10 crates + tests + examples), found {manifests:?}"
+    );
+
+    let mut all: Vec<String> = Vec::new();
+    for m in &manifests {
+        for v in lint_manifest(m) {
+            all.push(format!("{}: {v}", m.strip_prefix(&root).unwrap_or(m).display()));
+        }
+    }
+    assert!(
+        all.is_empty(),
+        "external dependencies would break the offline build:\n  {}",
+        all.join("\n  ")
+    );
+}
+
+#[test]
+fn banned_external_crates_never_reappear() {
+    // The three deps that broke the seed build; sds-rand and the bench
+    // harness replace them in-workspace.
+    let root = workspace_root();
+    let mut manifests = Vec::new();
+    collect_manifests(&root, &mut manifests);
+    for m in &manifests {
+        let text = std::fs::read_to_string(m).expect("readable manifest");
+        for banned in ["proptest", "criterion"] {
+            assert!(
+                !text.contains(banned),
+                "{}: mentions `{banned}`, which is not vendored and breaks offline builds",
+                m.display()
+            );
+        }
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            // `rand` as a bare dependency name (sds-rand is ours).
+            if let Some((name, _)) = line.split_once('=') {
+                assert_ne!(
+                    name.trim(),
+                    "rand",
+                    "{}: depends on external `rand`; use sds-rand",
+                    m.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn guard_linter_catches_external_deps() {
+    // Self-test of the linter on a synthetic manifest.
+    let dir = std::env::temp_dir().join(format!("sds-guard-selftest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("Cargo.toml");
+    std::fs::write(
+        &manifest,
+        r#"
+[package]
+name = "x"
+
+[dependencies]
+good = { path = "../good" }
+inherited = { workspace = true }
+bad = "1.0"
+
+[dependencies.table-bad]
+version = "0.8"
+
+[dev-dependencies]
+also-bad = { version = "2", features = ["std"] }
+"#,
+    )
+    .unwrap();
+    let violations = lint_manifest(&manifest);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(violations.len(), 3, "exactly the three external entries: {violations:?}");
+    assert!(violations.iter().any(|v| v.contains("`bad`")));
+    assert!(violations.iter().any(|v| v.contains("table-bad")));
+    assert!(violations.iter().any(|v| v.contains("`also-bad`")));
+}
