@@ -182,7 +182,11 @@ impl NodeHandler<DiscoveryMessage> for ClusterRegistryNode {
                         }
                     }
                 }
-                PublishOp::PublishAck { .. } | PublishOp::RenewAck { .. } => {}
+                // UDDI-class baselines do no ontology validation, so they
+                // never emit nacks; arriving ones are ignored.
+                PublishOp::PublishAck { .. }
+                | PublishOp::RenewAck { .. }
+                | PublishOp::PublishNack { .. } => {}
             },
             Operation::Querying(QueryOp::Query(query)) => {
                 // Full replication: answer entirely from the local copy.

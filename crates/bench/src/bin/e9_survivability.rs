@@ -9,8 +9,9 @@
 
 use sds_bench::{f2, Table};
 use sds_metrics::{topologies, Graph};
+use sds_rand::Seed;
 
-fn giant_after(g: &Graph, fraction_removed: f64, targeted: bool, seed: u64) -> f64 {
+fn giant_after(g: &Graph, fraction_removed: f64, targeted: bool, seed: Seed) -> f64 {
     let n = g.node_count();
     let batch = ((n as f64 * fraction_removed).round() as usize).max(1);
     let report = if targeted {
@@ -23,11 +24,12 @@ fn giant_after(g: &Graph, fraction_removed: f64, targeted: bool, seed: u64) -> f
 
 fn main() {
     let n = 32;
+    let seed = Seed(7).derive("bench.e9");
     let cases: Vec<(&str, Graph)> = vec![
         ("star (centralized)", topologies::star(n)),
         ("ring", topologies::ring(n)),
-        ("random p=0.1", topologies::random_connected(n, 0.1, 7)),
-        ("super-peer 8x4", topologies::super_peer(8, 4, 4, 7)),
+        ("random p=0.1", topologies::random_connected(n, 0.1, seed)),
+        ("super-peer 8x4", topologies::super_peer(8, 4, 4, seed)),
         ("full mesh (decentralized)", topologies::full_mesh(n)),
     ];
 
@@ -47,10 +49,10 @@ fn main() {
             g.edge_count().to_string(),
             f2(g.characteristic_path_length().unwrap_or(f64::NAN)),
             f2(g.clustering_coefficient()),
-            f2(giant_after(g, 0.10, false, 1)),
-            f2(giant_after(g, 0.30, false, 1)),
-            f2(giant_after(g, 0.10, true, 1)),
-            f2(giant_after(g, 0.30, true, 1)),
+            f2(giant_after(g, 0.10, false, seed.derive("removal.10"))),
+            f2(giant_after(g, 0.30, false, seed.derive("removal.30"))),
+            f2(giant_after(g, 0.10, true, seed)),
+            f2(giant_after(g, 0.30, true, seed)),
         ]);
     }
     table.print("E9: survivability metrics of registry-network topologies (n=32)");

@@ -152,8 +152,12 @@ impl RegistryAttachment {
                         return Some(self.attach(ctx, from));
                     }
                     // Load-balanced selection: collect replies for a short
-                    // window, then pick the least-loaded registry.
-                    self.probe_replies.push((from, *load));
+                    // window, then pick the least-loaded registry. One entry
+                    // per registry: duplicated deliveries must not inflate
+                    // the candidate set.
+                    if !self.probe_replies.iter().any(|&(id, _)| id == from) {
+                        self.probe_replies.push((from, *load));
+                    }
                     if !self.deciding {
                         self.deciding = true;
                         ctx.set_timer(self.cfg.probe_decision_window, tags::PROBE_DECIDE);

@@ -43,6 +43,9 @@ struct OutstandingQuery {
     options: QueryOptions,
     hits: HashMap<Uuid, ResponseHit>,
     responses_received: u32,
+    /// Responders already counted, so a duplicated delivery of the same
+    /// response (chaos fault injection) cannot double-count.
+    responders_seen: Vec<NodeId>,
     dispatched: bool,
     first_response_at: Option<SimTime>,
 }
@@ -164,6 +167,7 @@ impl ClientNode {
                 options,
                 hits: HashMap::new(),
                 responses_received: 0,
+                responders_seen: Vec::new(),
                 dispatched,
                 first_response_at: None,
             },
@@ -297,11 +301,17 @@ impl NodeHandler<DiscoveryMessage> for ClientNode {
                 if subscription.origin == ctx.node() => {
                     self.notifications.push(Notification { subscription, hit, at: ctx.now() });
                 }
-            Operation::Querying(QueryOp::QueryResponse { query_id, hits, .. }) => {
+            Operation::Querying(QueryOp::QueryResponse { query_id, hits, responder }) => {
                 if query_id.origin != ctx.node() {
                     return;
                 }
                 if let Some(o) = self.outstanding.get_mut(&query_id.seq) {
+                    if o.responders_seen.contains(&responder) {
+                        // Each responder answers a query once; a second copy
+                        // is a network-level duplicate.
+                        return;
+                    }
+                    o.responders_seen.push(responder);
                     o.responses_received += 1;
                     o.first_response_at.get_or_insert(ctx.now());
                     for h in hits {

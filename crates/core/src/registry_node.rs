@@ -23,13 +23,14 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use sds_protocol::{
-    Advertisement, DiscoveryMessage, MaintenanceOp, ModelId, PublishOp, QueryId, QueryMessage,
-    QueryOp, QueryPayload, ResponseHit, Uuid,
+    Advertisement, Description, DiscoveryMessage, MaintenanceOp, ModelId, PublishOp, QueryId,
+    QueryMessage, QueryOp, QueryPayload, ResponseHit, Uuid,
 };
 use sds_registry::{
-    rank_hits, RegistryEngine, SeenQueries, SemanticEvaluator, TemplateEvaluator, UriEvaluator,
+    rank_hits, PublishOutcome, RegistryEngine, SeenQueries, SemanticEvaluator, TemplateEvaluator,
+    UriEvaluator,
 };
-use sds_semantic::{Artifact, SubsumptionIndex};
+use sds_semantic::{Artifact, ClassId, SubsumptionIndex};
 use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, SimTime, TimerId};
 
 use crate::config::{ForwardStrategy, RegistryConfig};
@@ -78,6 +79,10 @@ pub struct RegistryNodeStats {
     pub adverts_purged: u64,
     pub notifications_sent: u64,
     pub push_rounds: u64,
+    /// Publishes rejected because the advert referenced ontology concepts
+    /// this registry does not know (direct publishes nacked, plus replicated
+    /// adverts silently skipped).
+    pub publishes_nacked: u64,
 }
 
 /// The registry role node handler.
@@ -665,10 +670,41 @@ impl RegistryNode {
         }
     }
 
+    /// Concepts referenced by the advert's semantic description that this
+    /// registry's ontology does not cover. Non-semantic descriptions (and
+    /// registries without a semantic index) validate vacuously: there is
+    /// nothing to check concepts against.
+    fn unknown_concepts(&self, advert: &Advertisement) -> Vec<ClassId> {
+        let Some(idx) = &self.semantic_index else { return Vec::new() };
+        let Description::Semantic(p) = &advert.description else { return Vec::new() };
+        let mut unknown: Vec<ClassId> = std::iter::once(p.category)
+            .chain(p.inputs.iter().copied())
+            .chain(p.outputs.iter().copied())
+            .filter(|&c| !idx.contains(c))
+            .collect();
+        unknown.sort_unstable_by_key(|c| c.0);
+        unknown.dedup();
+        unknown
+    }
+
     fn on_publishing(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, op: PublishOp) {
         match op {
             PublishOp::Publish { advert, lease_ms } | PublishOp::Update { advert, lease_ms } => {
                 let id = advert.id;
+                // Validate ontology references before anything is stored: an
+                // advert naming concepts we cannot reason about would sit in
+                // the store forever matching nothing.
+                let unknown = self.unknown_concepts(&advert);
+                if !unknown.is_empty() {
+                    self.stats.publishes_nacked += 1;
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(from),
+                        DiscoveryMessage::publishing(PublishOp::PublishNack { id, unknown }),
+                    );
+                    return;
+                }
                 let (outcome, lease_until) =
                     self.engine.publish(advert.clone(), from, ctx.now(), lease_ms);
                 send_msg(
@@ -677,7 +713,9 @@ impl RegistryNode {
                     Destination::Unicast(from),
                     DiscoveryMessage::publishing(PublishOp::PublishAck { id, lease_until }),
                 );
-                if outcome != sds_registry::PublishOutcome::StaleVersion {
+                // Only genuinely new content triggers notifications: a
+                // duplicated publish (Unchanged) must not double-notify.
+                if matches!(outcome, PublishOutcome::New | PublishOutcome::Updated) {
                     self.notify_subscribers(ctx, &advert);
                 }
             }
@@ -695,13 +733,21 @@ impl RegistryNode {
             }
             PublishOp::ForwardAdverts { adverts } => {
                 for advert in adverts {
+                    // Replicated adverts get the same ontology check as direct
+                    // publishes, but there is no provider to nack: skip.
+                    if !self.unknown_concepts(&advert).is_empty() {
+                        self.stats.publishes_nacked += 1;
+                        continue;
+                    }
                     let (outcome, _) = self.engine.publish(advert.clone(), from, ctx.now(), 0);
-                    if outcome == sds_registry::PublishOutcome::New {
+                    if outcome == PublishOutcome::New {
                         self.notify_subscribers(ctx, &advert);
                     }
                 }
             }
-            PublishOp::PublishAck { .. } | PublishOp::RenewAck { .. } => {}
+            PublishOp::PublishAck { .. }
+            | PublishOp::RenewAck { .. }
+            | PublishOp::PublishNack { .. } => {}
         }
     }
 

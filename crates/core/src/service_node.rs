@@ -30,6 +30,10 @@ struct HostedService {
     /// Stable advert id, generated on first publish.
     id: Option<AdvertId>,
     version: u32,
+    /// The registry nacked this advert (unknown ontology concepts). Stop
+    /// republishing/renewing it until the description changes — retrying an
+    /// advert the registry cannot reason about would loop forever.
+    rejected: bool,
 }
 
 /// Counters exposed for experiments.
@@ -39,6 +43,8 @@ pub struct ServiceNodeStats {
     pub renewals: u64,
     pub republishes_after_unknown: u64,
     pub fallback_answers: u64,
+    /// Publishes the registry rejected for unknown ontology concepts.
+    pub publish_nacks: u64,
 }
 
 /// The service-provider role node handler.
@@ -71,7 +77,7 @@ impl ServiceNode {
             attach,
             services: descriptions
                 .into_iter()
-                .map(|description| HostedService { description, id: None, version: 1 })
+                .map(|description| HostedService { description, id: None, version: 1, rejected: false })
                 .collect(),
             evaluators,
             stats: ServiceNodeStats::default(),
@@ -119,6 +125,8 @@ impl ServiceNode {
         let svc = &mut self.services[index];
         svc.description = description;
         svc.version += 1;
+        // A changed description gets a fresh chance at validation.
+        svc.rejected = false;
         if let Some(home) = self.attach.home() {
             let advert = Self::advert_of(svc, ctx);
             self.stats.publishes += 1;
@@ -146,6 +154,9 @@ impl ServiceNode {
 
     fn publish_all(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, registry: NodeId) {
         for i in 0..self.services.len() {
+            if self.services[i].rejected {
+                continue;
+            }
             let advert = Self::advert_of(&mut self.services[i], ctx);
             self.stats.publishes += 1;
             send_msg(
@@ -204,6 +215,7 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
         for s in &mut self.services {
             s.id = None;
             s.version = 1;
+            s.rejected = false;
         }
         if let Some(ev) = self.attach.start(ctx) {
             self.on_attach_event(ctx, ev);
@@ -220,6 +232,12 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
             }
             Operation::Publishing(op) => match op {
                 PublishOp::PublishAck { .. } => {}
+                PublishOp::PublishNack { id, .. } => {
+                    if let Some(s) = self.services.iter_mut().find(|s| s.id == Some(id)) {
+                        s.rejected = true;
+                        self.stats.publish_nacks += 1;
+                    }
+                }
                 PublishOp::RenewAck { id, known, .. }
                     if !known => {
                         // Registry restarted and lost the advert: republish.
@@ -272,6 +290,9 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
             tags::RENEW => {
                 if let Some(home) = self.attach.home() {
                     for s in &self.services {
+                        if s.rejected {
+                            continue;
+                        }
                         if let Some(id) = s.id {
                             self.stats.renewals += 1;
                             send_msg(

@@ -5,7 +5,7 @@ use sds_core::{
     AttachConfig, Bootstrap, ClientConfig, ClientNode, RegistryConfig, RegistryNode,
 };
 use sds_protocol::DiscoveryMessage;
-use sds_simnet::{secs, NodeId, Sim, SimConfig, Topology};
+use sds_simnet::{secs, ControlAction, FaultProfile, NodeId, Sim, SimConfig, Topology};
 
 type Net = Sim<DiscoveryMessage>;
 
@@ -136,6 +136,92 @@ fn staggered_clients_spread_across_registries() {
     }
     for &r in &regs {
         assert_eq!(counts.get(&r), Some(&2), "2 clients per registry: {counts:?}");
+    }
+}
+
+#[test]
+fn duplicated_probe_replies_do_not_flap_home_or_inflate_candidates() {
+    // 100% duplication plus mild reordering on the LAN: every probe reply,
+    // beacon, and pong arrives twice and slightly out of order. Attachment
+    // must still converge to one stable home, and the candidate set must
+    // stay bounded by the number of real registries.
+    for seed in 0..5u64 {
+        let (mut sim, lan) = lan_world(100 + seed);
+        sim.set_lan_faults(
+            lan,
+            FaultProfile { duplicate: 1.0, reorder_jitter: 200, ..Default::default() },
+        );
+        let regs: Vec<NodeId> = (0..3)
+            .map(|_| sim.add_node(lan, Box::new(RegistryNode::new(RegistryConfig::default(), None))))
+            .collect();
+        let c = sim.add_node(lan, Box::new(ClientNode::new(ClientConfig::default())));
+        sim.run_until(secs(2));
+        let home = sim
+            .handler::<ClientNode>(c)
+            .unwrap()
+            .home_registry()
+            .expect("attached despite duplication");
+        assert!(regs.contains(&home));
+        // The home must not flap while every registry stays healthy.
+        for step in 1..=28u64 {
+            sim.run_until(secs(2 + step));
+            let h = sim.handler::<ClientNode>(c).unwrap();
+            assert_eq!(h.home_registry(), Some(home), "seed {seed}: home flapped");
+            assert!(
+                h.candidate_count() <= regs.len(),
+                "seed {seed}: duplicated signals inflated the candidate set"
+            );
+        }
+        assert!(sim.stats().duplicated_messages > 0, "faults were actually injected");
+    }
+}
+
+#[test]
+fn stale_pongs_after_failover_do_not_resurrect_a_dead_home() {
+    // A fault window delays and duplicates traffic right before the home
+    // registry crashes, so pongs the old home sent while alive can surface
+    // long after the client failed over. Those stale pongs (and their
+    // duplicates) must not re-attach the client to the dead registry.
+    for seed in 0..8u64 {
+        let (mut sim, lan) = lan_world(200 + seed);
+        let r0 = sim.add_node(lan, Box::new(RegistryNode::new(RegistryConfig::default(), None)));
+        let r1 = sim.add_node(lan, Box::new(RegistryNode::new(RegistryConfig::default(), None)));
+        let attach =
+            AttachConfig { ping_interval: secs(2), ping_tolerance: 2, ..Default::default() };
+        let c = sim.add_node(
+            lan,
+            Box::new(ClientNode::new(ClientConfig { attach, ..Default::default() })),
+        );
+        sim.schedule(
+            secs(10),
+            ControlAction::SetLanFaults(
+                lan,
+                FaultProfile { duplicate: 1.0, reorder_jitter: secs(8), ..Default::default() },
+            ),
+        );
+        sim.schedule(secs(20), ControlAction::ClearFaults);
+        sim.run_until(secs(2));
+        let home = sim.handler::<ClientNode>(c).unwrap().home_registry().expect("attached");
+        let survivor = if home == r0 { r1 } else { r0 };
+        sim.run_until(secs(20));
+        sim.crash_node(home);
+        // Delayed duplicates from the window drain while failover runs; the
+        // client must settle on the survivor and stay there.
+        sim.run_until(secs(60));
+        assert_eq!(
+            sim.handler::<ClientNode>(c).unwrap().home_registry(),
+            Some(survivor),
+            "seed {seed}: did not settle on the surviving registry"
+        );
+        for step in 1..=10u64 {
+            sim.run_until(secs(60 + step * 2));
+            assert_eq!(
+                sim.handler::<ClientNode>(c).unwrap().home_registry(),
+                Some(survivor),
+                "seed {seed}: flapped away from the survivor"
+            );
+        }
+        assert!(sim.stats().fault_injections() > 0, "faults were actually injected");
     }
 }
 

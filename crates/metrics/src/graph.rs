@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 
-use sds_rand::Rng;
+use sds_rand::Seed;
 
 /// A simple undirected graph over nodes `0..n`.
 ///
@@ -170,9 +170,11 @@ pub struct RemovalReport {
 
 impl Graph {
     /// Removes `steps` batches of `batch` nodes, chosen uniformly at random
-    /// (the "random failure" column of E9).
-    pub fn random_removal(&self, batch: usize, steps: usize, seed: u64) -> RemovalReport {
-        let mut rng = Rng::seed_from_u64(seed);
+    /// (the "random failure" column of E9). The removal order draws from the
+    /// labelled `metrics.graph.removal` stream of `seed`, so it is
+    /// independent of any stream used to generate the graph itself.
+    pub fn random_removal(&self, batch: usize, steps: usize, seed: Seed) -> RemovalReport {
+        let mut rng = seed.derive("metrics.graph.removal").rng();
         let order = {
             let mut v: Vec<usize> = (0..self.node_count()).collect();
             rng.shuffle(&mut v);
@@ -265,9 +267,10 @@ pub mod topologies {
     }
 
     /// Erdős–Rényi G(n, p), plus a ring backbone to keep it connected at
-    /// small n.
-    pub fn random_connected(n: usize, p: f64, seed: u64) -> Graph {
-        let mut rng = Rng::seed_from_u64(seed);
+    /// small n. Edge tosses draw from the labelled
+    /// `metrics.topology.random` stream of `seed`.
+    pub fn random_connected(n: usize, p: f64, seed: Seed) -> Graph {
+        let mut rng = seed.derive("metrics.topology.random").rng();
         let mut g = ring(n);
         for a in 0..n {
             for b in (a + 1)..n {
@@ -284,7 +287,7 @@ pub mod topologies {
     /// cluster; gateways connected in a ring plus `extra_links` random
     /// long-range links ("only a few nodes that have long-range
     /// connections").
-    pub fn super_peer(clusters: usize, cluster_size: usize, extra_links: usize, seed: u64) -> Graph {
+    pub fn super_peer(clusters: usize, cluster_size: usize, extra_links: usize, seed: Seed) -> Graph {
         let n = clusters * cluster_size;
         let mut g = Graph::new(n);
         for c in 0..clusters {
@@ -306,7 +309,7 @@ pub mod topologies {
                 g.add_edge(c * cluster_size + 1, next * cluster_size + 1);
             }
         }
-        let mut rng = Rng::seed_from_u64(seed);
+        let mut rng = seed.derive("metrics.topology.super-peer").rng();
         for _ in 0..extra_links {
             let a = rng.gen_range(0..clusters) * cluster_size;
             let b = rng.gen_range(0..clusters) * cluster_size;
@@ -355,13 +358,13 @@ mod tests {
             targeted.giant_fraction
         );
         // Random removal of one node almost certainly hits a leaf.
-        let random = g.random_removal(1, 1, 42);
+        let random = g.random_removal(1, 1, Seed(42));
         assert!(random.giant_fraction[1] > 0.9);
     }
 
     #[test]
     fn super_peer_survives_single_hub_loss_unlike_star() {
-        let g = super_peer(8, 4, 4, 1);
+        let g = super_peer(8, 4, 4, Seed(1));
         assert_eq!(g.node_count(), 32);
         // Removing the single highest-degree node costs at most its own
         // cluster (4/32), while the same attack shatters a star completely.
@@ -372,7 +375,7 @@ mod tests {
             t.giant_fraction
         );
         // Random failure of 4 nodes barely dents it.
-        let r = g.random_removal(4, 1, 11);
+        let r = g.random_removal(4, 1, Seed(11));
         assert!(r.giant_fraction[1] >= 0.7, "random: {:?}", r.giant_fraction);
     }
 
@@ -398,7 +401,7 @@ mod tests {
 
     #[test]
     fn random_connected_is_connected() {
-        let g = random_connected(30, 0.05, 7);
+        let g = random_connected(30, 0.05, Seed(7));
         assert_eq!(g.largest_component(), 30);
     }
 

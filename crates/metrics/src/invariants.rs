@@ -1,0 +1,169 @@
+//! Post-quiescence invariant checking for chaos experiments.
+//!
+//! A chaos soak injects churn and network faults, lets the system heal, and
+//! then asserts convergence invariants ("every live advertised service is
+//! discoverable again", "no expired lease survives", "duplicates never
+//! double-count"). [`InvariantReport`] collects those checks by name so a
+//! failing soak reports *every* violated invariant with its details, not
+//! just the first assert that tripped — essential when one seed violates
+//! three invariants for the same root cause.
+//!
+//! The report is deliberately dependency-free: experiment code evaluates
+//! the domain predicates and records outcomes here.
+
+use std::fmt::Write as _;
+
+/// One named invariant with the violations recorded against it.
+#[derive(Clone, Debug)]
+struct Entry {
+    name: String,
+    checks: u64,
+    violations: Vec<String>,
+}
+
+/// An accumulating pass/fail ledger for named invariants.
+///
+/// ```
+/// use sds_metrics::InvariantReport;
+///
+/// let mut report = InvariantReport::new();
+/// report.check("no-expired-lease", true, || unreachable!());
+/// report.check("discoverable", false, || "provider 3 missing for query 7".into());
+/// assert!(!report.is_clean());
+/// assert_eq!(report.violation_count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InvariantReport {
+    entries: Vec<Entry>,
+}
+
+impl InvariantReport {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, name: &str) -> &mut Entry {
+        if let Some(i) = self.entries.iter().position(|e| e.name == name) {
+            return &mut self.entries[i];
+        }
+        self.entries.push(Entry { name: name.into(), checks: 0, violations: Vec::new() });
+        self.entries.last_mut().expect("just pushed")
+    }
+
+    /// Records one evaluation of invariant `name`. The detail closure runs
+    /// only on violation, so hot loops can check cheaply.
+    pub fn check(&mut self, name: &str, ok: bool, detail: impl FnOnce() -> String) {
+        let e = self.entry(name);
+        e.checks += 1;
+        if !ok {
+            e.violations.push(detail());
+        }
+    }
+
+    /// Records an invariant as evaluated with no violation (useful when the
+    /// check is a scan that found nothing wrong).
+    pub fn pass(&mut self, name: &str) {
+        self.entry(name).checks += 1;
+    }
+
+    /// True when every recorded check passed.
+    pub fn is_clean(&self) -> bool {
+        self.entries.iter().all(|e| e.violations.is_empty())
+    }
+
+    /// Total number of violations across all invariants.
+    pub fn violation_count(&self) -> usize {
+        self.entries.iter().map(|e| e.violations.len()).sum()
+    }
+
+    /// Total number of checks evaluated (diagnostic: a soak that evaluated
+    /// zero checks proves nothing).
+    pub fn check_count(&self) -> u64 {
+        self.entries.iter().map(|e| e.checks).sum()
+    }
+
+    /// A human-readable ledger: one line per invariant, then each violation.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{}: {}/{} ok",
+                e.name,
+                e.checks - e.violations.len() as u64,
+                e.checks
+            );
+            for v in &e.violations {
+                let _ = writeln!(out, "  ✗ {v}");
+            }
+        }
+        out
+    }
+
+    /// Panics with the full ledger when any invariant was violated.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "{} invariant violation(s):\n{}",
+            self.violation_count(),
+            self.summary()
+        );
+    }
+}
+
+/// A tiny deterministic fingerprint (FNV-1a) for comparing run artifacts:
+/// two runs of the same seed must produce byte-identical metrics lines, so
+/// soaks compare `fingerprint(&lines)` instead of lugging strings around.
+pub fn fingerprint(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_report_stays_clean() {
+        let mut r = InvariantReport::new();
+        r.pass("a");
+        r.check("b", true, || unreachable!("detail not computed on pass"));
+        assert!(r.is_clean());
+        assert_eq!(r.check_count(), 2);
+        assert_eq!(r.violation_count(), 0);
+        r.assert_clean();
+    }
+
+    #[test]
+    fn violations_accumulate_per_invariant() {
+        let mut r = InvariantReport::new();
+        r.check("recall", false, || "q1".into());
+        r.check("recall", false, || "q2".into());
+        r.check("leases", true, || unreachable!());
+        assert!(!r.is_clean());
+        assert_eq!(r.violation_count(), 2);
+        let s = r.summary();
+        assert!(s.contains("recall: 0/2 ok"), "summary was: {s}");
+        assert!(s.contains("q1") && s.contains("q2"));
+        assert!(s.contains("leases: 1/1 ok"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation")]
+    fn assert_clean_panics_with_ledger() {
+        let mut r = InvariantReport::new();
+        r.check("x", false, || "boom".into());
+        r.assert_clean();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        assert_ne!(fingerprint(""), fingerprint(" "));
+    }
+}

@@ -5,6 +5,8 @@
 //! * [`Summary`] / [`ratio`] / [`recall`] — descriptive statistics over
 //!   samples and the recall/staleness arithmetic the discovery experiments
 //!   report;
+//! * [`InvariantReport`] / [`fingerprint`] — named pass/fail ledgers for
+//!   chaos-soak convergence invariants and deterministic run fingerprints;
 //! * [`Graph`] and the generators in [`topologies`] — registry-network
 //!   survivability analysis for the paper's topology discussion, following
 //!   its references to complex-network robustness work (Albert/Jeong/Barabási
@@ -13,7 +15,9 @@
 //!   random and targeted failure").
 
 mod graph;
+mod invariants;
 mod stats;
 
 pub use graph::{topologies, Graph, RemovalReport};
+pub use invariants::{fingerprint, InvariantReport};
 pub use stats::{ratio, recall, Summary};

@@ -497,6 +497,11 @@ fn write_publish(w: &mut Writer, p: &PublishOp) {
                 write_advert(w, a);
             }
         }
+        PublishOp::PublishNack { id, unknown } => {
+            w.u8(7);
+            w.u128(id.0);
+            w.classes(unknown);
+        }
     }
 }
 
@@ -522,6 +527,7 @@ fn read_publish(r: &mut Reader<'_>) -> R<PublishOp> {
             }
             PublishOp::ForwardAdverts { adverts }
         }
+        7 => PublishOp::PublishNack { id: Uuid(r.u128()?), unknown: r.classes()? },
         t => return Err(DecodeError::InvalidTag { what: "publish op", tag: t }),
     })
 }
@@ -678,6 +684,44 @@ pub fn encode(msg: &DiscoveryMessage) -> Vec<u8> {
     w.buf
 }
 
+/// Applies a small random mutation to an encoded frame: byte flips, an
+/// insertion, a deletion, or truncation. This is the canonical frame
+/// corruption used both by the chaos fault-injection hook (encode →
+/// `mutate_frame` → [`decode`]) and the fuzz property asserting [`decode`]
+/// is total over its image.
+pub fn mutate_frame(rng: &mut sds_rand::Rng, bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.gen_range(0..4u32) {
+        // Flip 1–4 random bytes in place.
+        0 => {
+            if !out.is_empty() {
+                for _ in 0..rng.gen_range(1..=4u32) {
+                    let i = rng.gen_range(0..out.len());
+                    out[i] ^= rng.gen_range(1..=255u32) as u8;
+                }
+            }
+        }
+        // Insert a random byte.
+        1 => {
+            let i = rng.gen_range(0..=out.len());
+            out.insert(i, rng.gen_range(0..=255u32) as u8);
+        }
+        // Delete a random byte.
+        2 => {
+            if !out.is_empty() {
+                let i = rng.gen_range(0..out.len());
+                out.remove(i);
+            }
+        }
+        // Truncate.
+        _ => {
+            let keep = rng.gen_range(0..=out.len());
+            out.truncate(keep);
+        }
+    }
+    out
+}
+
 /// Deserializes a message, validating version, tags, and message framing.
 pub fn decode(bytes: &[u8]) -> R<DiscoveryMessage> {
     let mut r = Reader::new(bytes);
@@ -760,6 +804,10 @@ mod tests {
             id: Uuid(42),
             lease_until: 123,
             known: false,
+        }));
+        rt(DiscoveryMessage::publishing(PublishOp::PublishNack {
+            id: Uuid(42),
+            unknown: vec![ClassId(900), ClassId(901)],
         }));
         rt(DiscoveryMessage::publishing(PublishOp::Remove { id: Uuid(42) }));
         rt(DiscoveryMessage::publishing(PublishOp::Update { advert: advert.clone(), lease_ms: 1 }));

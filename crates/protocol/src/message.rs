@@ -5,7 +5,7 @@
 //! description payload sits behind a [`ModelId`] next-header so the same
 //! distribution protocol carries every description model.
 
-use sds_semantic::{Degree, ServiceProfile, ServiceRequest};
+use sds_semantic::{ClassId, Degree, ServiceProfile, ServiceRequest};
 use sds_simnet::{NodeId, SimTime};
 
 use crate::uuid::Uuid;
@@ -212,6 +212,12 @@ pub enum PublishOp {
     /// Renewal result; `known == false` tells the provider to republish
     /// (e.g. after the registry restarted and lost soft state).
     RenewAck { id: AdvertId, lease_until: SimTime, known: bool },
+    /// Publish/update rejected: the advert references ontology concepts the
+    /// registry does not know, so it could never be matched semantically.
+    /// Makes the failure observable to the publisher (who should fix the
+    /// description or fetch the ontology, not retry as-is) instead of the
+    /// advert sitting silently unmatched.
+    PublishNack { id: AdvertId, unknown: Vec<ClassId> },
     /// Explicit deregistration.
     Remove { id: AdvertId },
     /// Republish with updated content (e.g. changed coverage area).
@@ -306,6 +312,7 @@ impl DiscoveryMessage {
                 PublishOp::PublishAck { .. } => "publish-ack",
                 PublishOp::RenewLease { .. } => "renew",
                 PublishOp::RenewAck { .. } => "renew-ack",
+                PublishOp::PublishNack { .. } => "publish-nack",
                 PublishOp::Remove { .. } => "remove",
                 PublishOp::Update { .. } => "update",
                 PublishOp::ForwardAdverts { .. } => "fwd-adverts",

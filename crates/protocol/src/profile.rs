@@ -47,6 +47,7 @@ pub fn minimum_profile(msg: &DiscoveryMessage) -> ProtocolProfile {
         Operation::Publishing(p) => match p {
             PublishOp::Publish { .. }
             | PublishOp::PublishAck { .. }
+            | PublishOp::PublishNack { .. }
             | PublishOp::RenewLease { .. }
             | PublishOp::RenewAck { .. }
             | PublishOp::Remove { .. }

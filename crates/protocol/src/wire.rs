@@ -142,6 +142,8 @@ impl WireSize for PublishOp {
         match self {
             PublishOp::Publish { advert, .. } => 32 + advert.body_size(),
             PublishOp::PublishAck { .. } => 56,
+            // Nack framing plus one concept IRI per offending reference.
+            PublishOp::PublishNack { unknown, .. } => 56 + CONCEPT_REF * unknown.len() as u32,
             PublishOp::RenewLease { .. } => 48,
             PublishOp::RenewAck { .. } => 60,
             PublishOp::Remove { .. } => 48,

@@ -146,7 +146,7 @@ fn arb_maintenance(rng: &mut Rng) -> MaintenanceOp {
 }
 
 fn arb_publish(rng: &mut Rng) -> PublishOp {
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..8u32) {
         0 => PublishOp::Publish { advert: arb_advert(rng), lease_ms: rng.next_u64() },
         1 => PublishOp::PublishAck { id: Uuid(rng.gen_u128()), lease_until: rng.next_u64() },
         2 => PublishOp::RenewLease { id: Uuid(rng.gen_u128()) },
@@ -157,6 +157,10 @@ fn arb_publish(rng: &mut Rng) -> PublishOp {
         },
         4 => PublishOp::Remove { id: Uuid(rng.gen_u128()) },
         5 => PublishOp::Update { advert: arb_advert(rng), lease_ms: rng.next_u64() },
+        6 => PublishOp::PublishNack {
+            id: Uuid(rng.gen_u128()),
+            unknown: gen::vec_of(rng, 0, 4, arb_class),
+        },
         _ => PublishOp::ForwardAdverts { adverts: gen::vec_of(rng, 0, 4, arb_advert) },
     }
 }
@@ -237,6 +241,27 @@ fn truncation_always_fails_cleanly() {
         if bytes.len() > 1 {
             let cut = rng.gen_range(1..bytes.len());
             assert!(codec::decode(&bytes[..cut]).is_err());
+        }
+    });
+}
+
+#[test]
+fn mutated_frames_never_panic_the_decoder() {
+    // The chaos corruption hook feeds exactly this pipeline into handlers:
+    // encode → mutate_frame → decode. Decode must stay total over it —
+    // erroring cleanly or yielding a message that itself round-trips.
+    Checker::new("mutated_frames_never_panic_the_decoder").cases(2048).run(|rng| {
+        let msg = arb_message(rng);
+        let mut bytes = codec::encode(&msg);
+        // Stack up to 3 mutations so frames drift far from the valid image.
+        for _ in 0..rng.gen_range(1..=3u32) {
+            bytes = codec::mutate_frame(rng, &bytes);
+        }
+        if let Ok(decoded) = codec::decode(&bytes) {
+            // A surviving frame is a real message: it must re-encode and
+            // decode back to itself (no half-valid states escape).
+            let re = codec::encode(&decoded);
+            assert_eq!(codec::decode(&re).expect("re-decode"), decoded);
         }
     });
 }

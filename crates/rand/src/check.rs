@@ -2,9 +2,15 @@
 //!
 //! Replaces `proptest` for this workspace's needs: run a property closure
 //! over N deterministically seeded cases, report the failing case seed on
-//! panic, and re-run explicitly registered regression seeds first. There is
-//! no shrinking — cases are seeds, so a failure reproduces exactly by
-//! pinning its seed with [`Checker::regression`] and debugging under it.
+//! panic, and re-run explicitly registered regression seeds first. Cases
+//! are seeds, so a failure reproduces exactly by pinning its seed with
+//! [`Checker::regression`] and debugging under it.
+//!
+//! Shrinking is semi-automatic and cheap: on a failing case the harness
+//! re-runs the *same* seed with progressively smaller size budgets for the
+//! [`gen`] helpers (halving the spans of `vec_of`/`ident`) and reports the
+//! smallest budget that still fails — usually a structurally much smaller
+//! counterexample, reachable again via `SDS_CHECK_SIZE_FACTOR`.
 //!
 //! ```
 //! use sds_rand::check::Checker;
@@ -16,13 +22,75 @@
 //! });
 //! ```
 //!
-//! Environment overrides (both optional):
+//! Environment overrides (all optional):
 //! * `SDS_CHECK_CASES` — case count for every checker (stress runs);
-//! * `SDS_CHECK_SEED` — replaces the per-property base seed (exploration).
+//! * `SDS_CHECK_SEED` — replaces the per-property base seed (exploration);
+//! * `SDS_CHECK_SIZE_FACTOR` — scales every [`gen`] size budget in
+//!   `0.0..=1.0` (debugging a shrunk counterexample at its reported size).
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use crate::{Rng, Seed};
+
+thread_local! {
+    static SIZE_FACTOR: Cell<f64> = const { Cell::new(1.0) };
+}
+
+/// The size budgets the shrinker tries, largest first. Descent stops at the
+/// first budget where the property passes (assuming failures are monotone in
+/// input size — the cheap, usually-right heuristic).
+const SHRINK_FACTORS: &[f64] = &[0.5, 0.25, 0.125, 0.0];
+
+/// The thread-local size-budget factor in `0.0..=1.0` that the [`gen`]
+/// helpers apply to their spans. `1.0` is the configured budget; the
+/// shrinker lowers it while hunting a smaller failing case, and
+/// `SDS_CHECK_SIZE_FACTOR` pins it for a whole run.
+pub fn size_factor() -> f64 {
+    SIZE_FACTOR.with(Cell::get)
+}
+
+fn set_size_factor(f: f64) {
+    SIZE_FACTOR.with(|c| c.set(f));
+}
+
+fn env_size_factor() -> Option<f64> {
+    std::env::var("SDS_CHECK_SIZE_FACTOR")
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .filter(|f| (0.0..=1.0).contains(f))
+}
+
+/// Re-runs `case_seed` under each [`SHRINK_FACTORS`] budget below `base` and
+/// returns the smallest budget that still fails (`None` when every reduced
+/// budget passes, i.e. the failure needs full-size inputs). Restores `base`
+/// before returning.
+fn shrink_size_budget<F: FnMut(&mut Rng)>(
+    case_seed: u64,
+    base: f64,
+    property: &mut F,
+) -> Option<f64> {
+    let mut smallest = None;
+    for &factor in SHRINK_FACTORS {
+        if factor >= base {
+            continue;
+        }
+        set_size_factor(factor);
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            let mut rng = Rng::seed_from_u64(case_seed);
+            property(&mut rng);
+        }))
+        .is_err();
+        if failed {
+            smallest = Some(factor);
+        } else {
+            break;
+        }
+    }
+    set_size_factor(base);
+    smallest
+}
 
 /// Default number of generated cases per property.
 pub const DEFAULT_CASES: u32 = 128;
@@ -68,9 +136,11 @@ impl Checker {
     }
 
     /// Runs the property: every pinned regression seed first, then `cases`
-    /// generated cases. On failure, prints the case seed (for
-    /// [`Checker::regression`]) and re-raises the panic.
+    /// generated cases. On failure, shrinks the size budget (same seed,
+    /// smaller [`gen`] spans), prints the case seed and smallest
+    /// still-failing budget, and re-raises the original panic.
     pub fn run<F: FnMut(&mut Rng)>(self, mut property: F) {
+        set_size_factor(env_size_factor().unwrap_or(1.0));
         for i in 0..self.regressions.len() {
             self.run_case(self.regressions[i], "regression", &mut property);
         }
@@ -88,6 +158,16 @@ impl Checker {
                  `.regression({:#018x})` to debug",
                 self.name, kind, case_seed, case_seed
             );
+            match shrink_size_budget(case_seed, size_factor(), property) {
+                Some(f) => eprintln!(
+                    "  shrink: same seed still fails at size budget {f}; re-run with \
+                     SDS_CHECK_SIZE_FACTOR={f} for the smaller counterexample"
+                ),
+                None => eprintln!(
+                    "  shrink: every reduced size budget passes; the failure needs \
+                     full-size inputs"
+                ),
+            }
             resume_unwind(panic);
         }
     }
@@ -101,13 +181,27 @@ fn parse_seed(s: &str) -> Option<u64> {
 }
 
 /// Generator helpers shared by property tests: structured values from a
-/// case's [`Rng`].
+/// case's [`Rng`]. Size spans scale with the harness's current
+/// [`size_factor`], which is how the shrinker makes the same seed produce
+/// structurally smaller values.
 pub mod gen {
     use crate::Rng;
 
+    /// `span` scaled by the current size factor; at 1.0 this is the
+    /// identity, so normal runs draw exactly as before.
+    fn scaled(span: usize) -> usize {
+        let f = super::size_factor();
+        if f >= 1.0 {
+            span
+        } else {
+            (span as f64 * f).ceil() as usize
+        }
+    }
+
     /// A vector of `len` in `min..max` elements produced by `f`.
     pub fn vec_of<T>(rng: &mut Rng, min: usize, max: usize, mut f: impl FnMut(&mut Rng) -> T) -> Vec<T> {
-        let len = if min == max { min } else { rng.gen_range(min..max) };
+        let span = scaled(max.saturating_sub(min));
+        let len = if span == 0 { min } else { rng.gen_range(min..min + span) };
         (0..len).map(|_| f(rng)).collect()
     }
 
@@ -122,7 +216,7 @@ pub mod gen {
 
     /// A lowercase ASCII identifier of `len` in `min..=max` characters.
     pub fn ident(rng: &mut Rng, min: usize, max: usize) -> String {
-        let len = rng.gen_range(min..=max);
+        let len = rng.gen_range(min..=min + scaled(max.saturating_sub(min)));
         (0..len)
             .map(|_| {
                 // [a-z0-9-], weighted toward letters.
@@ -200,6 +294,38 @@ mod tests {
             }
         }
         assert!((400..600).contains(&somes));
+    }
+
+    #[test]
+    fn size_factor_scales_gen_budgets() {
+        set_size_factor(0.0);
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(gen::vec_of(&mut rng, 2, 10, |r| r.next_u64()).len(), 2);
+            assert_eq!(gen::ident(&mut rng, 1, 12).len(), 1);
+        }
+        set_size_factor(0.125);
+        for _ in 0..50 {
+            // span 8 scaled to 1 → len in 2..3.
+            assert_eq!(gen::vec_of(&mut rng, 2, 10, |r| r.next_u64()).len(), 2);
+        }
+        set_size_factor(1.0);
+    }
+
+    #[test]
+    fn shrink_finds_smallest_still_failing_budget() {
+        // Fails at every budget above an eighth: the shrinker descends
+        // 0.5 → 0.25 → 0.125 (all failing), sees 0.0 pass, and reports 0.125.
+        let mut prop = |_: &mut Rng| assert!(size_factor() < 0.1, "too big");
+        assert_eq!(shrink_size_budget(7, 1.0, &mut prop), Some(0.125));
+        assert_eq!(size_factor(), 1.0, "base budget restored");
+    }
+
+    #[test]
+    fn shrink_reports_none_when_failure_needs_full_size() {
+        let mut prop = |_: &mut Rng| assert!(size_factor() < 0.9, "full size only");
+        assert_eq!(shrink_size_budget(7, 1.0, &mut prop), None);
+        assert_eq!(size_factor(), 1.0);
     }
 
     #[test]

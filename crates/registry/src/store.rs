@@ -72,6 +72,10 @@ pub enum PublishOutcome {
     New,
     /// Replaced content with an equal-or-newer version.
     Updated,
+    /// Same version, same content (a duplicated or retransmitted publish).
+    /// The lease is still extended, but nothing changed — subscribers must
+    /// not be re-notified, keeping duplicate deliveries from double-counting.
+    Unchanged,
     /// Dropped: the incoming version is older than what is stored
     /// (replication races).
     StaleVersion,
@@ -109,11 +113,17 @@ impl RegistryStore {
                 if advert.version < existing.advert.version {
                     return PublishOutcome::StaleVersion;
                 }
+                let unchanged =
+                    advert.version == existing.advert.version && advert == existing.advert;
                 existing.advert = advert;
                 existing.source = source;
                 existing.lease_until = lease_until.max(existing.lease_until);
                 existing.requested_lease_ms = requested_lease_ms;
-                PublishOutcome::Updated
+                if unchanged {
+                    PublishOutcome::Unchanged
+                } else {
+                    PublishOutcome::Updated
+                }
             }
         }
     }
@@ -208,6 +218,19 @@ mod tests {
         assert_eq!(s.get(&Uuid(1)).unwrap().advert.version, 2);
         // Stale publish must not shorten the lease.
         assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 200);
+    }
+
+    #[test]
+    fn duplicated_publish_is_unchanged_but_extends_lease() {
+        let mut s = RegistryStore::new();
+        assert_eq!(s.publish(advert(1, 1), NodeId(1), 0, 100, 0), PublishOutcome::New);
+        // The network delivered the same publish twice.
+        assert_eq!(s.publish(advert(1, 1), NodeId(1), 5, 150, 0), PublishOutcome::Unchanged);
+        assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 150);
+        // Same version but different content is a real update.
+        let mut changed = advert(1, 1);
+        changed.description = Description::Uri("urn:y".into());
+        assert_eq!(s.publish(changed, NodeId(1), 10, 150, 0), PublishOutcome::Updated);
     }
 
     #[test]

@@ -51,6 +51,14 @@ impl SubsumptionIndex {
         self.n == 0
     }
 
+    /// True when the id names a class of this ontology. Wire input can carry
+    /// any `u32`; registries use this to reject adverts referencing unknown
+    /// concepts at publish time instead of storing them silently unmatched.
+    #[inline]
+    pub fn contains(&self, c: ClassId) -> bool {
+        c.index() < self.n
+    }
+
     /// Reflexive subsumption: true when `sub` ⊑ `sup` (every `sub` is a
     /// `sup`), including `sub == sup`.
     ///

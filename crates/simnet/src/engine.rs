@@ -53,8 +53,39 @@ impl Default for SimConfig {
     }
 }
 
+/// Per-scope fault-injection knobs, layered on top of the base link model.
+///
+/// A profile applies to every delivery crossing its scope (one LAN medium,
+/// or the WAN). All knobs default to zero — a default profile injects
+/// nothing and draws nothing from the fault RNG stream, so fault-free runs
+/// are bit-identical with pre-fault-layer builds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultProfile {
+    /// Extra loss probability, on top of the `SimConfig` loss.
+    pub loss: f64,
+    /// Probability a delivery is duplicated (a second copy is scheduled
+    /// with independently sampled latency, so it may arrive first).
+    pub duplicate: f64,
+    /// Probability a delivery is corrupted: the payload is routed through
+    /// the corruption hook (see [`Sim::set_corruptor`]); without a hook the
+    /// frame is destroyed outright.
+    pub corrupt: f64,
+    /// Bound on extra, uniformly sampled delivery delay. This models
+    /// reordering: any two messages whose delivery windows overlap can
+    /// arrive in either order.
+    pub reorder_jitter: SimTime,
+}
+
+impl FaultProfile {
+    /// True when the profile injects nothing.
+    pub fn is_quiet(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
 /// A scheduled change to the world, for scripting scenarios
-/// ("at t=60s LAN 2 loses its registry", "at t=120s the WAN partitions").
+/// ("at t=60s LAN 2 loses its registry", "at t=120s the WAN partitions",
+/// "LAN 2 lossy from 30 s to 60 s").
 #[derive(Clone, Debug)]
 pub enum ControlAction {
     /// Take a node down: it stops receiving messages and all its pending
@@ -67,7 +98,19 @@ pub enum ControlAction {
     Partition(Vec<Vec<LanId>>),
     /// Heal all WAN partitions.
     HealPartition,
+    /// Replace one LAN's fault profile (in effect until overwritten).
+    SetLanFaults(LanId, FaultProfile),
+    /// Replace the WAN fault profile (in effect until overwritten).
+    SetWanFaults(FaultProfile),
+    /// Reset every fault profile to the fault-free default.
+    ClearFaults,
 }
+
+/// The payload corruption hook: given the fault RNG and the in-flight
+/// payload, returns the corrupted payload to deliver, or `None` when the
+/// corruption rendered the frame undecodable (it is then dropped and
+/// counted). The discovery stack installs encode → byte-mutation → decode.
+pub type Corruptor<P> = Box<dyn FnMut(&mut Rng, &P) -> Option<P>>;
 
 enum EventKind<P> {
     Deliver { to: NodeId, from: NodeId, payload: P, bytes: u32, kind: MsgKind },
@@ -99,6 +142,9 @@ pub struct Sim<P> {
     epoch: Vec<u32>,
     rngs: Vec<Rng>,
     link_rng: Rng,
+    /// Dedicated stream for fault injection so enabling faults never
+    /// perturbs the link RNG draws of fault-free traffic.
+    fault_rng: Rng,
     next_timer: u64,
     cancelled: HashSet<TimerId>,
     stats: NetStats,
@@ -107,6 +153,11 @@ pub struct Sim<P> {
     lan_busy_until: Vec<SimTime>,
     /// Shared WAN pipe busy-until time.
     wan_busy_until: SimTime,
+    /// Per-LAN fault profiles (indexed by LAN id).
+    lan_faults: Vec<FaultProfile>,
+    /// WAN fault profile.
+    wan_faults: FaultProfile,
+    corruptor: Option<Corruptor<P>>,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -134,11 +185,15 @@ impl<P: Clone + 'static> Sim<P> {
             epoch: Vec::new(),
             rngs: Vec::new(),
             link_rng: Seed(seed).derive("simnet.link").rng(),
+            fault_rng: Seed(seed).derive("simnet.fault").rng(),
             next_timer: 0,
             cancelled: HashSet::new(),
             stats: NetStats::default(),
             lan_busy_until: vec![0; lan_count],
             wan_busy_until: 0,
+            lan_faults: vec![FaultProfile::default(); lan_count],
+            wan_faults: FaultProfile::default(),
+            corruptor: None,
             // Folded into each node's private RNG in `add_node`.
             seed,
         }
@@ -204,6 +259,42 @@ impl<P: Clone + 'static> Sim<P> {
     pub fn schedule(&mut self, at: SimTime, action: ControlAction) {
         assert!(at >= self.now, "cannot schedule in the past");
         self.push_event(at, EventKind::Control(action));
+    }
+
+    /// Replaces one LAN's fault profile, effective immediately.
+    pub fn set_lan_faults(&mut self, lan: LanId, faults: FaultProfile) {
+        assert!(lan.index() < self.lan_faults.len(), "unknown LAN {lan:?}");
+        self.lan_faults[lan.index()] = faults;
+    }
+
+    /// Replaces the WAN fault profile, effective immediately.
+    pub fn set_wan_faults(&mut self, faults: FaultProfile) {
+        self.wan_faults = faults;
+    }
+
+    /// Resets every fault profile to the fault-free default.
+    pub fn clear_faults(&mut self) {
+        self.lan_faults.fill(FaultProfile::default());
+        self.wan_faults = FaultProfile::default();
+    }
+
+    /// The fault profile currently applied to a LAN.
+    pub fn lan_faults(&self, lan: LanId) -> FaultProfile {
+        self.lan_faults[lan.index()]
+    }
+
+    /// The fault profile currently applied to the WAN.
+    pub fn wan_faults(&self) -> FaultProfile {
+        self.wan_faults
+    }
+
+    /// Installs the payload corruption hook used when a
+    /// [`FaultProfile::corrupt`] roll fires. The discovery stack installs
+    /// encode → seeded byte-mutation → decode here, so corruption exercises
+    /// the real wire decoder; `None` means the frame no longer decodes and
+    /// is dropped (counted in [`NetStats::corrupt_dropped_messages`]).
+    pub fn set_corruptor(&mut self, hook: impl FnMut(&mut Rng, &P) -> Option<P> + 'static) {
+        self.corruptor = Some(Box::new(hook));
     }
 
     /// Borrows a handler downcast to its concrete type, for inspection.
@@ -299,6 +390,9 @@ impl<P: Clone + 'static> Sim<P> {
                     self.topo.partition(&refs);
                 }
                 ControlAction::HealPartition => self.topo.heal_partition(),
+                ControlAction::SetLanFaults(lan, f) => self.set_lan_faults(lan, f),
+                ControlAction::SetWanFaults(f) => self.set_wan_faults(f),
+                ControlAction::ClearFaults => self.clear_faults(),
             },
         }
     }
@@ -337,6 +431,13 @@ impl<P: Clone + 'static> Sim<P> {
     fn transmit(&mut self, from: NodeId, dest: Destination, payload: P, bytes: u32, kind: MsgKind) {
         match dest {
             Destination::Unicast(to) => {
+                if to.index() >= self.handlers.len() {
+                    // Corrupted frames can carry node ids that name nobody
+                    // (e.g. a mutated RegistryList). Address a black hole
+                    // instead of indexing the topology out of bounds.
+                    self.stats.record_drop();
+                    return;
+                }
                 if to == from {
                     // Loopback: free and instantaneous-ish.
                     let at = self.now + 1;
@@ -353,13 +454,13 @@ impl<P: Clone + 'static> Sim<P> {
                     self.stats.record_drop();
                     return;
                 }
-                if self.sample_loss(scope) {
+                let faults = self.faults_for(scope, from_lan);
+                if self.sample_loss(scope) || self.sample_fault_loss(faults) {
                     self.stats.record_drop();
                     return;
                 }
                 let serialization = self.reserve_medium(scope, from_lan, bytes);
-                let at = self.now + serialization + self.sample_latency(scope);
-                self.push_event(at, EventKind::Deliver { to, from, payload, bytes, kind });
+                self.deliver_faulty(faults, scope, serialization, to, from, payload, bytes, kind);
             }
             Destination::Multicast(lan) => {
                 assert_eq!(lan, self.topo.lan_of(from), "multicast is link-local: sender must be on the LAN");
@@ -367,18 +468,94 @@ impl<P: Clone + 'static> Sim<P> {
                 self.stats.record(Scope::Lan, kind, u64::from(bytes));
                 self.stats.record_multicast();
                 let serialization = self.reserve_medium(Scope::Lan, lan, bytes);
+                let faults = self.lan_faults[lan.index()];
                 let members: Vec<NodeId> =
                     self.topo.members(lan).iter().copied().filter(|&m| m != from).collect();
                 for to in members {
-                    if self.sample_loss(Scope::Lan) {
+                    if self.sample_loss(Scope::Lan) || self.sample_fault_loss(faults) {
                         self.stats.record_drop();
                         continue;
                     }
-                    let at = self.now + serialization + self.sample_latency(Scope::Lan);
-                    self.push_event(at, EventKind::Deliver { to, from, payload: payload.clone(), bytes, kind });
+                    self.deliver_faulty(
+                        faults, Scope::Lan, serialization, to, from, payload.clone(), bytes, kind,
+                    );
                 }
             }
         }
+    }
+
+    /// Schedules one logical delivery, applying duplication, reordering and
+    /// corruption from `faults`. A quiet profile draws nothing from the
+    /// fault RNG, keeping fault-free runs bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_faulty(
+        &mut self,
+        faults: FaultProfile,
+        scope: Scope,
+        serialization: SimTime,
+        to: NodeId,
+        from: NodeId,
+        payload: P,
+        bytes: u32,
+        kind: MsgKind,
+    ) {
+        let copies = if faults.duplicate > 0.0 && self.fault_rng.gen_bool(faults.duplicate) {
+            self.stats.record_duplicate();
+            2
+        } else {
+            1
+        };
+        let mut payload = Some(payload);
+        for copy in 0..copies {
+            // Each copy samples its own latency and reorder delay, so a
+            // duplicate can overtake the original.
+            let reorder = if faults.reorder_jitter > 0 {
+                let extra = self.fault_rng.gen_range(0..=faults.reorder_jitter);
+                if extra > 0 {
+                    self.stats.record_reorder_delay();
+                }
+                extra
+            } else {
+                0
+            };
+            let p = if copy + 1 == copies {
+                payload.take().expect("last copy takes the payload")
+            } else {
+                payload.as_ref().cloned().expect("payload present until last copy")
+            };
+            let p = if faults.corrupt > 0.0 && self.fault_rng.gen_bool(faults.corrupt) {
+                self.stats.record_corrupted();
+                let mutated = match self.corruptor.as_mut() {
+                    Some(hook) => hook(&mut self.fault_rng, &p),
+                    None => None,
+                };
+                match mutated {
+                    Some(m) => m,
+                    None => {
+                        // The mutation destroyed the frame: the receiver's
+                        // decoder would reject it, so it never reaches the
+                        // handler.
+                        self.stats.record_corrupt_drop();
+                        continue;
+                    }
+                }
+            } else {
+                p
+            };
+            let at = self.now + serialization + self.sample_latency(scope) + reorder;
+            self.push_event(at, EventKind::Deliver { to, from, payload: p, bytes, kind });
+        }
+    }
+
+    fn faults_for(&self, scope: Scope, lan: LanId) -> FaultProfile {
+        match scope {
+            Scope::Lan => self.lan_faults[lan.index()],
+            Scope::Wan => self.wan_faults,
+        }
+    }
+
+    fn sample_fault_loss(&mut self, faults: FaultProfile) -> bool {
+        faults.loss > 0.0 && self.fault_rng.gen_bool(faults.loss)
     }
 
     /// Reserves the shared medium for `bytes` and returns the serialization
@@ -605,6 +782,142 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unicast_to_unknown_node_is_dropped_not_a_panic() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            // A corrupted frame could name a node that was never added.
+            ctx.send(Destination::Unicast(NodeId(999)), "void".into(), 8, "test");
+        });
+        sim.run_until(100);
+        assert_eq!(sim.stats().dropped_messages, 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_counts() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.set_lan_faults(l0, FaultProfile { duplicate: 1.0, ..Default::default() });
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "dup".into(), 8, "test");
+        });
+        sim.run_until(100);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 2);
+        assert_eq!(sim.stats().duplicated_messages, 1);
+        // One logical transmission on the wire.
+        assert_eq!(sim.stats().lan_messages, 1);
+    }
+
+    #[test]
+    fn corruption_without_hook_destroys_frames() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.set_lan_faults(l0, FaultProfile { corrupt: 1.0, ..Default::default() });
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "gone".into(), 8, "test");
+        });
+        sim.run_until(100);
+        assert!(sim.handler::<Recorder>(b).unwrap().messages.is_empty());
+        assert_eq!(sim.stats().corrupted_messages, 1);
+        assert_eq!(sim.stats().corrupt_dropped_messages, 1);
+    }
+
+    #[test]
+    fn corruption_hook_rewrites_payloads() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.set_corruptor(|_rng, p: &String| Some(format!("{p}?")));
+        sim.set_lan_faults(l0, FaultProfile { corrupt: 1.0, ..Default::default() });
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "msg".into(), 8, "test");
+        });
+        sim.run_until(100);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages, vec![(a, "msg?".to_string())]);
+        assert_eq!(sim.stats().corrupted_messages, 1);
+        assert_eq!(sim.stats().corrupt_dropped_messages, 0);
+    }
+
+    #[test]
+    fn scheduled_fault_window_opens_and_clears() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        let lossy = FaultProfile { loss: 1.0, ..Default::default() };
+        sim.schedule(10, ControlAction::SetLanFaults(l0, lossy));
+        sim.schedule(100, ControlAction::ClearFaults);
+        sim.run_until(20);
+        assert_eq!(sim.lan_faults(l0), lossy, "window open");
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "in-window".into(), 8, "test");
+        });
+        sim.run_until(110);
+        assert!(sim.lan_faults(l0).is_quiet(), "window cleared");
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "after".into(), 8, "test");
+        });
+        sim.run_until(200);
+        let rec = sim.handler::<Recorder>(b).unwrap();
+        assert_eq!(rec.messages.len(), 1, "only the post-window message arrives");
+        assert_eq!(rec.messages[0].1, "after");
+    }
+
+    #[test]
+    fn reorder_jitter_can_swap_deliveries() {
+        // With a large reorder bound and zero base jitter, two back-to-back
+        // messages eventually arrive swapped for some seed.
+        let mut swapped = false;
+        for seed in 0..20 {
+            let mut topo = Topology::new();
+            let l0 = topo.add_lan();
+            let cfg = SimConfig { lan_jitter: 0, ..Default::default() };
+            let mut sim: Sim<String> = Sim::new(cfg, topo, seed);
+            let a = sim.add_node(l0, Box::<Recorder>::default());
+            let b = sim.add_node(l0, Box::<Recorder>::default());
+            sim.set_lan_faults(l0, FaultProfile { reorder_jitter: 50, ..Default::default() });
+            sim.with_node::<Recorder>(a, |_, ctx| {
+                ctx.send(Destination::Unicast(b), "first".into(), 8, "test");
+                ctx.send(Destination::Unicast(b), "second".into(), 8, "test");
+            });
+            sim.run_until(1_000);
+            let rec = sim.handler::<Recorder>(b).unwrap();
+            assert_eq!(rec.messages.len(), 2, "reordering never loses messages");
+            if rec.messages[0].1 == "second" {
+                swapped = true;
+                break;
+            }
+        }
+        assert!(swapped, "no seed in 0..20 produced a swap");
+    }
+
+    #[test]
+    fn fault_free_runs_unchanged_by_fault_layer_presence() {
+        // A quiet profile must not consume fault RNG draws: a run with the
+        // default profiles is byte-identical to one where a window opened
+        // and closed before any traffic.
+        let run = |pre_window: bool| {
+            let (mut sim, l0, l1) = two_lan_sim();
+            let a = sim.add_node(l0, Box::<Recorder>::default());
+            let b = sim.add_node(l1, Box::<Recorder>::default());
+            if pre_window {
+                sim.set_wan_faults(FaultProfile { duplicate: 0.9, ..Default::default() });
+                sim.clear_faults();
+            }
+            for i in 0..50 {
+                sim.with_node::<Recorder>(a, |_, ctx| {
+                    ctx.send(Destination::Unicast(b), format!("m{i}"), 16, "test");
+                });
+                sim.run_until(sim.now() + 10);
+            }
+            sim.run_until(10_000);
+            sim.handler::<Recorder>(b).unwrap().messages.clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -56,7 +56,7 @@ mod stats;
 mod time;
 mod topology;
 
-pub use engine::{ControlAction, Sim, SimConfig};
+pub use engine::{ControlAction, Corruptor, FaultProfile, Sim, SimConfig};
 // Handlers receive a `&mut Rng` through `Ctx::rng`; re-exported so roles can
 // name the type without depending on sds-rand directly.
 pub use sds_rand::{Rng, Seed};

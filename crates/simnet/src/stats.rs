@@ -38,10 +38,21 @@ pub struct NetStats {
     pub wan_messages: u64,
     pub wan_bytes: u64,
     /// Messages abandoned because the destination was down, unreachable
-    /// (partition), or lost to the configured loss probability.
+    /// (partition), nonexistent (corrupted address), or lost to the
+    /// configured loss probability (base or fault-injected).
     pub dropped_messages: u64,
     /// Multicast transmissions (also counted in `lan_messages`).
     pub multicast_transmissions: u64,
+    /// Deliveries duplicated by fault injection (each adds one extra copy).
+    pub duplicated_messages: u64,
+    /// Deliveries routed through the corruption hook.
+    pub corrupted_messages: u64,
+    /// Corrupted deliveries that no longer decoded and were dropped
+    /// (subset of `corrupted_messages`; *not* counted in
+    /// `dropped_messages`, which tracks link-level losses).
+    pub corrupt_dropped_messages: u64,
+    /// Deliveries delayed by fault-injected reorder jitter.
+    pub reorder_delayed_messages: u64,
     by_kind: BTreeMap<MsgKind, KindStats>,
 }
 
@@ -68,6 +79,28 @@ impl NetStats {
 
     pub fn record_drop(&mut self) {
         self.dropped_messages += 1;
+    }
+
+    pub fn record_duplicate(&mut self) {
+        self.duplicated_messages += 1;
+    }
+
+    pub fn record_corrupted(&mut self) {
+        self.corrupted_messages += 1;
+    }
+
+    pub fn record_corrupt_drop(&mut self) {
+        self.corrupt_dropped_messages += 1;
+    }
+
+    pub fn record_reorder_delay(&mut self) {
+        self.reorder_delayed_messages += 1;
+    }
+
+    /// Total fault-injection interventions (diagnostic: asserts a chaos run
+    /// actually injected something).
+    pub fn fault_injections(&self) -> u64 {
+        self.duplicated_messages + self.corrupted_messages + self.reorder_delayed_messages
     }
 
     /// Total bytes across both scopes.

@@ -14,16 +14,20 @@
 //! * [`oracle`] — registry-free ground truth: which live providers *should*
 //!   match a query, so experiments can report recall and staleness;
 //! * [`churn`] — exponential on/off churn plans for transient nodes;
+//! * [`fault`] — scheduled network-fault windows (loss, duplication,
+//!   reordering, corruption) with a guaranteed heal time, for chaos soaks;
 //! * [`scenario`] — assembles `sds-core` deployments (centralized /
 //!   decentralized / federated) into ready-to-run simulations.
 
 pub mod churn;
+pub mod fault;
 pub mod oracle;
 pub mod population;
 pub mod scenario;
 pub mod taxonomy;
 
 pub use churn::ChurnPlan;
+pub use fault::{corrupting_hook, FaultPlan, FaultSeverity, FaultTarget};
 pub use oracle::Oracle;
 pub use population::{PopulationSpec, QuerySpec, Workload};
 pub use scenario::{Deployment, Scenario, ScenarioConfig};

@@ -8,3 +8,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+
+# Bounded chaos soak (quick mode): fixed 8-seed sweep of combined churn +
+# fault injection with post-heal convergence invariants. Deterministic, so
+# a red run here reproduces locally with the printed seed.
+SDS_CHAOS_SEEDS=8 cargo test -q --offline -p sds-integration --test chaos_soak
