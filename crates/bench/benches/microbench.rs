@@ -13,7 +13,9 @@ use sds_protocol::{
     codec, Advertisement, Description, DiscoveryMessage, ModelId, PublishOp, QueryId,
     QueryMessage, Uuid,
 };
-use sds_registry::{LeasePolicy, RegistryEngine, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
+use sds_registry::{
+    LeasePolicy, RegistryEngine, RegistryStore, SemanticEvaluator, TemplateEvaluator, UriEvaluator,
+};
 use sds_semantic::{
     Interner, Matchmaker, ServiceRequest, SubsumptionIndex, Triple, TriplePattern, TripleStore,
 };
@@ -148,7 +150,76 @@ fn bench_registry_evaluate(h: &mut Harness) {
                 black_box(engine.evaluate(&queries[i], 100))
             })
         });
+        let mut j = 0usize;
+        g.bench(&format!("naive_evaluate_1k_store/{model:?}"), |b| {
+            b.iter(|| {
+                j = (j + 1) % queries.len();
+                black_box(engine.naive_evaluate(&queries[j], 100))
+            })
+        });
     }
+}
+
+/// The incremental cost of the secondary indexes and the expiry heap:
+/// publish/remove churn, lease-driven purge, and raw candidate generation.
+fn bench_registry_index(h: &mut Harness) {
+    let (ont, classes) = battlefield();
+    let idx = SubsumptionIndex::build(&ont);
+    let w = Workload::generate(
+        &ont,
+        &classes,
+        &PopulationSpec {
+            model: ModelId::Semantic,
+            services: 1_000,
+            queries: 0,
+            generalization_rate: 0.5,
+            seed: 4,
+        },
+    );
+    let adverts: Vec<Advertisement> = w
+        .descriptions
+        .iter()
+        .enumerate()
+        .map(|(i, d)| Advertisement {
+            id: Uuid(i as u128 + 1),
+            provider: NodeId(0),
+            description: d.clone(),
+            version: 1,
+        })
+        .collect();
+
+    let mut g = h.group("registry_index");
+    g.bench("publish_remove_churn_1k", |b| {
+        b.iter(|| {
+            let mut store = RegistryStore::new();
+            for a in &adverts {
+                store.publish(a.clone(), NodeId(0), 0, 1_000, 0);
+            }
+            for a in &adverts {
+                store.remove(a.id);
+            }
+            black_box(store.len())
+        })
+    });
+    g.bench("publish_expire_purge_1k", |b| {
+        b.iter(|| {
+            let mut store = RegistryStore::new();
+            for (i, a) in adverts.iter().enumerate() {
+                store.publish(a.clone(), NodeId(0), 0, (i as u64 % 100) + 1, 0);
+            }
+            black_box(store.purge_expired(50).len())
+        })
+    });
+
+    let mut store = RegistryStore::new();
+    for a in &adverts {
+        store.publish(a.clone(), NodeId(0), 0, u64::MAX, 0);
+    }
+    let payload =
+        sds_protocol::QueryPayload::Semantic(ServiceRequest::for_category(classes.surveillance));
+    g.bench("candidates_semantic_1k", |b| {
+        b.iter(|| black_box(store.candidates(&payload, Some(&idx)).len()))
+    });
 }
 
 fn bench_codec(h: &mut Harness) {
@@ -219,6 +290,7 @@ fn main() {
     bench_matchmaker(&mut h);
     bench_triple_store(&mut h);
     bench_registry_evaluate(&mut h);
+    bench_registry_index(&mut h);
     bench_codec(&mut h);
     bench_simnet(&mut h);
     h.finish();

@@ -27,8 +27,8 @@ use sds_protocol::{
     QueryMessage, QueryOp, QueryPayload, ResponseHit, Uuid,
 };
 use sds_registry::{
-    rank_hits, PublishOutcome, RegistryEngine, SeenQueries, SemanticEvaluator, TemplateEvaluator,
-    UriEvaluator,
+    rank_hits, PublishOutcome, RegistryEngine, SeenQueries, SemanticEvaluator,
+    SubscriptionIndex, TemplateEvaluator, UriEvaluator,
 };
 use sds_semantic::{Artifact, ClassId, SubsumptionIndex};
 use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, SimTime, TimerId};
@@ -104,6 +104,9 @@ pub struct RegistryNode {
     attached: HashMap<NodeId, SimTime>,
     /// Standing queries: subscription id → (subscriber, payload, lease).
     subscriptions: HashMap<QueryId, Subscription>,
+    /// Reverse index over subscription payloads so a publish only re-matches
+    /// the standing queries whose constraints relate to the new advert.
+    sub_index: SubscriptionIndex,
     pending: HashMap<u64, PendingQuery>,
     pending_by_alias: HashMap<QueryId, u64>,
     next_pending: u64,
@@ -125,6 +128,7 @@ impl RegistryNode {
             seen: SeenQueries::new(seen_retention),
             attached: HashMap::new(),
             subscriptions: HashMap::new(),
+            sub_index: SubscriptionIndex::new(),
             pending: HashMap::new(),
             pending_by_alias: HashMap::new(),
             next_pending: 0,
@@ -478,11 +482,18 @@ impl RegistryNode {
     /// advertisements of interest").
     fn notify_subscribers(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, advert: &Advertisement) {
         let now = ctx.now();
+        // Candidate generation over the subscription index: only standing
+        // queries whose constraints relate to this advert are re-matched
+        // (sorted by id, so notification order is deterministic).
         let matches: Vec<(NodeId, QueryId, sds_semantic::Degree, u32)> = self
-            .subscriptions
-            .iter()
-            .filter(|(_, sub)| sub.lease_until > now)
-            .filter_map(|(&id, sub)| {
+            .sub_index
+            .candidates(advert, self.semantic_index.as_deref())
+            .into_iter()
+            .filter_map(|id| {
+                let sub = self.subscriptions.get(&id)?;
+                if sub.lease_until <= now {
+                    return None;
+                }
                 self.engine
                     .evaluate_single(&sub.payload, advert)
                     .map(|(degree, distance)| (sub.client, id, degree, distance))
@@ -768,7 +779,13 @@ impl RegistryNode {
             }
             QueryOp::Subscribe { id, payload, lease_ms } => {
                 let lease_until = self.cfg.lease_policy.grant(ctx.now(), lease_ms);
-                self.subscriptions.insert(id, Subscription { client: from, payload, lease_until });
+                let replaced = self
+                    .subscriptions
+                    .insert(id, Subscription { client: from, payload: payload.clone(), lease_until });
+                if let Some(old) = replaced {
+                    self.sub_index.remove(id, &old.payload);
+                }
+                self.sub_index.insert(id, &payload);
                 send_msg(
                     ctx,
                     self.cfg.codec,
@@ -777,7 +794,9 @@ impl RegistryNode {
                 );
             }
             QueryOp::Unsubscribe { id } => {
-                self.subscriptions.remove(&id);
+                if let Some(sub) = self.subscriptions.remove(&id) {
+                    self.sub_index.remove(id, &sub.payload);
+                }
             }
             QueryOp::ComposeRequest { id, request, max_depth } => {
                 let chain = self.engine.compose(&request, ctx.now(), max_depth as usize);
@@ -826,6 +845,7 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
         self.seen.clear();
         self.attached.clear();
         self.subscriptions.clear();
+        self.sub_index.clear();
         self.pending.clear();
         self.pending_by_alias.clear();
 
@@ -868,7 +888,14 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
                 let purged = self.engine.purge(ctx.now());
                 self.stats.adverts_purged += purged.len() as u64;
                 let now = ctx.now();
-                self.subscriptions.retain(|_, sub| sub.lease_until > now);
+                let sub_index = &mut self.sub_index;
+                self.subscriptions.retain(|&id, sub| {
+                    let live = sub.lease_until > now;
+                    if !live {
+                        sub_index.remove(id, &sub.payload);
+                    }
+                    live
+                });
                 ctx.set_timer(self.cfg.purge_interval, tags::PURGE);
             }
             tags::PEER_PING => {

@@ -129,7 +129,8 @@ pub struct Advertisement {
 
 /// Per-origin unique query identifier; "giving queries their unique query ID
 /// is a good approach to avoid query looping between registry nodes".
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+/// Ordered by `(origin, seq)` so id sets iterate deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct QueryId {
     pub origin: NodeId,
     pub seq: u64,

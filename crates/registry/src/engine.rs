@@ -106,9 +106,70 @@ impl RegistryEngine {
     /// payload's model (silently returning nothing for unsupported models),
     /// ranks hits best-first, and truncates to the query's `max_responses` —
     /// the query response control the paper requires of registries.
+    ///
+    /// Sublinear path: the store's secondary indexes produce a candidate set
+    /// (a sound over-approximation — see [`RegistryStore::candidates`]), the
+    /// evaluator confirms each candidate over *borrowed* adverts, and only
+    /// the final top-k hits are cloned. The ranking order `(degree desc,
+    /// distance asc, id asc)` is total over unique advert ids, so the result
+    /// is identical to [`RegistryEngine::naive_evaluate`] regardless of
+    /// candidate enumeration order.
     pub fn evaluate(&self, query: &QueryMessage, now: SimTime) -> Vec<ResponseHit> {
         let Some(evaluator) = self.evaluators.get(&query.payload.model()) else {
             return Vec::new(); // "silently discard messages they cannot understand"
+        };
+        let candidates = self.store.candidates(&query.payload, evaluator.subsumption_index());
+        let confirmed = candidates.iter().filter_map(|id| {
+            let stored = self.store.get(&id)?;
+            if !stored.is_live(now) {
+                return None;
+            }
+            evaluator
+                .evaluate(&query.payload, &stored.advert)
+                .map(|(degree, distance)| RankedRef { degree, distance, stored })
+        });
+        let ranked: Vec<RankedRef<'_>> = match query.max_responses {
+            // Bounded selection: a max-heap of the k best seen so far, worst
+            // on top; O(candidates · log k) and never more than k+1 entries.
+            Some(k) => {
+                let k = k as usize;
+                let mut top = std::collections::BinaryHeap::with_capacity(k + 1);
+                for hit in confirmed {
+                    if k == 0 {
+                        break;
+                    }
+                    top.push(hit);
+                    if top.len() > k {
+                        top.pop();
+                    }
+                }
+                let mut v = top.into_vec();
+                v.sort_unstable();
+                v
+            }
+            None => {
+                let mut v: Vec<RankedRef<'_>> = confirmed.collect();
+                v.sort_unstable();
+                v
+            }
+        };
+        ranked
+            .into_iter()
+            .map(|h| ResponseHit {
+                advert: h.stored.advert.clone(),
+                degree: h.degree,
+                distance: h.distance,
+            })
+            .collect()
+    }
+
+    /// The pre-index full-scan evaluation, kept verbatim as the reference
+    /// implementation for equivalence properties and the `q1_query_scaling`
+    /// comparison bench. Not part of the public API surface.
+    #[doc(hidden)]
+    pub fn naive_evaluate(&self, query: &QueryMessage, now: SimTime) -> Vec<ResponseHit> {
+        let Some(evaluator) = self.evaluators.get(&query.payload.model()) else {
+            return Vec::new();
         };
         let mut hits: Vec<ResponseHit> = self
             .store
@@ -170,19 +231,59 @@ impl RegistryEngine {
         self.evaluators.get(&payload.model())?.evaluate(payload, advert)
     }
 
-    /// Current summary for registry signaling.
+    /// Current summary for registry signaling. Models come out ascending by
+    /// wire tag by construction; when nothing is expired-but-unpurged the
+    /// model buckets answer directly without scanning the table.
     pub fn summary(&self, now: SimTime) -> RegistrySummary {
-        let mut models: Vec<ModelId> = Vec::new();
-        let mut count = 0u32;
-        for a in self.store.live(now) {
-            count += 1;
-            let m = a.advert.description.model();
-            if !models.contains(&m) {
-                models.push(m);
+        let counts: [usize; 3] = if self.store.none_expired(now) {
+            self.store.model_counts()
+        } else {
+            let mut counts = [0usize; 3];
+            for a in self.store.live(now) {
+                counts[a.advert.description.model().wire_tag() as usize] += 1;
             }
+            counts
+        };
+        let models: Vec<ModelId> = ModelId::ALL
+            .into_iter()
+            .filter(|m| counts[m.wire_tag() as usize] > 0)
+            .collect();
+        RegistrySummary {
+            advert_count: counts.iter().sum::<usize>() as u32,
+            models,
         }
-        models.sort_by_key(|m| m.wire_tag());
-        RegistrySummary { advert_count: count, models }
+    }
+}
+
+/// A confirmed hit over a borrowed advert, ordered best-first: degree desc,
+/// distance asc, advert id asc — the same total order as [`rank_hits`], so
+/// "greatest" means "worst" and a max-heap of size k retains the top k.
+struct RankedRef<'a> {
+    degree: sds_semantic::Degree,
+    distance: u32,
+    stored: &'a crate::store::StoredAdvert,
+}
+
+impl RankedRef<'_> {
+    fn key(&self) -> (std::cmp::Reverse<sds_semantic::Degree>, u32, AdvertId) {
+        (std::cmp::Reverse(self.degree), self.distance, self.stored.advert.id)
+    }
+}
+
+impl PartialEq for RankedRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for RankedRef<'_> {}
+impl PartialOrd for RankedRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for RankedRef<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
     }
 }
 

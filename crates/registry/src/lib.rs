@@ -9,7 +9,8 @@
 //! * [`RegistryStore`]: the advertisement store — a registry information
 //!   model record per advert (provider, version, publication time, lease) —
 //!   with lease-based purging ("letting service advertisements have limited
-//!   lifetime ensures removal of obsolete advertisements");
+//!   lifetime ensures removal of obsolete advertisements"), secondary
+//!   indexes for sublinear candidate generation, and a lazy expiry heap;
 //! * [`ModelEvaluator`] + the three shipped evaluators: pluggable per-model
 //!   query evaluation behind the protocol's next-header, so "primitive
 //!   devices using only a lightweight URI-matching service discovery can use
@@ -27,8 +28,10 @@ mod engine;
 mod evaluate;
 mod seen;
 mod store;
+mod subscriptions;
 
 pub use engine::{rank_hits, RegistryEngine, RegistrySummary};
 pub use evaluate::{ModelEvaluator, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
 pub use seen::SeenQueries;
-pub use store::{LeasePolicy, PublishOutcome, RegistryStore, StoredAdvert};
+pub use store::{Candidates, LeasePolicy, PublishOutcome, RegistryStore, StoredAdvert};
+pub use subscriptions::SubscriptionIndex;

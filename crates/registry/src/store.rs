@@ -1,8 +1,13 @@
-//! The advertisement store: registry information model records plus leases.
+//! The advertisement store: registry information model records plus leases,
+//! with incrementally-maintained secondary indexes so query evaluation scans
+//! candidates instead of the whole table, and a lazy min-heap over lease
+//! expiries so purge scheduling is O(log n) instead of a full scan.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
-use sds_protocol::{AdvertId, Advertisement};
+use sds_protocol::{AdvertId, Advertisement, Description, ModelId, QueryPayload};
+use sds_semantic::{ClassId, SubsumptionIndex};
 use sds_simnet::{NodeId, SimTime};
 
 /// How a registry grants leases.
@@ -57,6 +62,11 @@ pub struct StoredAdvert {
     /// The lease duration the provider asked for at publish time (0 =
     /// registry default); renewals re-grant the same duration.
     pub requested_lease_ms: u64,
+    /// Generation of the latest expiry-heap entry for this advert. Heap
+    /// entries carrying an older generation are stale and skipped on pop;
+    /// generations are store-unique so re-published ids cannot collide with
+    /// entries left behind by a removed predecessor.
+    lease_generation: u64,
 }
 
 impl StoredAdvert {
@@ -81,15 +91,148 @@ pub enum PublishOutcome {
     StaleVersion,
 }
 
+/// Secondary indexes over the advert table, keyed by the description fields
+/// the built-in evaluators constrain on. Postings are `BTreeSet`s so
+/// candidate enumeration is deterministic (ascending advert id).
+#[derive(Default, Debug)]
+struct SecondaryIndex {
+    /// Exact service-type URI → adverts (the URI model matches exactly).
+    by_uri: HashMap<String, BTreeSet<AdvertId>>,
+    /// Template `type_uri` → adverts carrying that type. Untyped template
+    /// adverts appear only in the model bucket; a type-constrained template
+    /// query can never match them.
+    by_template_type: HashMap<String, BTreeSet<AdvertId>>,
+    /// Advertised category concept → semantic adverts (one posting each).
+    by_category: HashMap<ClassId, BTreeSet<AdvertId>>,
+    /// Advertised output concept → semantic adverts producing it.
+    by_output: HashMap<ClassId, BTreeSet<AdvertId>>,
+    /// All adverts of each description model, by wire tag.
+    by_model: [BTreeSet<AdvertId>; 3],
+}
+
+impl SecondaryIndex {
+    fn insert(&mut self, id: AdvertId, advert: &Advertisement) {
+        self.by_model[advert.description.model().wire_tag() as usize].insert(id);
+        match &advert.description {
+            Description::Uri(u) => {
+                self.by_uri.entry(u.clone()).or_default().insert(id);
+            }
+            Description::Template(t) => {
+                if let Some(ty) = &t.type_uri {
+                    self.by_template_type.entry(ty.clone()).or_default().insert(id);
+                }
+            }
+            Description::Semantic(p) => {
+                self.by_category.entry(p.category).or_default().insert(id);
+                for &out in &p.outputs {
+                    self.by_output.entry(out).or_default().insert(id);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, id: AdvertId, advert: &Advertisement) {
+        self.by_model[advert.description.model().wire_tag() as usize].remove(&id);
+        match &advert.description {
+            Description::Uri(u) => remove_posting(&mut self.by_uri, u, id),
+            Description::Template(t) => {
+                if let Some(ty) = &t.type_uri {
+                    remove_posting(&mut self.by_template_type, ty, id);
+                }
+            }
+            Description::Semantic(p) => {
+                remove_posting(&mut self.by_category, &p.category, id);
+                for &out in &p.outputs {
+                    remove_posting(&mut self.by_output, &out, id);
+                }
+            }
+        }
+    }
+
+}
+
+/// Removes `id` from one posting list, dropping the entry when it empties so
+/// churn does not leak keys.
+fn remove_posting<K: std::hash::Hash + Eq + Clone>(
+    map: &mut HashMap<K, BTreeSet<AdvertId>>,
+    key: &K,
+    id: AdvertId,
+) {
+    if let Some(set) = map.get_mut(key) {
+        set.remove(&id);
+        if set.is_empty() {
+            map.remove(key);
+        }
+    }
+}
+
+/// Candidate adverts for one query: a sound over-approximation of the ids
+/// that could match — the evaluator still confirms every one. Sets borrow
+/// from the index; `Merged` holds a sorted, deduplicated union.
+#[derive(Debug)]
+pub enum Candidates<'a> {
+    /// One posting list (or a whole model bucket) covers the query.
+    Set(&'a BTreeSet<AdvertId>),
+    /// Union of several posting lists, sorted ascending and deduplicated.
+    Merged(Vec<AdvertId>),
+    /// Provably no advert can match (e.g. an unseen exact URI).
+    None,
+}
+
+static EMPTY_POSTING: BTreeSet<AdvertId> = BTreeSet::new();
+
+impl<'a> Candidates<'a> {
+    /// Iterates candidate ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = AdvertId> + '_ {
+        let (set, merged) = match self {
+            Candidates::Set(s) => (*s, &[][..]),
+            Candidates::Merged(v) => (&EMPTY_POSTING, v.as_slice()),
+            Candidates::None => (&EMPTY_POSTING, &[][..]),
+        };
+        set.iter().copied().chain(merged.iter().copied())
+    }
+
+    /// Number of candidate ids.
+    pub fn len(&self) -> usize {
+        match self {
+            Candidates::Set(s) => s.len(),
+            Candidates::Merged(v) => v.len(),
+            Candidates::None => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The advertisement table of one registry.
 #[derive(Default, Debug)]
 pub struct RegistryStore {
     adverts: HashMap<AdvertId, StoredAdvert>,
+    index: SecondaryIndex,
+    /// Lazy min-heap of `(lease_until, id, generation)`. An entry is current
+    /// when the stored advert's `lease_generation` matches; anything else
+    /// (removed advert, extended lease) is stale and skipped on pop. Leases
+    /// of `SimTime::MAX` never enter the heap.
+    expiry: BinaryHeap<Reverse<(SimTime, AdvertId, u64)>>,
+    next_generation: u64,
 }
 
 impl RegistryStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Issues a fresh heap generation and records the advert's current lease
+    /// in the expiry heap (infinite leases stay out of the heap entirely).
+    fn schedule_expiry(&mut self, id: AdvertId, lease_until: SimTime) -> u64 {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        if lease_until != SimTime::MAX {
+            self.expiry.push(Reverse((lease_until, id, generation)));
+        }
+        generation
     }
 
     /// Publishes or updates an advertisement.
@@ -101,78 +244,234 @@ impl RegistryStore {
         lease_until: SimTime,
         requested_lease_ms: u64,
     ) -> PublishOutcome {
-        match self.adverts.get_mut(&advert.id) {
-            None => {
-                self.adverts.insert(
-                    advert.id,
-                    StoredAdvert { advert, source, published_at: now, lease_until, requested_lease_ms },
-                );
-                PublishOutcome::New
-            }
-            Some(existing) => {
-                if advert.version < existing.advert.version {
-                    return PublishOutcome::StaleVersion;
-                }
-                let unchanged =
-                    advert.version == existing.advert.version && advert == existing.advert;
-                existing.advert = advert;
-                existing.source = source;
-                existing.lease_until = lease_until.max(existing.lease_until);
-                existing.requested_lease_ms = requested_lease_ms;
-                if unchanged {
-                    PublishOutcome::Unchanged
-                } else {
-                    PublishOutcome::Updated
-                }
-            }
+        let id = advert.id;
+        let Some(existing) = self.adverts.get_mut(&id) else {
+            self.index.insert(id, &advert);
+            let lease_generation = self.schedule_expiry(id, lease_until);
+            self.adverts.insert(
+                id,
+                StoredAdvert {
+                    advert,
+                    source,
+                    published_at: now,
+                    lease_until,
+                    requested_lease_ms,
+                    lease_generation,
+                },
+            );
+            return PublishOutcome::New;
+        };
+        if advert.version < existing.advert.version {
+            return PublishOutcome::StaleVersion;
+        }
+        let unchanged = advert.version == existing.advert.version && advert == existing.advert;
+        let old = std::mem::replace(&mut existing.advert, advert);
+        existing.source = source;
+        existing.requested_lease_ms = requested_lease_ms;
+        let extended = lease_until > existing.lease_until;
+        if extended {
+            existing.lease_until = lease_until;
+        }
+        if !unchanged {
+            let new = &self.adverts[&id].advert;
+            // Field-disjoint borrows: `index` is not `adverts`.
+            self.index.remove(id, &old);
+            self.index.insert(id, new);
+        }
+        if extended {
+            let generation = self.schedule_expiry(id, lease_until);
+            self.adverts.get_mut(&id).expect("present above").lease_generation = generation;
+        }
+        if unchanged {
+            PublishOutcome::Unchanged
+        } else {
+            PublishOutcome::Updated
         }
     }
 
     /// Extends the lease of a known advertisement. Returns `false` when the
     /// id is unknown (the provider should republish).
     pub fn renew(&mut self, id: AdvertId, lease_until: SimTime) -> bool {
-        match self.adverts.get_mut(&id) {
-            Some(a) => {
-                a.lease_until = a.lease_until.max(lease_until);
+        let Some(a) = self.adverts.get_mut(&id) else {
+            return false;
+        };
+        if lease_until > a.lease_until {
+            a.lease_until = lease_until;
+            let generation = self.schedule_expiry(id, lease_until);
+            self.adverts.get_mut(&id).expect("present above").lease_generation = generation;
+        }
+        true
+    }
+
+    /// Explicit deregistration. Returns `true` when the advert existed.
+    pub fn remove(&mut self, id: AdvertId) -> bool {
+        match self.adverts.remove(&id) {
+            Some(stored) => {
+                // Any heap entry for it is now stale and gets skipped on pop.
+                self.index.remove(id, &stored.advert);
                 true
             }
             None => false,
         }
     }
 
-    /// Explicit deregistration. Returns `true` when the advert existed.
-    pub fn remove(&mut self, id: AdvertId) -> bool {
-        self.adverts.remove(&id).is_some()
-    }
-
     /// Drops every advert whose lease expired at or before `now`; returns the
     /// purged ids ("should a service crash, it would not be able to renew its
-    /// lease, and the service description would be purged").
+    /// lease, and the service description would be purged"), ordered by
+    /// `(lease_until, id)`.
     pub fn purge_expired(&mut self, now: SimTime) -> Vec<AdvertId> {
-        let dead: Vec<AdvertId> = self
-            .adverts
-            .iter()
-            .filter(|(_, a)| !a.is_live(now))
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &dead {
-            self.adverts.remove(id);
+        if now == SimTime::MAX {
+            // At the end of time everything is expired — `is_live` is strict,
+            // so even `SimTime::MAX` leases (which never enter the heap) die.
+            let mut dead: Vec<(SimTime, AdvertId)> =
+                self.adverts.iter().map(|(&id, a)| (a.lease_until, id)).collect();
+            dead.sort_unstable();
+            let dead: Vec<AdvertId> = dead.into_iter().map(|(_, id)| id).collect();
+            for &id in &dead {
+                let stored = self.adverts.remove(&id).expect("collected above");
+                self.index.remove(id, &stored.advert);
+            }
+            self.expiry.clear();
+            return dead;
+        }
+        let mut dead = Vec::new();
+        while let Some(&Reverse((t, id, generation))) = self.expiry.peek() {
+            if t > now {
+                break;
+            }
+            self.expiry.pop();
+            let current = self
+                .adverts
+                .get(&id)
+                .is_some_and(|a| a.lease_generation == generation);
+            if current {
+                let stored = self.adverts.remove(&id).expect("checked above");
+                debug_assert_eq!(stored.lease_until, t, "current entry carries the lease");
+                self.index.remove(id, &stored.advert);
+                dead.push(id);
+            }
         }
         dead
     }
 
     /// The earliest lease expiry among stored adverts, for scheduling the
-    /// next purge without polling.
-    pub fn next_expiry(&self) -> Option<SimTime> {
-        self.adverts
-            .values()
-            .map(|a| a.lease_until)
-            .filter(|&t| t != SimTime::MAX)
-            .min()
+    /// next purge without polling. Pops stale heap entries as it goes, hence
+    /// `&mut`.
+    pub fn next_expiry(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, id, generation))) = self.expiry.peek() {
+            let current = self
+                .adverts
+                .get(&id)
+                .is_some_and(|a| a.lease_generation == generation);
+            if current {
+                return Some(t);
+            }
+            self.expiry.pop();
+        }
+        None
+    }
+
+    /// True when no stored advert can be expired at `now`, decided from the
+    /// raw heap minimum without mutation. Stale entries only make this
+    /// conservative: the raw minimum lower-bounds every live entry, and every
+    /// finite-lease advert keeps a current entry in the heap.
+    pub fn none_expired(&self, now: SimTime) -> bool {
+        self.expiry.peek().is_none_or(|&Reverse((t, _, _))| t > now)
+    }
+
+    /// Candidate adverts for `payload`: a sound over-approximation of every
+    /// advert the built-in evaluator for the payload's model could accept.
+    /// The caller confirms each candidate with the full evaluator, so pruning
+    /// here only ever removes provable non-matches:
+    ///
+    /// - URI queries match on exact string equality → the `by_uri` posting.
+    /// - Template queries constrained on `type_uri` require equality on that
+    ///   field → the `by_template_type` posting; unconstrained ones fall back
+    ///   to every template advert.
+    /// - Semantic queries require the requested category (when present) to be
+    ///   related to the advertised category, and every requested output to be
+    ///   related to some advertised output. Relatedness is membership in
+    ///   ancestors∪descendants, so unioning the postings of every concept
+    ///   related to the requested one cannot lose a match (`idx` is the same
+    ///   index the evaluator reasons with). Without an index, or without any
+    ///   category/output constraint, every semantic advert is a candidate.
+    pub fn candidates(
+        &self,
+        payload: &QueryPayload,
+        idx: Option<&SubsumptionIndex>,
+    ) -> Candidates<'_> {
+        let model_bucket =
+            |m: ModelId| Candidates::Set(&self.index.by_model[m.wire_tag() as usize]);
+        match payload {
+            QueryPayload::Uri(u) => match self.index.by_uri.get(u) {
+                Some(set) => Candidates::Set(set),
+                None => Candidates::None,
+            },
+            QueryPayload::Template(t) => match &t.type_uri {
+                Some(ty) => match self.index.by_template_type.get(ty) {
+                    Some(set) => Candidates::Set(set),
+                    None => Candidates::None,
+                },
+                None => model_bucket(ModelId::Template),
+            },
+            QueryPayload::Semantic(req) => {
+                let Some(idx) = idx else {
+                    return model_bucket(ModelId::Semantic);
+                };
+                if let Some(cat) = req.category {
+                    // Category postings are disjoint (one category per
+                    // advert), so the union needs no deduplication — but ids
+                    // must still be merged into one ascending sequence.
+                    self.merge_postings(&self.index.by_category, idx.related_concepts(cat))
+                } else if let Some(&out) = req.outputs.first() {
+                    self.merge_postings(&self.index.by_output, idx.related_concepts(out))
+                } else {
+                    // No category and no outputs constrains nothing the
+                    // inverted indexes cover (inputs/QoS only).
+                    model_bucket(ModelId::Semantic)
+                }
+            }
+        }
+    }
+
+    /// Unions the postings of `concepts` into one sorted, deduplicated
+    /// candidate list. A single non-empty posting is borrowed directly.
+    fn merge_postings<'a>(
+        &'a self,
+        postings: &'a HashMap<ClassId, BTreeSet<AdvertId>>,
+        concepts: impl Iterator<Item = ClassId>,
+    ) -> Candidates<'a> {
+        let mut sets: Vec<&'a BTreeSet<AdvertId>> = Vec::new();
+        for c in concepts {
+            if let Some(set) = postings.get(&c) {
+                sets.push(set);
+            }
+        }
+        match sets.len() {
+            0 => Candidates::None,
+            1 => Candidates::Set(sets[0]),
+            _ => {
+                let mut merged: Vec<AdvertId> =
+                    sets.iter().flat_map(|s| s.iter().copied()).collect();
+                merged.sort_unstable();
+                merged.dedup();
+                Candidates::Merged(merged)
+            }
+        }
     }
 
     pub fn get(&self, id: &AdvertId) -> Option<&StoredAdvert> {
         self.adverts.get(id)
+    }
+
+    /// Live advert count per model (by wire tag) — exact only while nothing
+    /// is expired-but-unpurged; pair with [`RegistryStore::none_expired`].
+    pub fn model_counts(&self) -> [usize; 3] {
+        [
+            self.index.by_model[0].len(),
+            self.index.by_model[1].len(),
+            self.index.by_model[2].len(),
+        ]
     }
 
     pub fn len(&self) -> usize {
@@ -197,7 +496,7 @@ impl RegistryStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sds_protocol::{Description, Uuid};
+    use sds_protocol::Uuid;
 
     fn advert(id: u128, version: u32) -> Advertisement {
         Advertisement {
@@ -273,6 +572,172 @@ mod tests {
         s.publish(advert(2, 1), NodeId(1), 0, 400, 0);
         s.publish(advert(3, 1), NodeId(1), 0, 300, 0);
         assert_eq!(s.next_expiry(), Some(300));
+    }
+
+    #[test]
+    fn renewal_makes_old_heap_entry_stale() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert!(s.renew(Uuid(1), 500));
+        // The (100, id) heap entry is stale: purging at its time must not
+        // drop the renewed advert.
+        assert_eq!(s.purge_expired(100), Vec::<AdvertId>::new());
+        assert!(s.get(&Uuid(1)).is_some());
+        assert_eq!(s.next_expiry(), Some(500), "stale entry skipped");
+        assert_eq!(s.purge_expired(500), vec![Uuid(1)]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn republish_after_remove_ignores_predecessors_heap_entries() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert!(s.remove(Uuid(1)));
+        // Same id comes back with a longer lease; the removed predecessor's
+        // (100, id) entry must not purge it.
+        s.publish(advert(1, 2), NodeId(1), 50, 400, 0);
+        assert_eq!(s.purge_expired(100), Vec::<AdvertId>::new());
+        assert_eq!(s.get(&Uuid(1)).unwrap().advert.version, 2);
+        assert_eq!(s.purge_expired(400), vec![Uuid(1)]);
+    }
+
+    #[test]
+    fn non_extending_renewal_keeps_current_entry_live() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 300, 0);
+        // A late-arriving shorter renewal changes nothing; the original
+        // entry must still fire.
+        assert!(s.renew(Uuid(1), 200));
+        assert_eq!(s.next_expiry(), Some(300));
+        assert_eq!(s.purge_expired(300), vec![Uuid(1)]);
+    }
+
+    #[test]
+    fn purge_at_end_of_time_drains_infinite_leases_too() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, SimTime::MAX, 0);
+        s.publish(advert(2, 1), NodeId(1), 0, 100, 0);
+        // `is_live` is strict, so at SimTime::MAX everything is expired —
+        // including leases that never entered the heap.
+        assert_eq!(s.purge_expired(SimTime::MAX), vec![Uuid(2), Uuid(1)]);
+        assert!(s.is_empty());
+        assert_eq!(s.next_expiry(), None);
+    }
+
+    #[test]
+    fn purge_returns_ids_ordered_by_expiry_then_id() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(3, 1), NodeId(1), 0, 100, 0);
+        s.publish(advert(1, 1), NodeId(1), 0, 200, 0);
+        s.publish(advert(2, 1), NodeId(1), 0, 100, 0);
+        assert_eq!(s.purge_expired(200), vec![Uuid(2), Uuid(3), Uuid(1)]);
+    }
+
+    #[test]
+    fn none_expired_tracks_heap_minimum() {
+        let mut s = RegistryStore::new();
+        assert!(s.none_expired(SimTime::MAX - 1), "empty store has no expiries");
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert!(s.none_expired(99));
+        assert!(!s.none_expired(100));
+        s.purge_expired(100);
+        assert!(s.none_expired(100));
+    }
+
+    fn sem_advert(id: u128, category: ClassId, outputs: &[ClassId]) -> Advertisement {
+        Advertisement {
+            id: Uuid(id),
+            provider: NodeId(1),
+            description: Description::Semantic(
+                sds_semantic::ServiceProfile::new(format!("s{id}"), category)
+                    .with_outputs(outputs),
+            ),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn uri_candidates_are_exact() {
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0); // urn:x
+        let ids = |c: Candidates<'_>| c.iter().collect::<Vec<_>>();
+        assert_eq!(ids(s.candidates(&QueryPayload::Uri("urn:x".into()), None)), vec![Uuid(1)]);
+        assert!(ids(s.candidates(&QueryPayload::Uri("urn:y".into()), None)).is_empty());
+        // Removal unindexes.
+        s.remove(Uuid(1));
+        assert!(ids(s.candidates(&QueryPayload::Uri("urn:x".into()), None)).is_empty());
+    }
+
+    #[test]
+    fn template_candidates_by_type_with_wildcard_fallback() {
+        use sds_protocol::DescriptionTemplate;
+        let mut s = RegistryStore::new();
+        let typed = Advertisement {
+            id: Uuid(1),
+            provider: NodeId(1),
+            description: Description::Template(DescriptionTemplate {
+                type_uri: Some("urn:t".into()),
+                ..Default::default()
+            }),
+            version: 1,
+        };
+        let untyped = Advertisement {
+            id: Uuid(2),
+            provider: NodeId(1),
+            description: Description::Template(DescriptionTemplate {
+                name: Some("n".into()),
+                ..Default::default()
+            }),
+            version: 1,
+        };
+        s.publish(typed, NodeId(1), 0, 100, 0);
+        s.publish(untyped, NodeId(1), 0, 100, 0);
+        let by_type = QueryPayload::Template(DescriptionTemplate {
+            type_uri: Some("urn:t".into()),
+            ..Default::default()
+        });
+        assert_eq!(s.candidates(&by_type, None).iter().collect::<Vec<_>>(), vec![Uuid(1)]);
+        let open = QueryPayload::Template(DescriptionTemplate::default());
+        assert_eq!(
+            s.candidates(&open, None).iter().collect::<Vec<_>>(),
+            vec![Uuid(1), Uuid(2)],
+            "unconstrained query scans the model bucket"
+        );
+    }
+
+    #[test]
+    fn semantic_candidates_union_related_postings() {
+        use sds_semantic::Ontology;
+        let mut o = Ontology::new();
+        let thing = o.class("Thing", &[]);
+        let sensor = o.class("Sensor", &[thing]);
+        let radar = o.class("Radar", &[sensor]);
+        let weapon = o.class("Weapon", &[thing]);
+        let idx = SubsumptionIndex::build(&o);
+
+        let mut s = RegistryStore::new();
+        s.publish(sem_advert(1, radar, &[radar]), NodeId(1), 0, 100, 0);
+        s.publish(sem_advert(2, weapon, &[weapon]), NodeId(1), 0, 100, 0);
+        s.publish(sem_advert(3, sensor, &[sensor, radar]), NodeId(1), 0, 100, 0);
+
+        let cat_q = QueryPayload::Semantic(sds_semantic::ServiceRequest::for_category(sensor));
+        assert_eq!(
+            s.candidates(&cat_q, Some(&idx)).iter().collect::<Vec<_>>(),
+            vec![Uuid(1), Uuid(3)],
+            "weapon-category advert pruned"
+        );
+        let out_q = QueryPayload::Semantic(
+            sds_semantic::ServiceRequest::default().with_outputs(&[radar]),
+        );
+        // Advert 3 appears in both the sensor and radar postings; the union
+        // must deduplicate it.
+        assert_eq!(
+            s.candidates(&out_q, Some(&idx)).iter().collect::<Vec<_>>(),
+            vec![Uuid(1), Uuid(3)]
+        );
+        let open = QueryPayload::Semantic(sds_semantic::ServiceRequest::default());
+        assert_eq!(s.candidates(&open, Some(&idx)).len(), 3, "model bucket");
+        assert_eq!(s.candidates(&open, None).len(), 3, "no index, model bucket");
     }
 
     #[test]

@@ -49,19 +49,33 @@ impl BitSet {
 
     /// Iterates the indices of set bits in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut bits = w;
-            std::iter::from_fn(move || {
-                if bits == 0 {
-                    None
-                } else {
-                    let tz = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    Some(wi * 64 + tz)
-                }
-            })
-        })
+        self.words.iter().enumerate().flat_map(|(wi, &w)| iter_word(wi, w))
     }
+
+    /// Iterates the indices set in `self` OR `other` in ascending order,
+    /// without materializing the union. The sets must have the same capacity.
+    pub fn union_iter<'a>(&'a self, other: &'a BitSet) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| iter_word(wi, a | b))
+    }
+}
+
+/// Iterates the set bits of one word at word index `wi`.
+fn iter_word(wi: usize, w: u64) -> impl Iterator<Item = usize> {
+    let mut bits = w;
+    std::iter::from_fn(move || {
+        if bits == 0 {
+            None
+        } else {
+            let tz = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            Some(wi * 64 + tz)
+        }
+    })
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@ use crate::ontology::{ClassId, Ontology};
 pub struct SubsumptionIndex {
     /// Per class: the set of its ancestors, itself included.
     ancestors: Vec<BitSet>,
+    /// Per class: the set of its descendants, itself included.
+    descendants: Vec<BitSet>,
     /// Per class: depth = length of the longest parent chain to a root.
     depth: Vec<u32>,
     n: usize,
@@ -39,7 +41,24 @@ impl SubsumptionIndex {
             depth[id.index()] = d;
             ancestors.push(set);
         }
-        Self { ancestors, depth, n }
+        // Descendant closures: the dual reverse pass. Children always have
+        // larger indices than their parents, so walking ids in descending
+        // order sees every child's full closure before its parents need it.
+        let mut descendants: Vec<BitSet> = (0..n)
+            .map(|i| {
+                let mut set = BitSet::with_capacity(n);
+                set.insert(i);
+                set
+            })
+            .collect();
+        for i in (0..n).rev() {
+            for &c in ontology.children(ClassId(i as u32)) {
+                debug_assert!(c.index() > i, "children follow parents");
+                let child_set = descendants[c.index()].clone();
+                descendants[i].union_with(&child_set);
+            }
+        }
+        Self { ancestors, descendants, depth, n }
     }
 
     /// Number of classes covered.
@@ -87,6 +106,35 @@ impl SubsumptionIndex {
         known
             .into_iter()
             .flat_map(|set| set.iter().map(|i| ClassId(i as u32)))
+            .chain(unknown)
+    }
+
+    /// All descendants of `c`, itself included — the dual of
+    /// [`SubsumptionIndex::ancestors`]. A class outside this ontology is its
+    /// own sole descendant.
+    pub fn descendants(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        let known = self.descendants.get(c.index());
+        let unknown = known.is_none().then_some(c);
+        known
+            .into_iter()
+            .flat_map(|set| set.iter().map(|i| ClassId(i as u32)))
+            .chain(unknown)
+    }
+
+    /// Every class related to `c` in either direction: ancestors ∪
+    /// descendants, `c` included, in ascending id order. This is the complete
+    /// set of classes `x` with `related(x, c)`, which candidate-generation
+    /// indexes rely on: any concept that can subsume or be subsumed by `c`
+    /// appears here. Classes outside this ontology relate only to themselves.
+    pub fn related_concepts(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        let known = self
+            .ancestors
+            .get(c.index())
+            .zip(self.descendants.get(c.index()));
+        let unknown = known.is_none().then_some(c);
+        known
+            .into_iter()
+            .flat_map(|(anc, desc)| anc.union_iter(desc).map(|i| ClassId(i as u32)))
             .chain(unknown)
     }
 
@@ -174,6 +222,46 @@ mod tests {
     }
 
     #[test]
+    fn descendants_iteration() {
+        let (o, [thing, sensor, radar, weapon, rgw]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        let desc: Vec<ClassId> = idx.descendants(sensor).collect();
+        assert_eq!(desc, vec![sensor, radar, rgw]);
+        let desc: Vec<ClassId> = idx.descendants(thing).collect();
+        assert_eq!(desc, vec![thing, sensor, radar, weapon, rgw]);
+        assert_eq!(idx.descendants(rgw).collect::<Vec<_>>(), vec![rgw], "leaf");
+    }
+
+    #[test]
+    fn descendants_dual_to_ancestors() {
+        let (o, _) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        for a in o.classes() {
+            for b in o.classes() {
+                assert_eq!(
+                    idx.ancestors(a).any(|x| x == b),
+                    idx.descendants(b).any(|x| x == a),
+                    "b ∈ ancestors(a) ⇔ a ∈ descendants(b) for {a:?},{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn related_concepts_is_exactly_the_related_set() {
+        let (o, [_, sensor, radar, weapon, _]) = diamond();
+        let idx = SubsumptionIndex::build(&o);
+        for c in o.classes() {
+            let rel: Vec<ClassId> = idx.related_concepts(c).collect();
+            let expect: Vec<ClassId> =
+                o.classes().filter(|&x| idx.related(x, c)).collect();
+            assert_eq!(rel, expect, "related_concepts({c:?}) in ascending order");
+        }
+        assert!(idx.related_concepts(radar).any(|x| x == sensor));
+        assert!(!idx.related_concepts(radar).any(|x| x == weapon));
+    }
+
+    #[test]
     fn empty_ontology() {
         let idx = SubsumptionIndex::build(&Ontology::new());
         assert!(idx.is_empty());
@@ -193,6 +281,8 @@ mod tests {
         assert!(!idx.is_subclass(thing, ghost));
         assert!(!idx.is_subclass(ghost, ghost2));
         assert_eq!(idx.ancestors(ghost).collect::<Vec<_>>(), vec![ghost]);
+        assert_eq!(idx.descendants(ghost).collect::<Vec<_>>(), vec![ghost]);
+        assert_eq!(idx.related_concepts(ghost).collect::<Vec<_>>(), vec![ghost]);
         assert_eq!(idx.depth(ghost), 0);
         assert_eq!(idx.up_distance(ghost, thing), None);
         assert_eq!(idx.up_distance(ghost, ghost), Some(0));

@@ -13,3 +13,11 @@ cargo test -q --offline
 # fault injection with post-heal convergence invariants. Deterministic, so
 # a red run here reproduces locally with the printed seed.
 SDS_CHAOS_SEEDS=8 cargo test -q --offline -p sds-integration --test chaos_soak
+
+# Microbenchmark smoke run: quick-mode wall clock, mostly to prove the
+# benches still build and run. Every measurement appends to
+# target/bench-history.jsonl, arming the 10x median regression flag for
+# the next run; a missing history file afterwards means recording broke.
+SDS_BENCH_QUICK=1 cargo bench -q --offline -p sds-bench --bench microbench
+test -s "${CARGO_TARGET_DIR:-target}/bench-history.jsonl" \
+  || { echo "ci: bench-history.jsonl missing or empty after bench run" >&2; exit 1; }
