@@ -235,6 +235,19 @@ impl Harness {
         println!("\n{} benchmark(s) run", self.ran);
     }
 
+    /// Records an externally measured value (in seconds) into the bench
+    /// history under `name`, arming the same order-of-magnitude regression
+    /// flag as a timed benchmark. For experiment metrics that are not the
+    /// wall-clock time of a closure — e.g. simulated recovery times — where
+    /// the experiment binary already owns the measurement.
+    pub fn record_value(&mut self, name: &str, seconds: f64) {
+        let m =
+            Measurement { min: seconds, median: seconds, mean: seconds, iters: 1, samples: 1 };
+        if let Some(history) = &self.history {
+            history.record(name, &m);
+        }
+    }
+
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_name: &str, mut f: F) -> Option<Measurement> {
         if let Some(filter) = &self.filter {
             if !full_name.contains(filter.as_str()) {

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use sds_protocol::{Codec, DiscoveryMessage, MaintenanceOp};
-use sds_simnet::{Ctx, Destination, NodeId, SimTime};
+use sds_simnet::{Ctx, Destination, NodeId, Rng, SimTime};
 
 use crate::config::{AttachConfig, Bootstrap};
 use crate::util::{send_msg, tags};
@@ -50,6 +50,12 @@ pub struct RegistryAttachment {
     probe_replies: Vec<(NodeId, u32)>,
     /// Whether a probe-decision timer is outstanding.
     deciding: bool,
+    /// Consecutive discovery rounds without hearing a registry; drives the
+    /// opt-in re-attach backoff (`AttachConfig::retry`).
+    probe_failures: u8,
+    /// Lazily derived jitter stream for the re-attach backoff; never
+    /// created (and hence never drawn from) while the policy is passive.
+    retry_rng: Option<Rng>,
 }
 
 impl RegistryAttachment {
@@ -66,6 +72,22 @@ impl RegistryAttachment {
             pings_since_list_refresh: 2,
             probe_replies: Vec::new(),
             deciding: false,
+            probe_failures: 0,
+            retry_rng: None,
+        }
+    }
+
+    /// Delay until the next discovery attempt. Fixed `probe_retry` cadence
+    /// by default; capped exponential backoff with jitter when the opt-in
+    /// retry policy is enabled.
+    fn next_probe_delay(&mut self, ctx: &Ctx<'_, DiscoveryMessage>) -> SimTime {
+        if self.cfg.retry.enabled() {
+            let rng = self.retry_rng.get_or_insert_with(|| ctx.derive_rng("core.attach.retry"));
+            let d = self.cfg.retry.backoff(self.probe_failures, rng);
+            self.probe_failures = self.probe_failures.saturating_add(1);
+            d
+        } else {
+            self.cfg.probe_retry
         }
     }
 
@@ -97,6 +119,7 @@ impl RegistryAttachment {
         self.unanswered_pings = 0;
         self.probe_replies.clear();
         self.deciding = false;
+        self.probe_failures = 0;
         if self.cfg.ping_interval > 0 {
             ctx.set_timer(self.cfg.ping_interval, tags::PING);
         }
@@ -147,6 +170,7 @@ impl RegistryAttachment {
             MaintenanceOp::RegistryProbeReply { load, .. } => {
                 self.candidates.insert(from, ctx.now());
                 self.last_lan_registry_signal = Some(ctx.now());
+                self.probe_failures = 0;
                 if self.home.is_none() {
                     if self.cfg.probe_decision_window == 0 {
                         return Some(self.attach(ctx, from));
@@ -168,6 +192,7 @@ impl RegistryAttachment {
             MaintenanceOp::RegistryBeacon { .. } => {
                 self.candidates.insert(from, ctx.now());
                 self.last_lan_registry_signal = Some(ctx.now());
+                self.probe_failures = 0;
                 // Passive discovery attaches directly (beacons arrive one at
                 // a time anyway), but never preempts an open probe window.
                 if self.home.is_none() && !self.deciding {
@@ -186,6 +211,7 @@ impl RegistryAttachment {
             MaintenanceOp::Pong => {
                 if Some(from) == self.home {
                     self.unanswered_pings = 0;
+                    self.probe_failures = 0;
                     self.candidates.insert(from, ctx.now());
                 }
                 None
@@ -211,11 +237,25 @@ impl RegistryAttachment {
         best.map(|r| self.attach(ctx, r))
     }
 
-    /// `PROBE` timer: retry active discovery while unattached.
-    pub fn on_probe_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) {
-        if self.home.is_none() && self.cfg.bootstrap == Bootstrap::Multicast {
-            self.send_probe(ctx);
-            ctx.set_timer(self.cfg.probe_retry, tags::PROBE);
+    /// `PROBE` timer: retry discovery while unattached. With the opt-in
+    /// retry policy, a `Bootstrap::Static` node re-attaches to its
+    /// configured endpoint here (optimistically — the next ping round
+    /// detaches again if the endpoint is still silent, with growing
+    /// backoff, so a dead endpoint costs a bounded trickle of traffic and
+    /// a revived one is re-adopted without operator help).
+    pub fn on_probe_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>) -> Option<AttachEvent> {
+        if self.home.is_some() {
+            return None;
+        }
+        match self.cfg.bootstrap {
+            Bootstrap::Multicast => {
+                self.send_probe(ctx);
+                let delay = self.next_probe_delay(ctx);
+                ctx.set_timer(delay, tags::PROBE);
+                None
+            }
+            Bootstrap::Static(r) if self.cfg.retry.enabled() => Some(self.attach(ctx, r)),
+            _ => None,
         }
     }
 
@@ -236,9 +276,19 @@ impl RegistryAttachment {
                 Some(next) => Some(self.attach(ctx, next)),
                 None => {
                     // Resume active discovery.
-                    if self.cfg.bootstrap == Bootstrap::Multicast {
-                        self.send_probe(ctx);
-                        ctx.set_timer(self.cfg.probe_retry, tags::PROBE);
+                    match self.cfg.bootstrap {
+                        Bootstrap::Multicast => {
+                            self.send_probe(ctx);
+                            let delay = self.next_probe_delay(ctx);
+                            ctx.set_timer(delay, tags::PROBE);
+                        }
+                        Bootstrap::Static(_) if self.cfg.retry.enabled() => {
+                            // Schedule a backed-off re-attach attempt
+                            // instead of staying detached forever.
+                            let delay = self.next_probe_delay(ctx);
+                            ctx.set_timer(delay, tags::PROBE);
+                        }
+                        _ => {}
                     }
                     Some(AttachEvent::Detached)
                 }

@@ -12,9 +12,9 @@ use sds_protocol::{
     DiscoveryMessage, MaintenanceOp, Operation, QueryId, QueryMessage, QueryOp, QueryPayload,
     ResponseHit, Uuid,
 };
-use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, SimTime, TimerId};
+use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, Rng, SimTime, TimerId};
 
-use crate::attach::RegistryAttachment;
+use crate::attach::{AttachEvent, RegistryAttachment};
 use crate::config::{ClientConfig, QueryMode, QueryOptions};
 use crate::util::{send_msg, tags};
 
@@ -40,7 +40,14 @@ pub struct CompletedQuery {
 
 struct OutstandingQuery {
     sent_at: SimTime,
+    /// Absolute completion deadline (`sent_at + options.timeout`). Retries
+    /// happen *inside* this budget; the completion semantics are unchanged.
+    deadline: SimTime,
     options: QueryOptions,
+    /// Kept only while the retry policy is enabled, for re-sends.
+    payload: Option<QueryPayload>,
+    /// Re-sends performed so far (backoff checkpoints + failover).
+    attempt: u8,
     hits: HashMap<Uuid, ResponseHit>,
     responses_received: u32,
     /// Responders already counted, so a duplicated delivery of the same
@@ -83,6 +90,13 @@ pub struct ClientNode {
     attach: RegistryAttachment,
     next_seq: u64,
     outstanding: HashMap<u64, OutstandingQuery>,
+    /// Wire-id aliases created by retries: retry seq → root query seq.
+    /// Registries dedup query ids, so each re-send travels under a fresh
+    /// id; responses to any alias are credited to the root query.
+    alias: HashMap<u64, u64>,
+    /// Lazily derived jitter stream for query-retry backoff; never created
+    /// while the retry policy is passive.
+    retry_rng: Option<Rng>,
     /// Finished queries, in completion order. Experiments read these.
     pub completed: Vec<CompletedQuery>,
     /// Artifact fetches that completed.
@@ -103,6 +117,8 @@ impl ClientNode {
             attach,
             next_seq: 0,
             outstanding: HashMap::new(),
+            alias: HashMap::new(),
+            retry_rng: None,
             completed: Vec::new(),
             artifacts: Vec::new(),
             notifications: Vec::new(),
@@ -131,6 +147,8 @@ impl ClientNode {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let retrying = self.cfg.retry.enabled();
+        let saved_payload = retrying.then(|| payload.clone());
         let query = QueryMessage {
             id: QueryId { origin: ctx.node(), seq },
             payload,
@@ -139,7 +157,44 @@ impl ClientNode {
             reply_to: None,
         };
         let msg = DiscoveryMessage::querying(QueryOp::Query(query));
-        let dispatched = match options.mode {
+        let dispatched = self.dispatch(ctx, msg, options.mode);
+        let deadline = ctx.now().saturating_add(options.timeout);
+        self.outstanding.insert(
+            seq,
+            OutstandingQuery {
+                sent_at: ctx.now(),
+                deadline,
+                options,
+                payload: saved_payload,
+                attempt: 0,
+                hits: HashMap::new(),
+                responses_received: 0,
+                responders_seen: Vec::new(),
+                dispatched,
+                first_response_at: None,
+            },
+        );
+        let delay = if retrying {
+            // First backoff checkpoint; the chain walks to the deadline.
+            let rng = self.retry_rng.get_or_insert_with(|| ctx.derive_rng("core.client.retry"));
+            self.cfg.retry.backoff(0, rng).min(deadline - ctx.now())
+        } else {
+            deadline - ctx.now()
+        };
+        ctx.set_timer(delay, tags::tagged(tags::QUERY_TIMEOUT_BASE, seq));
+        seq
+    }
+
+    /// Sends a query message according to `mode`, falling back to LAN
+    /// multicast when unattached (if configured). Returns whether the
+    /// message went anywhere.
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        msg: DiscoveryMessage,
+        mode: QueryMode,
+    ) -> bool {
+        match mode {
             QueryMode::Unicast => match self.attach.home() {
                 Some(home) => {
                     send_msg(ctx, self.cfg.codec, Destination::Unicast(home), msg);
@@ -158,22 +213,95 @@ impl ClientNode {
                 send_msg(ctx, self.cfg.codec, Destination::Multicast(lan), msg);
                 true
             }
+        }
+    }
+
+    /// Re-sends an outstanding query under a fresh wire id (registries
+    /// drop duplicate query ids, so the original id would be ignored).
+    /// Charges one retry attempt. Returns whether anything was sent.
+    fn redispatch(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, root: u64) -> bool {
+        let Some(o) = self.outstanding.get_mut(&root) else {
+            return false;
         };
-        let timeout = options.timeout;
-        self.outstanding.insert(
-            seq,
-            OutstandingQuery {
-                sent_at: ctx.now(),
-                options,
-                hits: HashMap::new(),
-                responses_received: 0,
-                responders_seen: Vec::new(),
-                dispatched,
-                first_response_at: None,
-            },
-        );
-        ctx.set_timer(timeout, tags::QUERY_TIMEOUT_BASE + seq);
-        seq
+        let Some(payload) = o.payload.clone() else {
+            return false;
+        };
+        o.attempt += 1;
+        let mode = o.options.mode;
+        let max_responses = o.options.max_responses;
+        let ttl = o.options.ttl;
+        let wire = self.next_seq;
+        self.next_seq += 1;
+        self.alias.insert(wire, root);
+        let query = QueryMessage {
+            id: QueryId { origin: ctx.node(), seq: wire },
+            payload,
+            max_responses,
+            ttl,
+            reply_to: None,
+        };
+        let sent = self.dispatch(ctx, DiscoveryMessage::querying(QueryOp::Query(query)), mode);
+        if sent {
+            if let Some(o) = self.outstanding.get_mut(&root) {
+                o.dispatched = true;
+            }
+        }
+        sent
+    }
+
+    /// A query checkpoint fired: either the final deadline (finalize), or a
+    /// backoff checkpoint — re-send if the query is still unanswered and
+    /// schedule the next checkpoint, clamped to the deadline.
+    fn on_query_checkpoint(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, seq: u64) {
+        let Some(o) = self.outstanding.get(&seq) else {
+            return;
+        };
+        let now = ctx.now();
+        if now >= o.deadline {
+            self.finalize(ctx, seq);
+            return;
+        }
+        let deadline = o.deadline;
+        let policy = self.cfg.retry;
+        let next_delay = if o.responses_received == 0 && o.attempt < policy.max_retries {
+            self.redispatch(ctx, seq);
+            let attempt = self.outstanding[&seq].attempt;
+            let rng = self.retry_rng.get_or_insert_with(|| ctx.derive_rng("core.client.retry"));
+            policy.backoff(attempt, rng).min(deadline - now)
+        } else {
+            // Answered, or retries exhausted: just wait out the deadline.
+            deadline - now
+        };
+        ctx.set_timer(next_delay, tags::tagged(tags::QUERY_TIMEOUT_BASE, seq));
+    }
+
+    /// Reacts to attachment changes. After a failover re-attach, an
+    /// outstanding query that nobody has answered is re-dispatched to the
+    /// new home registry instead of being abandoned until its deadline.
+    fn on_attach_event(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, ev: AttachEvent) {
+        let AttachEvent::Attached(_) = ev else {
+            return;
+        };
+        if !self.cfg.retry.enabled() {
+            return;
+        }
+        let now = ctx.now();
+        let max = self.cfg.retry.max_retries;
+        let mut unanswered: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| {
+                o.responses_received == 0
+                    && o.attempt < max
+                    && now < o.deadline
+                    && o.options.mode == QueryMode::Unicast
+            })
+            .map(|(&seq, _)| seq)
+            .collect();
+        unanswered.sort_unstable();
+        for seq in unanswered {
+            self.redispatch(ctx, seq);
+        }
     }
 
     /// Registers a standing query with the home registry: matching
@@ -254,6 +382,7 @@ impl ClientNode {
         let Some(o) = self.outstanding.remove(&seq) else {
             return;
         };
+        self.alias.retain(|_, &mut root| root != seq);
         let mut hits: Vec<ResponseHit> = o.hits.into_values().collect();
         sds_registry::rank_hits(&mut hits);
         if let Some(k) = o.options.max_responses {
@@ -287,7 +416,9 @@ impl NodeHandler<DiscoveryMessage> for ClientNode {
                         at: ctx.now(),
                     });
                 }
-                self.attach.on_maintenance(ctx, from, &op);
+                if let Some(ev) = self.attach.on_maintenance(ctx, from, &op) {
+                    self.on_attach_event(ctx, ev);
+                }
             }
             Operation::Querying(QueryOp::SubscribeAck { id, .. })
                 if id.origin == ctx.node() && !self.active_subscriptions.contains(&id) => {
@@ -305,7 +436,8 @@ impl NodeHandler<DiscoveryMessage> for ClientNode {
                 if query_id.origin != ctx.node() {
                     return;
                 }
-                if let Some(o) = self.outstanding.get_mut(&query_id.seq) {
+                let root = self.alias.get(&query_id.seq).copied().unwrap_or(query_id.seq);
+                if let Some(o) = self.outstanding.get_mut(&root) {
                     if o.responders_seen.contains(&responder) {
                         // Each responder answers a query once; a second copy
                         // is a network-level duplicate.
@@ -332,16 +464,24 @@ impl NodeHandler<DiscoveryMessage> for ClientNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, _timer: TimerId, tag: u64) {
         match tag {
-            tags::PROBE => self.attach.on_probe_timer(ctx),
+            tags::PROBE => {
+                if let Some(ev) = self.attach.on_probe_timer(ctx) {
+                    self.on_attach_event(ctx, ev);
+                }
+            }
             tags::PROBE_DECIDE => {
-                self.attach.on_probe_decide(ctx);
+                if let Some(ev) = self.attach.on_probe_decide(ctx) {
+                    self.on_attach_event(ctx, ev);
+                }
             }
             tags::PING => {
-                self.attach.on_ping_timer(ctx);
+                if let Some(ev) = self.attach.on_ping_timer(ctx) {
+                    self.on_attach_event(ctx, ev);
+                }
             }
             t => {
                 if let Some(seq) = tags::seq_of(t, tags::QUERY_TIMEOUT_BASE) {
-                    self.finalize(ctx, seq);
+                    self.on_query_checkpoint(ctx, seq);
                 }
             }
         }

@@ -9,7 +9,64 @@
 //! period." — everything quoted there is a field below.
 
 use sds_protocol::{Codec, ModelId};
-use sds_simnet::{secs, NodeId, SimTime};
+use sds_simnet::{secs, NodeId, Rng, SimTime};
+
+/// Seeded jittered exponential backoff, shared by the self-healing layer:
+/// client query re-issue, provider publish/renew ack-retry, registry peer
+/// probation, and (opt-in) attachment re-probing.
+///
+/// The default is **passive** (`max_retries == 0`): no role retries
+/// anything, which preserves the pre-self-healing behaviour bit-for-bit.
+/// [`RetryPolicy::standard`] is the recommended enabled setting. Jitter is
+/// always drawn from a dedicated derived RNG stream
+/// ([`sds_simnet::Ctx::derive_rng`]), and every retry trigger is a *missed*
+/// response — so enabling a policy leaves fault-free runs byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts after the initial try. 0 disables the machinery.
+    pub max_retries: u8,
+    /// Delay before the first retry; doubles each further attempt.
+    pub base_backoff: SimTime,
+    /// Cap on the exponential delay (before jitter).
+    pub max_backoff: SimTime,
+    /// Uniform extra jitter in `[0, jitter]` added to every delay.
+    pub jitter: SimTime,
+}
+
+impl RetryPolicy {
+    /// No retries at all (the pre-self-healing behaviour).
+    pub fn passive() -> Self {
+        Self { max_retries: 0, base_backoff: 0, max_backoff: 0, jitter: 0 }
+    }
+
+    /// Recommended enabled policy: up to 4 retries, 500 ms doubling to an
+    /// 8 s cap, ±250 ms jitter.
+    pub fn standard() -> Self {
+        Self { max_retries: 4, base_backoff: 500, max_backoff: secs(8), jitter: 250 }
+    }
+
+    /// Whether the policy retries at all.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The delay before retry number `attempt` (0-based), jittered from the
+    /// caller's dedicated stream.
+    pub fn backoff(&self, attempt: u8, rng: &mut Rng) -> SimTime {
+        let exp = self
+            .base_backoff
+            .checked_shl(u32::from(attempt.min(32)))
+            .unwrap_or(SimTime::MAX)
+            .min(self.max_backoff.max(self.base_backoff));
+        exp + if self.jitter > 0 { rng.gen_range(0..=self.jitter) } else { 0 }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::passive()
+    }
+}
 
 /// How queries travel between federated registries (paper §4.9: "increasing
 /// the reach of a query gradually in several rounds, random walks, or
@@ -66,6 +123,13 @@ pub struct AttachConfig {
     /// an even distribution, load balancing could be obtained"). 0 attaches
     /// to the first reply.
     pub probe_decision_window: SimTime,
+    /// Opt-in re-attach backoff. When enabled, a detached node re-probes
+    /// under this policy instead of the fixed `probe_retry` cadence, and a
+    /// `Bootstrap::Static` node keeps retrying its configured endpoint
+    /// after a failover instead of staying detached forever. Off by
+    /// default: backoff would change probe timing on registry-less LANs
+    /// even in fault-free runs.
+    pub retry: RetryPolicy,
 }
 
 impl Default for AttachConfig {
@@ -77,6 +141,7 @@ impl Default for AttachConfig {
             ping_tolerance: 2,
             beacon_timeout: secs(12),
             probe_decision_window: 300,
+            retry: RetryPolicy::passive(),
         }
     }
 }
@@ -93,8 +158,16 @@ pub struct RegistryConfig {
     pub seeds: Vec<NodeId>,
     /// Peer liveness ping period.
     pub peer_ping_interval: SimTime,
-    /// Missed pongs before a federation peer is dropped.
+    /// Missed pongs before a federation peer is dropped (or, with
+    /// `probation` enabled, suspected).
     pub peer_ping_tolerance: u8,
+    /// Peer probation policy. When enabled, a peer that exhausts
+    /// `peer_ping_tolerance` is *suspected* rather than evicted: it leaves
+    /// the forwarding set but is re-pinged under this backoff policy, and
+    /// only evicted after `max_retries` further silent attempts. A
+    /// probationer that answers is reinstated and gets the registry's state
+    /// re-announced to it.
+    pub probation: RetryPolicy,
     /// Periodic peer-list gossip period (registry signaling); 0 disables.
     pub signaling_interval: SimTime,
     /// Forwarding strategy for federated queries.
@@ -139,6 +212,7 @@ impl Default for RegistryConfig {
             seeds: Vec::new(),
             peer_ping_interval: secs(5),
             peer_ping_tolerance: 2,
+            probation: RetryPolicy::passive(),
             signaling_interval: secs(15),
             strategy: ForwardStrategy::default(),
             response_window: 500,
@@ -165,6 +239,11 @@ pub struct ServiceConfig {
     /// Answer multicast queries directly when the LAN has no registry
     /// (decentralized fallback, paper Fig. 3 right).
     pub fallback_responder: bool,
+    /// Publish/renew ack-retry policy. When enabled, a publish or renewal
+    /// whose ack never arrives is re-sent under this backoff until acked
+    /// (or retries exhaust); fault-free acks always arrive, so this changes
+    /// nothing in fault-free runs.
+    pub retry: RetryPolicy,
     pub codec: Codec,
 }
 
@@ -175,6 +254,7 @@ impl Default for ServiceConfig {
             lease_ms: 30_000,
             renew_interval: secs(10),
             fallback_responder: true,
+            retry: RetryPolicy::passive(),
             codec: Codec::default(),
         }
     }
@@ -215,12 +295,24 @@ pub struct ClientConfig {
     pub attach: AttachConfig,
     /// Fall back to LAN multicast queries when no registry is reachable.
     pub fallback_query: bool,
+    /// Query re-issue policy. When enabled, a query that has produced no
+    /// response by its next backoff checkpoint is re-sent (with a fresh
+    /// wire id, so registries don't dedup it) inside the unchanged total
+    /// `QueryOptions::timeout` budget, and an outstanding unanswered query
+    /// is re-dispatched to the new home registry after a failover re-attach
+    /// instead of being abandoned.
+    pub retry: RetryPolicy,
     pub codec: Codec,
 }
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        Self { attach: AttachConfig::default(), fallback_query: true, codec: Codec::default() }
+        Self {
+            attach: AttachConfig::default(),
+            fallback_query: true,
+            retry: RetryPolicy::passive(),
+            codec: Codec::default(),
+        }
     }
 }
 
@@ -240,5 +332,29 @@ mod tests {
         );
         let q = QueryOptions::default();
         assert!(q.timeout > r.response_window, "client must outwait aggregation");
+        // Self-healing defaults off: the pre-PR behaviour is the default.
+        assert!(!ClientConfig::default().retry.enabled());
+        assert!(!ServiceConfig::default().retry.enabled());
+        assert!(!RegistryConfig::default().probation.enabled());
+        assert!(!AttachConfig::default().retry.enabled());
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        use sds_simnet::Seed;
+        let p = RetryPolicy { max_retries: 6, base_backoff: 500, max_backoff: secs(4), jitter: 0 };
+        let mut rng = Seed(1).rng();
+        assert_eq!(p.backoff(0, &mut rng), 500);
+        assert_eq!(p.backoff(1, &mut rng), 1_000);
+        assert_eq!(p.backoff(2, &mut rng), 2_000);
+        assert_eq!(p.backoff(3, &mut rng), 4_000);
+        assert_eq!(p.backoff(4, &mut rng), 4_000, "capped at max_backoff");
+        assert_eq!(p.backoff(200, &mut rng), 4_000, "huge attempts saturate, no overflow");
+        let j = RetryPolicy { jitter: 300, ..p };
+        for attempt in 0..6 {
+            let d = j.backoff(attempt, &mut rng);
+            let base = p.backoff(attempt, &mut rng);
+            assert!((base..=base + 300).contains(&d), "jitter out of range: {d} vs {base}");
+        }
     }
 }

@@ -31,7 +31,7 @@ use sds_registry::{
     SubscriptionIndex, TemplateEvaluator, UriEvaluator,
 };
 use sds_semantic::{Artifact, ClassId, SubsumptionIndex};
-use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, SimTime, TimerId};
+use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, Rng, SimTime, TimerId};
 
 use crate::config::{ForwardStrategy, RegistryConfig};
 use crate::util::{send_msg, tags};
@@ -43,6 +43,14 @@ struct PeerState {
     unanswered_pings: u8,
     /// Last advertised advert count (from summaries), diagnostic.
     advert_count: u32,
+}
+
+/// A federation peer that stopped answering pings and is being re-probed
+/// under backoff before eviction (opt-in via `RegistryConfig::probation`).
+#[derive(Clone, Copy, Debug)]
+struct ProbationState {
+    /// Backed-off re-pings sent since the peer was suspected.
+    attempts: u8,
 }
 
 /// A standing query registered by a client.
@@ -83,6 +91,12 @@ pub struct RegistryNodeStats {
     /// this registry does not know (direct publishes nacked, plus replicated
     /// adverts silently skipped).
     pub publishes_nacked: u64,
+    /// Silent peers moved to probation instead of being evicted.
+    pub peers_suspected: u64,
+    /// Probationers that answered a backed-off re-ping and were reinstated.
+    pub peers_reinstated: u64,
+    /// Probationers evicted after exhausting the probation retry budget.
+    pub peers_evicted: u64,
 }
 
 /// The registry role node handler.
@@ -96,6 +110,11 @@ pub struct RegistryNode {
     artifacts: Vec<Artifact>,
     engine: RegistryEngine,
     peers: BTreeMap<NodeId, PeerState>,
+    /// Suspected-silent peers being re-pinged under backoff.
+    probation: BTreeMap<NodeId, ProbationState>,
+    /// Lazily derived jitter stream for probation backoff; never created
+    /// while the probation policy is passive.
+    probation_rng: Option<Rng>,
     /// Co-located registries, by last beacon/probe time.
     local_registries: BTreeMap<NodeId, SimTime>,
     seen: SeenQueries,
@@ -124,6 +143,8 @@ impl RegistryNode {
             artifacts: Vec::new(),
             engine,
             peers: BTreeMap::new(),
+            probation: BTreeMap::new(),
+            probation_rng: None,
             local_registries: BTreeMap::new(),
             seen: SeenQueries::new(seen_retention),
             attached: HashMap::new(),
@@ -179,6 +200,11 @@ impl RegistryNode {
     /// Known co-located registries (excluding self).
     pub fn local_registry_ids(&self) -> Vec<NodeId> {
         self.local_registries.keys().copied().collect()
+    }
+
+    /// Peers currently on probation (diagnostics).
+    pub fn probation_count(&self) -> usize {
+        self.probation.len()
     }
 
     /// Gateway election (paper §4.7): among the registries recently heard on
@@ -240,12 +266,80 @@ impl RegistryNode {
         if id == self_id || self.local_registries.contains_key(&id) {
             return;
         }
+        // A probationer announcing itself (FederationJoin/Ack, gossip) is
+        // proof of life: reinstate immediately.
+        if self.probation.remove(&id).is_some() {
+            self.stats.peers_reinstated += 1;
+        }
         let entry = self
             .peers
             .entry(id)
             .or_insert(PeerState { last_seen: now, unanswered_pings: 0, advert_count: 0 });
         entry.last_seen = now;
         entry.unanswered_pings = 0;
+    }
+
+    /// Moves a silent peer to probation and schedules the first backed-off
+    /// re-ping.
+    fn suspect_peer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, id: NodeId) {
+        self.peers.remove(&id);
+        self.probation.insert(id, ProbationState { attempts: 0 });
+        self.stats.peers_suspected += 1;
+        let rng = self
+            .probation_rng
+            .get_or_insert_with(|| ctx.derive_rng("core.registry.probation"));
+        let delay = self.cfg.probation.backoff(0, rng);
+        ctx.set_timer(delay, tags::tagged(tags::PROBATION_BASE, u64::from(id.0)));
+    }
+
+    /// `PROBATION_BASE + node` timer: re-ping a probationer or evict it once
+    /// the retry budget is spent.
+    fn on_probation_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, id: NodeId) {
+        let Some(state) = self.probation.get_mut(&id) else {
+            // Reinstated (or evicted) before the timer fired.
+            return;
+        };
+        if state.attempts >= self.cfg.probation.max_retries {
+            self.probation.remove(&id);
+            self.stats.peers_evicted += 1;
+            return;
+        }
+        state.attempts += 1;
+        let attempts = state.attempts;
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(id),
+            DiscoveryMessage::maintenance(MaintenanceOp::Ping),
+        );
+        let rng = self
+            .probation_rng
+            .get_or_insert_with(|| ctx.derive_rng("core.registry.probation"));
+        let delay = self.cfg.probation.backoff(attempts, rng);
+        ctx.set_timer(delay, tags::tagged(tags::PROBATION_BASE, u64::from(id.0)));
+    }
+
+    /// A probationer answered: put it back in the peer set and re-announce
+    /// our state (peer list, and adverts when replication is on) so both
+    /// sides converge without waiting for the next gossip round.
+    fn reinstate_peer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, id: NodeId) {
+        self.probation.remove(&id);
+        self.stats.peers_reinstated += 1;
+        let self_id = ctx.node();
+        // Bypass add_peer's probation bookkeeping (already done above).
+        let now = ctx.now();
+        if id != self_id && !self.local_registries.contains_key(&id) {
+            let entry = self
+                .peers
+                .entry(id)
+                .or_insert(PeerState { last_seen: now, unanswered_pings: 0, advert_count: 0 });
+            entry.last_seen = now;
+            entry.unanswered_pings = 0;
+        }
+        self.join_seeds_to(ctx, &[id]);
+        if self.cfg.advert_push_interval > 0 {
+            self.push_adverts(ctx);
+        }
     }
 
     /// Registry-network targets for a fresh adoption, per strategy. Each
@@ -568,7 +662,9 @@ impl RegistryNode {
                 );
             }
             MaintenanceOp::Pong => {
-                if let Some(p) = self.peers.get_mut(&from) {
+                if self.probation.contains_key(&from) {
+                    self.reinstate_peer(ctx, from);
+                } else if let Some(p) = self.peers.get_mut(&from) {
                     p.unanswered_pings = 0;
                     p.last_seen = ctx.now();
                 }
@@ -841,6 +937,7 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
             self.engine.host_artifact(a.clone());
         }
         self.peers.clear();
+        self.probation.clear();
         self.local_registries.clear();
         self.seen.clear();
         self.attached.clear();
@@ -907,7 +1004,11 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
                     .map(|(&id, _)| id)
                     .collect();
                 for id in dead {
-                    self.peers.remove(&id);
+                    if self.cfg.probation.enabled() {
+                        self.suspect_peer(ctx, id);
+                    } else {
+                        self.peers.remove(&id);
+                    }
                 }
                 let targets: Vec<NodeId> = self.peers.keys().copied().collect();
                 for peer in targets {
@@ -992,6 +1093,8 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
             t => {
                 if let Some(seq) = tags::seq_of(t, tags::AGG_BASE) {
                     self.finalize_pending(ctx, seq);
+                } else if let Some(raw) = tags::seq_of(t, tags::PROBATION_BASE) {
+                    self.on_probation_timer(ctx, NodeId(raw as u32));
                 }
             }
         }

@@ -17,7 +17,7 @@ use sds_protocol::{
 };
 use sds_registry::{ModelEvaluator, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
 use sds_semantic::SubsumptionIndex;
-use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, TimerId};
+use sds_simnet::{Ctx, Destination, NodeHandler, NodeId, Rng, TimerId};
 
 use crate::attach::{AttachEvent, RegistryAttachment};
 use crate::config::ServiceConfig;
@@ -34,6 +34,13 @@ struct HostedService {
     /// republishing/renewing it until the description changes — retrying an
     /// advert the registry cannot reason about would loop forever.
     rejected: bool,
+    /// A publish/renew was sent and its ack has not arrived yet (only
+    /// tracked while the ack-retry policy is enabled).
+    awaiting_ack: bool,
+    /// Backoff resends performed for the currently awaited ack.
+    attempts: u8,
+    /// Whether a retry checkpoint timer for this service is outstanding.
+    retry_timer_pending: bool,
 }
 
 /// Counters exposed for experiments.
@@ -45,6 +52,9 @@ pub struct ServiceNodeStats {
     pub fallback_answers: u64,
     /// Publishes the registry rejected for unknown ontology concepts.
     pub publish_nacks: u64,
+    /// Backoff resends of publishes/renewals whose ack never arrived
+    /// (always 0 with the passive default policy).
+    pub retry_publishes: u64,
 }
 
 /// The service-provider role node handler.
@@ -53,6 +63,9 @@ pub struct ServiceNode {
     attach: RegistryAttachment,
     services: Vec<HostedService>,
     evaluators: Vec<Box<dyn ModelEvaluator>>,
+    /// Lazily derived jitter stream for ack-retry backoff; never created
+    /// while the retry policy is passive.
+    retry_rng: Option<Rng>,
     pub stats: ServiceNodeStats,
 }
 
@@ -77,9 +90,18 @@ impl ServiceNode {
             attach,
             services: descriptions
                 .into_iter()
-                .map(|description| HostedService { description, id: None, version: 1, rejected: false })
+                .map(|description| HostedService {
+                    description,
+                    id: None,
+                    version: 1,
+                    rejected: false,
+                    awaiting_ack: false,
+                    attempts: 0,
+                    retry_timer_pending: false,
+                })
                 .collect(),
             evaluators,
+            retry_rng: None,
             stats: ServiceNodeStats::default(),
         }
     }
@@ -139,6 +161,7 @@ impl ServiceNode {
                     lease_ms: self.cfg.lease_ms,
                 }),
             );
+            self.arm_ack_retry(ctx, index);
         }
     }
 
@@ -168,7 +191,79 @@ impl ServiceNode {
                     lease_ms: self.cfg.lease_ms,
                 }),
             );
+            self.arm_ack_retry(ctx, i);
         }
+    }
+
+    /// Marks service `i` as awaiting an ack and schedules the first backoff
+    /// checkpoint (no-op while the retry policy is passive).
+    fn arm_ack_retry(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, i: usize) {
+        if !self.cfg.retry.enabled() {
+            return;
+        }
+        let policy = self.cfg.retry;
+        let rng = self.retry_rng.get_or_insert_with(|| ctx.derive_rng("core.service.retry"));
+        let svc = &mut self.services[i];
+        svc.awaiting_ack = true;
+        svc.attempts = 0;
+        if !svc.retry_timer_pending {
+            svc.retry_timer_pending = true;
+            let delay = policy.backoff(0, rng);
+            ctx.set_timer(delay, tags::tagged(tags::PUBLISH_RETRY_BASE, i as u64));
+        }
+    }
+
+    /// Clears the awaiting-ack state for the service with advert `id`.
+    fn ack_received(&mut self, id: AdvertId) {
+        if let Some(s) = self.services.iter_mut().find(|s| s.id == Some(id)) {
+            s.awaiting_ack = false;
+            s.attempts = 0;
+        }
+    }
+
+    /// `PUBLISH_RETRY` checkpoint for service `i`: if the awaited ack still
+    /// has not arrived, re-publish the full advert (publish is an
+    /// idempotent upsert that also refreshes the lease, so one resend shape
+    /// covers both lost publishes and lost renewals) and back off.
+    fn on_ack_retry(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, i: usize) {
+        let policy = self.cfg.retry;
+        {
+            let Some(svc) = self.services.get_mut(i) else {
+                return;
+            };
+            svc.retry_timer_pending = false;
+            if !policy.enabled() || !svc.awaiting_ack || svc.rejected {
+                return;
+            }
+            if svc.attempts >= policy.max_retries {
+                // Give up until the next renew round or re-attach restarts
+                // the machinery.
+                svc.awaiting_ack = false;
+                return;
+            }
+        }
+        let Some(home) = self.attach.home() else {
+            // No registry to resend to; a failover re-attach republishes.
+            return;
+        };
+        self.services[i].attempts += 1;
+        let attempts = self.services[i].attempts;
+        let advert = Self::advert_of(&mut self.services[i], ctx);
+        self.stats.retry_publishes += 1;
+        self.stats.publishes += 1;
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(home),
+            DiscoveryMessage::publishing(PublishOp::Publish {
+                advert,
+                lease_ms: self.cfg.lease_ms,
+            }),
+        );
+        let rng = self.retry_rng.get_or_insert_with(|| ctx.derive_rng("core.service.retry"));
+        let delay = policy.backoff(attempts, rng);
+        self.services[i].retry_timer_pending = true;
+        ctx.set_timer(delay, tags::tagged(tags::PUBLISH_RETRY_BASE, i as u64));
     }
 
     fn on_attach_event(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, ev: AttachEvent) {
@@ -216,6 +311,10 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
             s.id = None;
             s.version = 1;
             s.rejected = false;
+            s.awaiting_ack = false;
+            s.attempts = 0;
+            // Pre-crash timers died with the old epoch.
+            s.retry_timer_pending = false;
         }
         if let Some(ev) = self.attach.start(ctx) {
             self.on_attach_event(ctx, ev);
@@ -231,15 +330,18 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
                 }
             }
             Operation::Publishing(op) => match op {
-                PublishOp::PublishAck { .. } => {}
+                PublishOp::PublishAck { id, .. } => self.ack_received(id),
                 PublishOp::PublishNack { id, .. } => {
                     if let Some(s) = self.services.iter_mut().find(|s| s.id == Some(id)) {
                         s.rejected = true;
+                        s.awaiting_ack = false;
                         self.stats.publish_nacks += 1;
                     }
                 }
-                PublishOp::RenewAck { id, known, .. }
-                    if !known => {
+                PublishOp::RenewAck { id, known, .. } => {
+                    if known {
+                        self.ack_received(id);
+                    } else {
                         // Registry restarted and lost the advert: republish.
                         if let Some(i) =
                             self.services.iter().position(|s| s.id == Some(id))
@@ -257,9 +359,11 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
                                         lease_ms: self.cfg.lease_ms,
                                     }),
                                 );
+                                self.arm_ack_retry(ctx, i);
                             }
                         }
                     }
+                }
                 _ => {}
             },
             Operation::Querying(QueryOp::Query(query)) => {
@@ -276,7 +380,11 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, _timer: TimerId, tag: u64) {
         match tag {
-            tags::PROBE => self.attach.on_probe_timer(ctx),
+            tags::PROBE => {
+                if let Some(ev) = self.attach.on_probe_timer(ctx) {
+                    self.on_attach_event(ctx, ev);
+                }
+            }
             tags::PROBE_DECIDE => {
                 if let Some(ev) = self.attach.on_probe_decide(ctx) {
                     self.on_attach_event(ctx, ev);
@@ -289,7 +397,8 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
             }
             tags::RENEW => {
                 if let Some(home) = self.attach.home() {
-                    for s in &self.services {
+                    for i in 0..self.services.len() {
+                        let s = &self.services[i];
                         if s.rejected {
                             continue;
                         }
@@ -301,12 +410,17 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
                                 Destination::Unicast(home),
                                 DiscoveryMessage::publishing(PublishOp::RenewLease { id }),
                             );
+                            self.arm_ack_retry(ctx, i);
                         }
                     }
                 }
                 ctx.set_timer(self.cfg.renew_interval, tags::RENEW);
             }
-            _ => {}
+            t => {
+                if let Some(i) = tags::seq_of(t, tags::PUBLISH_RETRY_BASE) {
+                    self.on_ack_retry(ctx, i as usize);
+                }
+            }
         }
     }
 }

@@ -5,6 +5,12 @@ use sds_simnet::{Ctx, Destination};
 
 /// Timer tag namespace. Fixed tags identify periodic duties; `*_BASE` tags
 /// carry a per-entity sequence number in the low bits.
+///
+/// Every sequenced family owns an explicit `WINDOW`-wide range, so tag
+/// families can never collide: `tagged` debug-asserts the sequence fits the
+/// window, and `seq_of` only recognises tags inside it. A long-lived client
+/// would previously have walked `QUERY_TIMEOUT_BASE + seq` into the next
+/// family once `seq` crossed the (implicit) window size.
 pub(crate) mod tags {
     /// Attachment: re-probe while unattached.
     pub const PROBE: u64 = 1;
@@ -28,15 +34,32 @@ pub(crate) mod tags {
     pub const ADVERT_PULL: u64 = 10;
     /// Attachment: probe decision window elapsed — pick the best reply.
     pub const PROBE_DECIDE: u64 = 11;
+
+    /// Width of every sequenced tag family's range. Wide enough that no
+    /// in-simulation counter (query seq, service index, node id) can
+    /// plausibly overflow it, and checked by `tagged` in debug builds.
+    pub const WINDOW: u64 = 1 << 40;
     /// Registry: response-aggregation deadline; low bits = pending seq.
-    pub const AGG_BASE: u64 = 1 << 20;
-    /// Client: query deadline; low bits = client query seq.
-    pub const QUERY_TIMEOUT_BASE: u64 = 2 << 20;
+    pub const AGG_BASE: u64 = WINDOW;
+    /// Client: query deadline / retry checkpoint; low bits = root query seq.
+    pub const QUERY_TIMEOUT_BASE: u64 = 2 * WINDOW;
+    /// Service: publish/renew ack-retry backoff; low bits = service index.
+    pub const PUBLISH_RETRY_BASE: u64 = 3 * WINDOW;
+    /// Registry: probation re-ping backoff; low bits = suspect's node id.
+    pub const PROBATION_BASE: u64 = 4 * WINDOW;
+
+    /// Composes a family tag from its base and a sequence number, asserting
+    /// (in debug builds) that the sequence stays inside the family window.
+    pub fn tagged(base: u64, seq: u64) -> u64 {
+        debug_assert!(base >= WINDOW && base % WINDOW == 0, "not a family base: {base}");
+        debug_assert!(seq < WINDOW, "tag seq {seq} overflows the family window");
+        base + seq
+    }
 
     /// Extracts the sequence from a based tag, if the tag is in `base`'s
-    /// window (each window is 1<<20 wide).
+    /// window.
     pub fn seq_of(tag: u64, base: u64) -> Option<u64> {
-        (tag >= base && tag < base + (1 << 20)).then(|| tag - base)
+        (tag >= base && tag < base + WINDOW).then(|| tag - base)
     }
 }
 
@@ -65,5 +88,33 @@ mod tests {
             tags::seq_of(tags::QUERY_TIMEOUT_BASE + 7, tags::QUERY_TIMEOUT_BASE),
             Some(7)
         );
+    }
+
+    #[test]
+    fn every_family_window_is_disjoint() {
+        let bases = [
+            tags::AGG_BASE,
+            tags::QUERY_TIMEOUT_BASE,
+            tags::PUBLISH_RETRY_BASE,
+            tags::PROBATION_BASE,
+        ];
+        for (i, &a) in bases.iter().enumerate() {
+            // Fixed tags sit below every family window.
+            assert!(tags::PROBE_DECIDE < a);
+            // The largest in-window tag of one family never reaches the next.
+            let top = tags::tagged(a, tags::WINDOW - 1);
+            for &b in bases.iter().skip(i + 1) {
+                assert!(top < b, "window of {a} bleeds into {b}");
+                assert_eq!(tags::seq_of(top, b), None);
+            }
+            assert_eq!(tags::seq_of(top, a), Some(tags::WINDOW - 1));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overflows the family window")]
+    fn overflowing_seq_is_caught_in_debug_builds() {
+        let _ = tags::tagged(tags::QUERY_TIMEOUT_BASE, tags::WINDOW);
     }
 }

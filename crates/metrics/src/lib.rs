@@ -7,6 +7,9 @@
 //!   report;
 //! * [`InvariantReport`] / [`fingerprint`] — named pass/fail ledgers for
 //!   chaos-soak convergence invariants and deterministic run fingerprints;
+//! * [`RecoverySample`] / [`time_to_recovery`] — post-fault-window health
+//!   probes and the time-to-recovery arithmetic for the rolling-chaos
+//!   experiments;
 //! * [`Graph`] and the generators in [`topologies`] — registry-network
 //!   survivability analysis for the paper's topology discussion, following
 //!   its references to complex-network robustness work (Albert/Jeong/Barabási
@@ -16,8 +19,10 @@
 
 mod graph;
 mod invariants;
+mod recovery;
 mod stats;
 
 pub use graph::{topologies, Graph, RemovalReport};
 pub use invariants::{fingerprint, InvariantReport};
+pub use recovery::{time_to_recovery, RecoverySample};
 pub use stats::{ratio, recall, Summary};

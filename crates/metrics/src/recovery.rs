@@ -1,0 +1,73 @@
+//! Recovery-time measurement for the rolling-chaos experiments.
+//!
+//! After a fault window heals, the harness samples discovery health (oracle
+//! recall, stale-lease count) on a fixed cadence. A system has *recovered*
+//! at the first sample where recall is back to 1.0 with no stale lease —
+//! the paper's dynamic-environment claim made measurable: how long until
+//! the registry network again answers every answerable query correctly?
+
+/// One post-window health probe.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoverySample {
+    /// Simulation time the sample was taken, in ms.
+    pub at: u64,
+    /// Oracle recall over the probe queries in `[0, 1]`.
+    pub recall: f64,
+    /// Advertisements answered from leases that should have expired.
+    pub stale_leases: u64,
+}
+
+impl RecoverySample {
+    /// A sample counts as healthy when every answerable query was answered
+    /// and nothing stale leaked into the answers.
+    pub fn healthy(&self) -> bool {
+        self.recall >= 1.0 && self.stale_leases == 0
+    }
+}
+
+/// Time from `window_end` to the first *healthy* sample, in ms. `None` when
+/// the system never recovered within the sampled horizon — callers should
+/// treat that as a failed window, not as instant recovery.
+///
+/// Samples taken before `window_end` are ignored so a plan may keep one
+/// running sample log across windows.
+pub fn time_to_recovery(window_end: u64, samples: &[RecoverySample]) -> Option<u64> {
+    samples
+        .iter()
+        .filter(|s| s.at >= window_end)
+        .find(|s| s.healthy())
+        .map(|s| s.at - window_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(at: u64, recall: f64, stale: u64) -> RecoverySample {
+        RecoverySample { at, recall, stale_leases: stale }
+    }
+
+    #[test]
+    fn first_healthy_sample_after_the_window_wins() {
+        let samples = [
+            s(90, 1.0, 0),  // pre-window: ignored
+            s(100, 0.5, 0), // degraded
+            s(110, 1.0, 2), // full recall but stale answers: not recovered
+            s(120, 1.0, 0), // recovered
+            s(130, 1.0, 0),
+        ];
+        assert_eq!(time_to_recovery(100, &samples), Some(20));
+    }
+
+    #[test]
+    fn immediate_health_is_zero_recovery_time() {
+        assert_eq!(time_to_recovery(50, &[s(50, 1.0, 0)]), Some(0));
+    }
+
+    #[test]
+    fn never_recovering_is_none_not_zero() {
+        let samples = [s(100, 0.9, 0), s(110, 1.0, 1)];
+        assert_eq!(time_to_recovery(100, &samples), None);
+        assert_eq!(time_to_recovery(100, &[]), None);
+    }
+}

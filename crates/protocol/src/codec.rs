@@ -684,14 +684,20 @@ pub fn encode(msg: &DiscoveryMessage) -> Vec<u8> {
     w.buf
 }
 
+/// Number of leading bytes that form the frame envelope (version, operation
+/// category, operation tag). [`mutate_frame`]'s field-aware arm leaves these
+/// intact so the mutant exercises field decoders — and, when it decodes, the
+/// role handlers — instead of dying at the envelope checks.
+pub const ENVELOPE_LEN: usize = 3;
+
 /// Applies a small random mutation to an encoded frame: byte flips, an
-/// insertion, a deletion, or truncation. This is the canonical frame
-/// corruption used both by the chaos fault-injection hook (encode →
-/// `mutate_frame` → [`decode`]) and the fuzz property asserting [`decode`]
-/// is total over its image.
+/// insertion, a deletion, truncation, or a field-aware payload fuzz that
+/// preserves the envelope. This is the canonical frame corruption used both
+/// by the chaos fault-injection hook (encode → `mutate_frame` → [`decode`])
+/// and the fuzz property asserting [`decode`] is total over its image.
 pub fn mutate_frame(rng: &mut sds_rand::Rng, bytes: &[u8]) -> Vec<u8> {
     let mut out = bytes.to_vec();
-    match rng.gen_range(0..4u32) {
+    match rng.gen_range(0..5u32) {
         // Flip 1–4 random bytes in place.
         0 => {
             if !out.is_empty() {
@@ -714,9 +720,26 @@ pub fn mutate_frame(rng: &mut sds_rand::Rng, bytes: &[u8]) -> Vec<u8> {
             }
         }
         // Truncate.
-        _ => {
+        3 => {
             let keep = rng.gen_range(0..=out.len());
             out.truncate(keep);
+        }
+        // Field-aware fuzz (see `fuzz_payload`).
+        _ => return fuzz_payload(rng, &out),
+    }
+    out
+}
+
+/// Field-aware frame fuzz: keeps the envelope (version + category + op tag)
+/// valid and flips only payload bytes, yielding frames that survive the
+/// outer checks and stress the per-field decoders — and, via the chaos
+/// hook, the role handlers behind them.
+pub fn fuzz_payload(rng: &mut sds_rand::Rng, bytes: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.len() > ENVELOPE_LEN {
+        for _ in 0..rng.gen_range(1..=4u32) {
+            let i = rng.gen_range(ENVELOPE_LEN..out.len());
+            out[i] ^= rng.gen_range(1..=255u32) as u8;
         }
     }
     out

@@ -267,6 +267,29 @@ fn mutated_frames_never_panic_the_decoder() {
 }
 
 #[test]
+fn payload_fuzz_preserves_the_envelope() {
+    // The field-aware corruptor must keep the first ENVELOPE_LEN bytes
+    // intact — that is its contract: mutants reach the field decoders
+    // instead of dying at the version/tag checks. The decoder must stay
+    // total over these mutants too.
+    Checker::new("payload_fuzz_preserves_the_envelope").cases(2048).run(|rng| {
+        let msg = arb_message(rng);
+        let bytes = codec::encode(&msg);
+        let fuzzed = codec::fuzz_payload(rng, &bytes);
+        assert_eq!(fuzzed.len(), bytes.len(), "payload fuzz never resizes");
+        assert_eq!(
+            &fuzzed[..codec::ENVELOPE_LEN.min(fuzzed.len())],
+            &bytes[..codec::ENVELOPE_LEN.min(bytes.len())],
+            "envelope bytes must survive the field-aware corruptor"
+        );
+        if let Ok(decoded) = codec::decode(&fuzzed) {
+            let re = codec::encode(&decoded);
+            assert_eq!(codec::decode(&re).expect("re-decode"), decoded);
+        }
+    });
+}
+
+#[test]
 fn wire_size_is_positive_and_stable() {
     Checker::new("wire_size_is_positive_and_stable").cases(256).run(|rng| {
         let msg = arb_message(rng);

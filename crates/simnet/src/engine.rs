@@ -1,7 +1,7 @@
 //! The discrete-event engine.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
 
 use sds_rand::{Rng, Seed};
 
@@ -102,7 +102,18 @@ pub enum ControlAction {
     SetLanFaults(LanId, FaultProfile),
     /// Replace the WAN fault profile (in effect until overwritten).
     SetWanFaults(FaultProfile),
-    /// Reset every fault profile to the fault-free default.
+    /// Replace the fault profile for one WAN *direction* `from → to`,
+    /// overriding the symmetric WAN profile for deliveries that way only.
+    /// Models asymmetric links: a request can arrive while its reply is
+    /// lost.
+    SetWanPairFaults(LanId, LanId, FaultProfile),
+    /// Cut the WAN between one pair of LANs (both directions), leaving
+    /// every other WAN route up (see [`Topology::cut_wan_pair`]).
+    CutWanPair(LanId, LanId),
+    /// Heal one previously cut WAN pair.
+    HealWanPair(LanId, LanId),
+    /// Reset every fault profile (per-LAN, WAN, per-direction overrides) to
+    /// the fault-free default. Does not heal partitions or pair cuts.
     ClearFaults,
 }
 
@@ -141,6 +152,10 @@ pub struct Sim<P> {
     alive: Vec<bool>,
     epoch: Vec<u32>,
     rngs: Vec<Rng>,
+    /// Per-node derived seeds, handed to handlers through `Ctx` so they can
+    /// derive private labelled sub-streams (retry jitter etc.) that never
+    /// perturb the main per-node stream.
+    node_seeds: Vec<Seed>,
     link_rng: Rng,
     /// Dedicated stream for fault injection so enabling faults never
     /// perturbs the link RNG draws of fault-free traffic.
@@ -157,6 +172,9 @@ pub struct Sim<P> {
     lan_faults: Vec<FaultProfile>,
     /// WAN fault profile.
     wan_faults: FaultProfile,
+    /// Per-direction WAN overrides, keyed by `(from_lan, to_lan)`. A
+    /// present entry replaces `wan_faults` for deliveries in that direction.
+    wan_pair_faults: BTreeMap<(LanId, LanId), FaultProfile>,
     corruptor: Option<Corruptor<P>>,
 }
 
@@ -184,6 +202,7 @@ impl<P: Clone + 'static> Sim<P> {
             alive: Vec::new(),
             epoch: Vec::new(),
             rngs: Vec::new(),
+            node_seeds: Vec::new(),
             link_rng: Seed(seed).derive("simnet.link").rng(),
             fault_rng: Seed(seed).derive("simnet.fault").rng(),
             next_timer: 0,
@@ -193,6 +212,7 @@ impl<P: Clone + 'static> Sim<P> {
             wan_busy_until: 0,
             lan_faults: vec![FaultProfile::default(); lan_count],
             wan_faults: FaultProfile::default(),
+            wan_pair_faults: BTreeMap::new(),
             corruptor: None,
             // Folded into each node's private RNG in `add_node`.
             seed,
@@ -207,7 +227,9 @@ impl<P: Clone + 'static> Sim<P> {
         self.handlers.push(Some(handler));
         self.alive.push(true);
         self.epoch.push(0);
-        self.rngs.push(Seed(self.seed).derive_idx("simnet.node", u64::from(id.0)).rng());
+        let node_seed = Seed(self.seed).derive_idx("simnet.node", u64::from(id.0));
+        self.rngs.push(node_seed.rng());
+        self.node_seeds.push(node_seed);
         self.invoke(id, |h, ctx| h.on_start(ctx));
         id
     }
@@ -272,10 +294,38 @@ impl<P: Clone + 'static> Sim<P> {
         self.wan_faults = faults;
     }
 
-    /// Resets every fault profile to the fault-free default.
+    /// Replaces the fault profile for the WAN direction `from → to`,
+    /// effective immediately. A quiet profile still overrides the symmetric
+    /// WAN profile for that direction (use [`Sim::clear_faults`] or re-set
+    /// the override to drop it).
+    pub fn set_wan_pair_faults(&mut self, from: LanId, to: LanId, faults: FaultProfile) {
+        assert!(from.index() < self.lan_faults.len(), "unknown LAN {from:?}");
+        assert!(to.index() < self.lan_faults.len(), "unknown LAN {to:?}");
+        self.wan_pair_faults.insert((from, to), faults);
+    }
+
+    /// The per-direction override for `from → to`, if one is set.
+    pub fn wan_pair_faults(&self, from: LanId, to: LanId) -> Option<FaultProfile> {
+        self.wan_pair_faults.get(&(from, to)).copied()
+    }
+
+    /// Cuts the WAN between one pair of LANs (see
+    /// [`Topology::cut_wan_pair`]).
+    pub fn cut_wan_pair(&mut self, a: LanId, b: LanId) {
+        self.topo.cut_wan_pair(a, b);
+    }
+
+    /// Heals one previously cut WAN pair.
+    pub fn heal_wan_pair(&mut self, a: LanId, b: LanId) {
+        self.topo.heal_wan_pair(a, b);
+    }
+
+    /// Resets every fault profile (including per-direction overrides) to
+    /// the fault-free default. Partitions and pair cuts are left alone.
     pub fn clear_faults(&mut self) {
         self.lan_faults.fill(FaultProfile::default());
         self.wan_faults = FaultProfile::default();
+        self.wan_pair_faults.clear();
     }
 
     /// The fault profile currently applied to a LAN.
@@ -392,6 +442,9 @@ impl<P: Clone + 'static> Sim<P> {
                 ControlAction::HealPartition => self.topo.heal_partition(),
                 ControlAction::SetLanFaults(lan, f) => self.set_lan_faults(lan, f),
                 ControlAction::SetWanFaults(f) => self.set_wan_faults(f),
+                ControlAction::SetWanPairFaults(from, to, f) => self.set_wan_pair_faults(from, to, f),
+                ControlAction::CutWanPair(a, b) => self.cut_wan_pair(a, b),
+                ControlAction::HealWanPair(a, b) => self.heal_wan_pair(a, b),
                 ControlAction::ClearFaults => self.clear_faults(),
             },
         }
@@ -403,6 +456,7 @@ impl<P: Clone + 'static> Sim<P> {
             now: self.now,
             node,
             lan: self.topo.lan_of(node),
+            seed: self.node_seeds[node.index()],
             rng: &mut self.rngs[node.index()],
             next_timer: &mut self.next_timer,
             actions: Vec::new(),
@@ -451,10 +505,13 @@ impl<P: Clone + 'static> Sim<P> {
                 // the bytes are always charged.
                 self.stats.record(scope, kind, u64::from(bytes));
                 if scope == Scope::Wan && !self.topo.wan_reachable(from_lan, to_lan) {
+                    if self.topo.wan_pair_cut(from_lan, to_lan) {
+                        self.stats.record_wan_cut_drop();
+                    }
                     self.stats.record_drop();
                     return;
                 }
-                let faults = self.faults_for(scope, from_lan);
+                let faults = self.faults_for(scope, from_lan, to_lan);
                 if self.sample_loss(scope) || self.sample_fault_loss(faults) {
                     self.stats.record_drop();
                     return;
@@ -547,10 +604,14 @@ impl<P: Clone + 'static> Sim<P> {
         }
     }
 
-    fn faults_for(&self, scope: Scope, lan: LanId) -> FaultProfile {
+    fn faults_for(&self, scope: Scope, from_lan: LanId, to_lan: LanId) -> FaultProfile {
         match scope {
-            Scope::Lan => self.lan_faults[lan.index()],
-            Scope::Wan => self.wan_faults,
+            Scope::Lan => self.lan_faults[from_lan.index()],
+            Scope::Wan => self
+                .wan_pair_faults
+                .get(&(from_lan, to_lan))
+                .copied()
+                .unwrap_or(self.wan_faults),
         }
     }
 
@@ -918,6 +979,90 @@ mod tests {
             sim.handler::<Recorder>(b).unwrap().messages.clone()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn asymmetric_pair_faults_hit_one_direction_only() {
+        let (mut sim, l0, l1) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l1, Box::<Recorder>::default());
+        // Lose everything l1 → l0; the l0 → l1 direction stays clean.
+        sim.set_wan_pair_faults(l1, l0, FaultProfile { loss: 1.0, ..Default::default() });
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "request".into(), 8, "test");
+        });
+        sim.run_until(100);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1, "forward direction clean");
+        sim.with_node::<Recorder>(b, |_, ctx| {
+            ctx.send(Destination::Unicast(a), "reply".into(), 8, "test");
+        });
+        sim.run_until(200);
+        assert!(sim.handler::<Recorder>(a).unwrap().messages.is_empty(), "reply direction lossy");
+        assert_eq!(sim.stats().dropped_messages, 1);
+        sim.clear_faults();
+        assert!(sim.wan_pair_faults(l1, l0).is_none(), "clear_faults drops overrides");
+        sim.with_node::<Recorder>(b, |_, ctx| {
+            ctx.send(Destination::Unicast(a), "reply2".into(), 8, "test");
+        });
+        sim.run_until(300);
+        assert_eq!(sim.handler::<Recorder>(a).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn wan_pair_cut_blocks_only_that_pair() {
+        let mut topo = Topology::new();
+        let l0 = topo.add_lan();
+        let l1 = topo.add_lan();
+        let l2 = topo.add_lan();
+        let mut sim: Sim<String> = Sim::new(SimConfig::default(), topo, 7);
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l1, Box::<Recorder>::default());
+        let c = sim.add_node(l2, Box::<Recorder>::default());
+        sim.schedule(10, ControlAction::CutWanPair(l0, l1));
+        sim.run_until(20);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "cut".into(), 8, "test");
+            ctx.send(Destination::Unicast(c), "open".into(), 8, "test");
+        });
+        sim.run_until(100);
+        assert!(sim.handler::<Recorder>(b).unwrap().messages.is_empty());
+        assert_eq!(sim.handler::<Recorder>(c).unwrap().messages.len(), 1);
+        assert_eq!(sim.stats().wan_cut_drops, 1);
+        assert_eq!(sim.stats().dropped_messages, 1);
+        sim.schedule(110, ControlAction::HealWanPair(l0, l1));
+        sim.run_until(120);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "healed".into(), 8, "test");
+        });
+        sim.run_until(200);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn derived_ctx_streams_do_not_perturb_the_node_stream() {
+        // Deriving (and draining) a labelled sub-stream must leave the
+        // node's main RNG draws untouched, and the sub-stream must be
+        // stable across runs.
+        let run = |derive: bool| {
+            let (mut sim, l0, _) = two_lan_sim();
+            let a = sim.add_node(l0, Box::<Recorder>::default());
+            let mut side = Vec::new();
+            let mut main = Vec::new();
+            sim.with_node::<Recorder>(a, |_, ctx| {
+                if derive {
+                    let mut r = ctx.derive_rng("test.side");
+                    side = (0..8).map(|_| r.next_u64()).collect();
+                }
+                main = (0..8).map(|_| ctx.rng().next_u64()).collect();
+            });
+            (main, side)
+        };
+        let (main_plain, _) = run(false);
+        let (main_derived, side1) = run(true);
+        let (_, side2) = run(true);
+        assert_eq!(main_plain, main_derived, "derive_rng must not consume node draws");
+        assert_eq!(side1, side2, "derived stream is deterministic");
+        assert_ne!(main_plain, side1, "derived stream is a different stream");
     }
 
     #[test]

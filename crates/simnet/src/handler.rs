@@ -3,7 +3,7 @@
 
 use std::any::Any;
 
-use sds_rand::Rng;
+use sds_rand::{Rng, Seed};
 
 use crate::ids::{LanId, NodeId, TimerId};
 use crate::message::{Destination, MsgKind};
@@ -76,6 +76,7 @@ pub struct Ctx<'a, P> {
     pub(crate) now: SimTime,
     pub(crate) node: NodeId,
     pub(crate) lan: LanId,
+    pub(crate) seed: Seed,
     pub(crate) rng: &'a mut Rng,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) actions: Vec<Action<P>>,
@@ -103,6 +104,15 @@ impl<P> Ctx<'_, P> {
     /// (or fewer) values never perturbs another node's behaviour.
     pub fn rng(&mut self) -> &mut Rng {
         self.rng
+    }
+
+    /// Derives a fresh deterministic RNG stream for this node, keyed by
+    /// `label`. Streams are independent of the node's main [`Ctx::rng`]
+    /// stream and of each other, so optional machinery (retry jitter,
+    /// probation backoff) can draw freely without perturbing the draws —
+    /// and hence the behaviour — of code that does not use it.
+    pub fn derive_rng(&self, label: &str) -> Rng {
+        self.seed.derive(label).rng()
     }
 
     /// Queues a message. `bytes` is the on-the-wire size used for bandwidth

@@ -53,6 +53,9 @@ pub struct NetStats {
     pub corrupt_dropped_messages: u64,
     /// Deliveries delayed by fault-injected reorder jitter.
     pub reorder_delayed_messages: u64,
+    /// Unicasts dropped because their specific WAN pair was cut (partial
+    /// partition; also counted in `dropped_messages`).
+    pub wan_cut_drops: u64,
     by_kind: BTreeMap<MsgKind, KindStats>,
 }
 
@@ -95,6 +98,10 @@ impl NetStats {
 
     pub fn record_reorder_delay(&mut self) {
         self.reorder_delayed_messages += 1;
+    }
+
+    pub fn record_wan_cut_drop(&mut self) {
+        self.wan_cut_drops += 1;
     }
 
     /// Total fault-injection interventions (diagnostic: asserts a chaos run

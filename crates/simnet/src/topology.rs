@@ -1,5 +1,7 @@
 //! Network topology: LAN membership and WAN partitions.
 
+use std::collections::BTreeSet;
+
 use crate::ids::{LanId, NodeId};
 
 /// The static shape of the network: which LAN each node sits on, plus the
@@ -18,6 +20,14 @@ pub struct Topology {
     /// Partition group per LAN. LANs in different groups cannot exchange WAN
     /// traffic. All zero (one group) means a fully connected WAN.
     lan_group: Vec<u32>,
+    /// Individually cut WAN pairs (partial partitions), stored normalized
+    /// (smaller id first). A cut blocks both directions of that one pair
+    /// while every other WAN route stays up.
+    cut_pairs: BTreeSet<(LanId, LanId)>,
+}
+
+fn ordered(a: LanId, b: LanId) -> (LanId, LanId) {
+    if a <= b { (a, b) } else { (b, a) }
 }
 
 impl Topology {
@@ -81,16 +91,40 @@ impl Topology {
         }
     }
 
-    /// Restores full WAN connectivity.
+    /// Restores full WAN connectivity: heals group partitions *and* all
+    /// individually cut pairs.
     pub fn heal_partition(&mut self) {
         for g in self.lan_group.iter_mut() {
             *g = 0;
         }
+        self.cut_pairs.clear();
+    }
+
+    /// Cuts the WAN between one pair of LANs (both directions). All other
+    /// WAN routes are unaffected — a *partial* partition, unlike the
+    /// group-based [`Topology::partition`]. Cutting a pair twice, or a LAN
+    /// against itself, is a no-op.
+    pub fn cut_wan_pair(&mut self, a: LanId, b: LanId) {
+        if a != b {
+            self.cut_pairs.insert(ordered(a, b));
+        }
+    }
+
+    /// Heals one previously cut WAN pair (no-op if not cut).
+    pub fn heal_wan_pair(&mut self, a: LanId, b: LanId) {
+        self.cut_pairs.remove(&ordered(a, b));
+    }
+
+    /// True when this specific pair is individually cut.
+    pub fn wan_pair_cut(&self, a: LanId, b: LanId) -> bool {
+        self.cut_pairs.contains(&ordered(a, b))
     }
 
     /// True when WAN traffic can flow between the two LANs.
     pub fn wan_reachable(&self, a: LanId, b: LanId) -> bool {
-        a == b || self.lan_group[a.index()] == self.lan_group[b.index()]
+        a == b
+            || (self.lan_group[a.index()] == self.lan_group[b.index()]
+                && !self.wan_pair_cut(a, b))
     }
 }
 
@@ -135,5 +169,41 @@ mod tests {
         assert!(t.wan_reachable(l0, l0));
         t.heal_partition();
         assert!(t.wan_reachable(l0, l1));
+    }
+
+    #[test]
+    fn pair_cuts_block_one_pair_only() {
+        let mut t = Topology::new();
+        let l0 = t.add_lan();
+        let l1 = t.add_lan();
+        let l2 = t.add_lan();
+        t.cut_wan_pair(l1, l0); // order must not matter
+        assert!(!t.wan_reachable(l0, l1));
+        assert!(!t.wan_reachable(l1, l0));
+        assert!(t.wan_reachable(l0, l2));
+        assert!(t.wan_reachable(l1, l2));
+        assert!(t.wan_pair_cut(l0, l1));
+        t.heal_wan_pair(l0, l1);
+        assert!(t.wan_reachable(l0, l1));
+    }
+
+    #[test]
+    fn heal_partition_heals_pair_cuts_too() {
+        let mut t = Topology::new();
+        let l0 = t.add_lan();
+        let l1 = t.add_lan();
+        t.cut_wan_pair(l0, l1);
+        t.partition(&[&[l0], &[l1]]);
+        t.heal_partition();
+        assert!(t.wan_reachable(l0, l1));
+        assert!(!t.wan_pair_cut(l0, l1));
+    }
+
+    #[test]
+    fn self_cut_is_a_noop() {
+        let mut t = Topology::new();
+        let l0 = t.add_lan();
+        t.cut_wan_pair(l0, l0);
+        assert!(t.wan_reachable(l0, l0));
     }
 }

@@ -18,6 +18,11 @@ use sds_simnet::{ControlAction, FaultProfile, LanId, SimTime};
 pub enum FaultTarget {
     Lan(LanId),
     Wan,
+    /// One *direction* of one WAN path: messages from the first LAN to the
+    /// second. The reverse direction keeps the blanket WAN profile, so a
+    /// window over `WanPair(a, b)` is an asymmetric fault (e.g. pings get
+    /// through, replies are lost).
+    WanPair(LanId, LanId),
 }
 
 /// One scheduled fault-profile change. A `FaultProfile::default()` profile
@@ -131,6 +136,9 @@ impl FaultPlan {
             let action = match e.target {
                 FaultTarget::Lan(lan) => ControlAction::SetLanFaults(lan, e.profile),
                 FaultTarget::Wan => ControlAction::SetWanFaults(e.profile),
+                FaultTarget::WanPair(from, to) => {
+                    ControlAction::SetWanPairFaults(from, to, e.profile)
+                }
             };
             sim.schedule(e.at, action);
         }

@@ -16,6 +16,9 @@
 //! * [`churn`] — exponential on/off churn plans for transient nodes;
 //! * [`fault`] — scheduled network-fault windows (loss, duplication,
 //!   reordering, corruption) with a guaranteed heal time, for chaos soaks;
+//! * [`rolling`] — rolling chaos: repeated fault windows with per-window
+//!   time-to-recovery sampling, comparing the self-healing layer against a
+//!   passive baseline;
 //! * [`scenario`] — assembles `sds-core` deployments (centralized /
 //!   decentralized / federated) into ready-to-run simulations.
 
@@ -23,11 +26,13 @@ pub mod churn;
 pub mod fault;
 pub mod oracle;
 pub mod population;
+pub mod rolling;
 pub mod scenario;
 pub mod taxonomy;
 
 pub use churn::ChurnPlan;
 pub use fault::{corrupting_hook, FaultPlan, FaultSeverity, FaultTarget};
+pub use rolling::{run_rolling, RollingChaosConfig, RollingReport, WindowReport};
 pub use oracle::Oracle;
 pub use population::{PopulationSpec, QuerySpec, Workload};
 pub use scenario::{Deployment, Scenario, ScenarioConfig};

@@ -1,0 +1,334 @@
+//! Rolling chaos: repeated fault windows with measured recovery between
+//! them.
+//!
+//! Where the chaos soak ([`crate::FaultPlan`] + churn) checks invariants
+//! once, after everything healed, the rolling harness opens a fault window,
+//! heals it, and then *samples* discovery health on a fixed cadence until
+//! the system is whole again — producing a per-window time-to-recovery
+//! (see [`sds_metrics::time_to_recovery`]). Windows rotate through the
+//! failure modes the self-healing layer targets:
+//!
+//! * **asymmetric loss** — one direction of one WAN pair loses nearly every
+//!   frame (pings arrive, replies vanish), so exactly one side of a
+//!   federation link suspects the other;
+//! * **pair cut** — one WAN pair is severed outright (partial partition:
+//!   the rest of the WAN stays connected);
+//! * **registry crash** — a non-seed registry dies for the window and
+//!   revives at heal time, forcing re-attachment and republish.
+//!
+//! The same schedule runs with the resilience policies enabled
+//! (`healing = true`: attach/client/service retries and registry probation
+//! at [`sds_core::RetryPolicy::standard`]-like settings) or fully passive,
+//! which is the R1 experiment comparison. Everything — the schedule, the
+//! probes, both runs — is a pure function of the seed.
+
+use std::fmt::Write as _;
+
+use sds_core::{ClientNode, QueryOptions, RegistryNode, RetryPolicy, ServiceNode};
+use sds_metrics::{fingerprint, time_to_recovery, RecoverySample};
+use sds_protocol::ModelId;
+use sds_simnet::{FaultProfile, SimTime};
+
+use crate::scenario::{Deployment, Scenario, ScenarioConfig};
+use crate::PopulationSpec;
+
+/// Slack on lease expiry before an advert counts as stale (one purge
+/// cadence of the default registry config).
+const PURGE_SLACK: u64 = 2_000;
+
+/// Parameters of one rolling-chaos run.
+#[derive(Clone, Copy, Debug)]
+pub struct RollingChaosConfig {
+    pub seed: u64,
+    /// Enable the self-healing layer (retry/backoff/failover/probation).
+    /// `false` is the passive baseline with identical schedule and probes.
+    pub healing: bool,
+    /// Number of fault windows (failure modes rotate per window).
+    pub windows: usize,
+    /// Length of each fault window, ms.
+    pub window_ms: SimTime,
+    /// Quiet gap after each window in which recovery is sampled, ms.
+    pub gap_ms: SimTime,
+    /// Health-probe cadence during window and gap, ms.
+    pub sample_every_ms: SimTime,
+    /// Deadline of each probe query (must outlast registry aggregation).
+    pub probe_timeout_ms: SimTime,
+}
+
+impl RollingChaosConfig {
+    pub fn new(seed: u64, healing: bool) -> Self {
+        Self {
+            seed,
+            healing,
+            windows: 3,
+            window_ms: 18_000,
+            gap_ms: 45_000,
+            sample_every_ms: 3_000,
+            probe_timeout_ms: 2_500,
+        }
+    }
+}
+
+/// One healed window and what recovery looked like after it.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Which failure mode this window exercised.
+    pub kind: &'static str,
+    /// When the window healed (samples before this don't count).
+    pub window_end: SimTime,
+    pub samples: Vec<RecoverySample>,
+    /// Time from heal to the first fully-healthy sample; `None` = never
+    /// recovered within the gap (a failed window).
+    pub recovery_ms: Option<u64>,
+}
+
+/// Outcome of a full rolling-chaos run.
+#[derive(Clone, Debug)]
+pub struct RollingReport {
+    pub windows: Vec<WindowReport>,
+    /// Fingerprint of the full sample/counter transcript (determinism
+    /// checks: same seed + same mode ⇒ same digest).
+    pub digest: u64,
+    /// Ack-retry publishes across all service nodes (0 in passive runs).
+    pub retry_publishes: u64,
+    /// Probationers reinstated across all registries (0 in passive runs).
+    pub peers_reinstated: u64,
+}
+
+impl RollingReport {
+    /// Sum of per-window recovery times; `None` when any window never
+    /// recovered — callers must treat that as failure, not as zero.
+    pub fn total_recovery_ms(&self) -> Option<u64> {
+        self.windows.iter().map(|w| w.recovery_ms).sum()
+    }
+
+    /// Worst single window.
+    pub fn max_recovery_ms(&self) -> Option<u64> {
+        self.windows.iter().map(|w| w.recovery_ms).collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+}
+
+fn scenario(cfg: &RollingChaosConfig) -> Scenario {
+    let mut sc = ScenarioConfig {
+        lans: 3,
+        clients_per_lan: 1,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        population: PopulationSpec {
+            model: ModelId::Semantic,
+            services: 9,
+            queries: 6,
+            generalization_rate: 0.5,
+            seed: cfg.seed,
+        },
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    // Unicast-only querying: recall must come back through the registry
+    // network, not the multicast fallback.
+    sc.client.fallback_query = false;
+    if cfg.healing {
+        let standard = RetryPolicy::standard();
+        sc.client.retry = RetryPolicy {
+            // First checkpoint must outlast the registry aggregation window
+            // (500 ms) plus WAN latency, or fault-free probes re-send.
+            base_backoff: 1_000,
+            ..standard
+        };
+        sc.client.attach.retry = standard;
+        sc.service.retry = standard;
+        sc.service.attach.retry = standard;
+        // Probation must keep re-pinging across a whole window, so give it
+        // a longer budget than the standard policy.
+        sc.registry.probation = RetryPolicy { max_retries: 6, ..standard };
+    }
+    Scenario::build(sc)
+}
+
+/// Issues every workload query at once (round-robin over clients), runs the
+/// simulation past the probe deadline, and reduces the results to one
+/// [`RecoverySample`].
+fn probe(s: &mut Scenario, cfg: &RollingChaosConfig, transcript: &mut String) -> RecoverySample {
+    let at = s.sim.now();
+    // TTL 1: peers answer from their own store and do not relay, so recall
+    // genuinely depends on every direct federation edge being intact —
+    // multi-hop flooding must not mask a dismembered overlay.
+    let options =
+        QueryOptions { timeout: cfg.probe_timeout_ms, ttl: 1, ..QueryOptions::default() };
+    // (client index, root seq, expected providers) per probe query.
+    let mut issued = Vec::new();
+    for qi in 0..s.queries.len() {
+        let payload = s.queries[qi].clone();
+        let expected = s.expected_now(&payload);
+        let ci = qi % s.clients.len();
+        let client = s.clients[ci];
+        let mut seq = 0;
+        s.sim.with_node::<ClientNode>(client, |c, ctx| {
+            seq = c.issue_query(ctx, payload, options.clone());
+        });
+        issued.push((ci, seq, expected));
+    }
+    s.sim.run_until(at + cfg.probe_timeout_ms + 500);
+
+    let (mut expected_total, mut found_total) = (0usize, 0usize);
+    for (ci, seq, expected) in issued {
+        let client = s.sim.handler::<ClientNode>(s.clients[ci]).unwrap();
+        let done = client
+            .completed
+            .iter()
+            .find(|d| d.seq == seq)
+            .expect("probe query past its deadline has completed");
+        expected_total += expected.len();
+        found_total += expected
+            .iter()
+            .filter(|&&p| done.hits.iter().any(|h| h.advert.provider == p))
+            .count();
+    }
+    let recall =
+        if expected_total == 0 { 1.0 } else { found_total as f64 / expected_total as f64 };
+
+    // Stale leases: an advert a live registry still stores past its lease
+    // (plus one purge cadence) would answer queries with a dead provider.
+    let now = s.sim.now();
+    let mut stale_leases = 0u64;
+    for &r in &s.registries {
+        if !s.sim.is_alive(r) {
+            continue;
+        }
+        let node = s.sim.handler::<RegistryNode>(r).unwrap();
+        stale_leases += node
+            .engine()
+            .store()
+            .iter()
+            .filter(|stored| stored.lease_until + PURGE_SLACK <= now)
+            .count() as u64;
+    }
+    let _ = writeln!(
+        transcript,
+        "probe at={at} recall={recall} found={found_total}/{expected_total} stale={stale_leases}"
+    );
+    RecoverySample { at, recall, stale_leases }
+}
+
+/// Runs the full rolling-chaos schedule for one seed and mode.
+pub fn run_rolling(cfg: &RollingChaosConfig) -> RollingReport {
+    let mut s = scenario(cfg);
+    let mut transcript = format!("seed={} healing={}\n", cfg.seed, cfg.healing);
+
+    // Let the federation form and the first publishes land.
+    s.sim.run_until(5_000);
+
+    // A near-total, one-direction loss profile for the asymmetric windows.
+    let lossy = FaultProfile { loss: 0.95, ..FaultProfile::default() };
+
+    let mut windows = Vec::new();
+    for w in 0..cfg.windows {
+        let n = s.lans.len();
+        // Rotate the faulted pair and the failure mode per window.
+        let (a, b) = (s.lans[w % n], s.lans[(w + 1) % n]);
+        let start = s.sim.now();
+        let kind = match w % 3 {
+            // Replies from b's side back to a vanish; a → b stays clean.
+            0 => {
+                s.sim.set_wan_pair_faults(b, a, lossy);
+                "asymmetric-loss"
+            }
+            // Partial partition: exactly this pair is severed.
+            1 => {
+                s.sim.cut_wan_pair(a, b);
+                "pair-cut"
+            }
+            // A non-seed registry dies for the whole window.
+            _ => {
+                s.sim.crash_node(s.registries[1]);
+                "registry-crash"
+            }
+        };
+        let _ = writeln!(transcript, "window {w} kind={kind} start={start}");
+
+        // Probes keep flowing during the window (they exercise the retry
+        // paths under fire); their samples precede `window_end` and are
+        // ignored by the recovery clock.
+        let mut samples = Vec::new();
+        while s.sim.now() < start + cfg.window_ms {
+            samples.push(probe(&mut s, cfg, &mut transcript));
+            let next = samples.last().unwrap().at + cfg.sample_every_ms;
+            s.sim.run_until(next);
+        }
+
+        // Heal.
+        match w % 3 {
+            0 => s.sim.set_wan_pair_faults(b, a, FaultProfile::default()),
+            1 => s.sim.heal_wan_pair(a, b),
+            _ => s.sim.revive_node(s.registries[1]),
+        }
+        let window_end = s.sim.now();
+
+        // Sample the gap until healthy (keep sampling a little past
+        // recovery so the transcript shows it holding).
+        while s.sim.now() < window_end + cfg.gap_ms {
+            samples.push(probe(&mut s, cfg, &mut transcript));
+            if time_to_recovery(window_end, &samples).is_some()
+                && samples.last().map(|x| x.at >= window_end + 2 * cfg.sample_every_ms) == Some(true)
+            {
+                break;
+            }
+            let next = samples.last().unwrap().at + cfg.sample_every_ms;
+            s.sim.run_until(next);
+        }
+        let recovery_ms = time_to_recovery(window_end, &samples);
+        let _ = writeln!(transcript, "window {w} end={window_end} recovery={recovery_ms:?}");
+        windows.push(WindowReport { kind, window_end, samples, recovery_ms });
+
+        // Quiet buffer before the next window so windows never overlap.
+        let resume = s.sim.now() + cfg.sample_every_ms;
+        s.sim.run_until(resume);
+    }
+
+    let retry_publishes: u64 = s
+        .services
+        .iter()
+        .filter_map(|&(n, _)| s.sim.handler::<ServiceNode>(n))
+        .map(|svc| svc.stats.retry_publishes)
+        .sum();
+    let peers_reinstated: u64 = s
+        .registries
+        .iter()
+        .filter_map(|&r| s.sim.handler::<RegistryNode>(r))
+        .map(|reg| reg.stats.peers_reinstated)
+        .sum();
+    let st = s.sim.stats();
+    let _ = writeln!(
+        transcript,
+        "retry_publishes={retry_publishes} reinstated={peers_reinstated} dropped={} \
+         wan_cut_drops={} lan={} wan={}",
+        st.dropped_messages, st.wan_cut_drops, st.lan_messages, st.wan_messages
+    );
+
+    RollingReport { windows, digest: fingerprint(&transcript), retry_publishes, peers_reinstated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_schedule_is_deterministic_per_seed_and_mode() {
+        let mut cfg = RollingChaosConfig::new(5, true);
+        cfg.windows = 1;
+        let a = run_rolling(&cfg);
+        let b = run_rolling(&cfg);
+        assert_eq!(a.digest, b.digest, "same seed+mode must reproduce exactly");
+        cfg.healing = false;
+        let c = run_rolling(&cfg);
+        assert_ne!(a.digest, c.digest, "healing and passive runs differ under faults");
+    }
+
+    #[test]
+    fn passive_runs_never_touch_the_healing_machinery() {
+        let mut cfg = RollingChaosConfig::new(2, false);
+        cfg.windows = 2;
+        let r = run_rolling(&cfg);
+        assert_eq!(r.retry_publishes, 0, "passive services must not retry");
+        assert_eq!(r.peers_reinstated, 0, "passive registries must not probation");
+    }
+}

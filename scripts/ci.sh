@@ -14,6 +14,14 @@ cargo test -q --offline
 # a red run here reproduces locally with the printed seed.
 SDS_CHAOS_SEEDS=8 cargo test -q --offline -p sds-integration --test chaos_soak
 
+# Rolling-chaos soak (quick mode): 2-seed sweep of repeated fault windows
+# (asymmetric WAN loss, pair cuts, registry crashes) measuring per-window
+# time-to-recovery. Fails if any self-healing window exceeds
+# SDS_RECOVERY_BOUND ms or if healing is ever slower than the passive
+# baseline. Deterministic per seed, like the soak above.
+SDS_CHAOS_SEEDS=2 SDS_RECOVERY_BOUND=30000 \
+  cargo test -q --offline -p sds-integration --test rolling_chaos
+
 # Microbenchmark smoke run: quick-mode wall clock, mostly to prove the
 # benches still build and run. Every measurement appends to
 # target/bench-history.jsonl, arming the 10x median regression flag for

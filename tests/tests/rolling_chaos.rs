@@ -1,0 +1,85 @@
+//! Rolling-chaos soak: repeated fault windows (asymmetric WAN loss, pair
+//! cuts, registry crashes) with recovery measured after each heal, run for
+//! the self-healing configuration and the passive baseline.
+//!
+//! Assertions per seed:
+//!
+//! * every window **recovers** (recall 1.0, no stale lease) within
+//!   `SDS_RECOVERY_BOUND` ms of healing when the self-healing layer is on;
+//! * self-healing recovery is never slower than the passive baseline on
+//!   the same schedule (total over windows);
+//! * the healing machinery actually fired (retry publishes or probation
+//!   reinstatements — a soak that never exercises the layer proves
+//!   nothing);
+//! * both modes are deterministic per seed.
+//!
+//! `SDS_CHAOS_SEEDS` picks the seed count (default 3 for CI; the full
+//! acceptance run uses 8).
+
+use sds_workload::{run_rolling, RollingChaosConfig};
+
+fn seed_count() -> u64 {
+    std::env::var("SDS_CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+fn recovery_bound() -> u64 {
+    std::env::var("SDS_RECOVERY_BOUND").ok().and_then(|v| v.parse().ok()).unwrap_or(30_000)
+}
+
+#[test]
+fn rolling_chaos_recovers_within_bound_and_healing_beats_passive() {
+    let bound = recovery_bound();
+    let mut healing_total = 0u64;
+    let mut passive_total = 0u64;
+    for seed in 0..seed_count() {
+        let healing = run_rolling(&RollingChaosConfig::new(seed, true));
+        let passive = run_rolling(&RollingChaosConfig::new(seed, false));
+
+        for w in &healing.windows {
+            let r = w.recovery_ms.unwrap_or_else(|| {
+                panic!("seed {seed}: healing run never recovered from {} window", w.kind)
+            });
+            assert!(
+                r <= bound,
+                "seed {seed}: {} window took {r} ms to recover (bound {bound})",
+                w.kind
+            );
+        }
+        assert!(
+            healing.retry_publishes + healing.peers_reinstated > 0,
+            "seed {seed}: the healing machinery was never exercised"
+        );
+
+        // Passive either recovers slower or not at all; when it never
+        // recovers, charge it the full sampled gap per failed window.
+        let gap = RollingChaosConfig::new(seed, false).gap_ms;
+        let h_total = healing.total_recovery_ms().expect("checked above");
+        let p_total: u64 =
+            passive.windows.iter().map(|w| w.recovery_ms.unwrap_or(gap)).sum();
+        assert!(
+            h_total <= p_total,
+            "seed {seed}: healing recovered in {h_total} ms but passive in {p_total} ms"
+        );
+        eprintln!(
+            "seed {seed}: healing {h_total} ms, passive {p_total} ms, windows: {:?} vs {:?}",
+            healing.windows.iter().map(|w| w.recovery_ms).collect::<Vec<_>>(),
+            passive.windows.iter().map(|w| w.recovery_ms).collect::<Vec<_>>(),
+        );
+        healing_total += h_total;
+        passive_total += p_total;
+    }
+    assert!(
+        healing_total < passive_total,
+        "across all seeds, self-healing must be strictly faster: {healing_total} vs {passive_total}"
+    );
+}
+
+#[test]
+fn rolling_chaos_is_deterministic_per_seed_and_mode() {
+    for healing in [true, false] {
+        let cfg = RollingChaosConfig::new(77, healing);
+        let a = run_rolling(&cfg);
+        let b = run_rolling(&cfg);
+        assert_eq!(a.digest, b.digest, "healing={healing}: same seed diverged");
+    }
+}
