@@ -43,8 +43,10 @@ fn main() {
         "giant @10% attack",
         "giant @30% attack",
     ]);
-    for (name, g) in &cases {
-        table.row(&[
+    // Each topology's metrics (all-pairs paths + four removal experiments)
+    // are independent: compute rows in parallel, render in case order.
+    let rows = sds_bench::parallel::map(&cases, |_, (name, g)| {
+        [
             name.to_string(),
             g.edge_count().to_string(),
             f2(g.characteristic_path_length().unwrap_or(f64::NAN)),
@@ -53,7 +55,10 @@ fn main() {
             f2(giant_after(g, 0.30, false, seed.derive("removal.30"))),
             f2(giant_after(g, 0.10, true, seed)),
             f2(giant_after(g, 0.30, true, seed)),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     table.print("E9: survivability metrics of registry-network topologies (n=32)");
     println!(

@@ -58,16 +58,22 @@ fn main() {
 
     let mut means = Vec::new();
     for healing in [true, false] {
+        // Seeds are independent simulations: fan them across cores and
+        // merge in seed order (deterministic aggregate regardless of
+        // scheduling — see tests/engine_equivalence.rs).
+        let runs = sds_bench::parallel::map_seeds(seeds, |seed| {
+            let cfg = RollingChaosConfig::new(seed, healing);
+            let report = run_rolling(&cfg);
+            (cfg.gap_ms, report)
+        });
         let mut recoveries = Vec::new();
         let mut unrecovered = 0u64;
         let (mut retries, mut reinstated, mut windows) = (0u64, 0u64, 0u64);
-        for seed in 0..seeds {
-            let cfg = RollingChaosConfig::new(seed, healing);
-            let report = run_rolling(&cfg);
+        for (gap_ms, report) in &runs {
             unrecovered +=
                 report.windows.iter().filter(|w| w.recovery_ms.is_none()).count() as u64;
             windows += report.windows.len() as u64;
-            recoveries.extend(window_recoveries(&report, cfg.gap_ms));
+            recoveries.extend(window_recoveries(report, *gap_ms));
             retries += report.retry_publishes;
             reinstated += report.peers_reinstated;
         }

@@ -1,0 +1,243 @@
+//! S1 — Engine scaling on a multicast-heavy LAN discovery workload.
+//!
+//! The paper's evaluation currency is message counts and bytes under churn;
+//! every experiment is therefore bounded by how fast the discrete-event core
+//! pushes deliveries. This benchmark drives the raw engine (no protocol
+//! stack) with the access pattern that dominates discovery traffic: periodic
+//! link-local multicast beacons on 50-node LANs — the WS-Discovery-style
+//! probe/announce storm — plus a sparse unicast response current. Each
+//! multicast fans one logical transmission out to 49 receivers, so payload
+//! handling per *delivery*, not per *send*, is the hot path.
+//!
+//! Two delivery modes measure the cost of payload materialization:
+//!
+//! * **shared** — the handler overrides `on_shared_message` and reads the
+//!   payload through the shared `Rc` without ever cloning it (the
+//!   post-optimization fast path);
+//! * **owning** — the handler takes the payload by value, forcing a clone
+//!   per delivered copy (the pre-optimization engine cloned eagerly per
+//!   receiver at enqueue time — same allocation count, charged at enqueue
+//!   instead of dispatch).
+//!
+//! Reported per store size: events processed, wall time, events/sec, payload
+//! clones per delivery, and a bytes-cloned-per-delivery proxy
+//! (clones × payload size). Seconds-per-event and clones-per-delivery land
+//! in `target/bench-history.jsonl` (names `s1/<mode>/<n>/...`), arming the
+//! order-of-magnitude regression flag.
+//!
+//! Sizes 10²–10⁵ nodes (quick mode: 10²–10³). Event budget per size is
+//! fixed (~5M deliveries) so wall time stays bounded while events/sec
+//! remains comparable across sizes.
+
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use sds_bench::harness::Harness;
+use sds_bench::{f2, Table};
+use sds_simnet::{
+    Ctx, Destination, NodeHandler, NodeId, Sim, SimConfig, SimTime, Topology,
+};
+
+/// Nodes per LAN: one multicast reaches `LAN_SIZE - 1` receivers.
+const LAN_SIZE: usize = 50;
+/// Beacon period per node (ms of simulated time).
+const PERIOD: SimTime = 1_000;
+/// Simulated advertisement payload size (a small semantic profile on the
+/// wire).
+const PAYLOAD_BYTES: usize = 220;
+/// Every k-th received beacon triggers a unicast response (sparse reply
+/// current, keeps the workload multicast-dominated).
+const REPLY_EVERY: u64 = 64;
+/// Target delivered-event budget per size (keeps wall time bounded).
+const EVENT_BUDGET: u64 = 5_000_000;
+
+/// Count of payload clones, bumped by `Frame::clone` — the
+/// bytes-allocated-per-delivery proxy. Single-threaded engine, but an atomic
+/// keeps the counter safe if sizes ever fan out.
+static CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// The beacon payload: an opaque advert-sized byte frame whose clones are
+/// counted.
+struct Frame(Vec<u8>);
+
+impl Clone for Frame {
+    fn clone(&self) -> Self {
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        Frame(self.0.clone())
+    }
+}
+
+const TAG_BEACON: u64 = 1;
+
+/// The per-node workload core: count + checksum each delivery, sparsely
+/// unicast-reply, re-arm the beacon timer. Shared between the two handler
+/// variants so the only difference measured is payload materialization.
+#[derive(Default)]
+struct BeaconCore {
+    received: u64,
+    checksum: u64,
+}
+
+impl BeaconCore {
+    fn start(ctx: &mut Ctx<'_, Frame>) {
+        // Deterministic stagger without touching the node RNG: never-drawing
+        // nodes must stay RNG-free (the lazy-materialization fast path).
+        let offset = 1 + (u64::from(ctx.node().0).wrapping_mul(7919)) % PERIOD;
+        ctx.set_timer(offset, TAG_BEACON);
+    }
+
+    fn absorb(&mut self, ctx: &mut Ctx<'_, Frame>, from: NodeId, frame: &Frame) {
+        self.received += 1;
+        // Read the payload for real so delivery cannot be dead-code folded.
+        self.checksum = self
+            .checksum
+            .wrapping_mul(31)
+            .wrapping_add(u64::from(frame.0[0]) + frame.0.len() as u64);
+        if self.received % REPLY_EVERY == 0 {
+            ctx.send(Destination::Unicast(from), Frame(vec![0x5D; 32]), 32, "s1-reply");
+        }
+    }
+
+    fn beacon(ctx: &mut Ctx<'_, Frame>, tag: u64) {
+        if tag == TAG_BEACON {
+            let lan = ctx.lan();
+            ctx.send(
+                Destination::Multicast(lan),
+                Frame(vec![0xAB; PAYLOAD_BYTES]),
+                PAYLOAD_BYTES as u32,
+                "s1-beacon",
+            );
+            ctx.set_timer(PERIOD, TAG_BEACON);
+        }
+    }
+}
+
+/// The zero-copy fast path: reads each delivery through the shared `Rc`.
+#[derive(Default)]
+struct SharedBeacon(BeaconCore);
+
+impl NodeHandler<Frame> for SharedBeacon {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Frame>) {
+        BeaconCore::start(ctx);
+    }
+
+    fn on_shared_message(&mut self, ctx: &mut Ctx<'_, Frame>, from: NodeId, msg: Rc<Frame>) {
+        self.0.absorb(ctx, from, &msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Frame>, _timer: sds_simnet::TimerId, tag: u64) {
+        BeaconCore::beacon(ctx, tag);
+    }
+}
+
+/// The by-value path: the default `on_shared_message` materializes an owned
+/// copy per delivered multicast copy (≈ the pre-optimization engine, which
+/// cloned per receiver at enqueue time).
+#[derive(Default)]
+struct OwningBeacon(BeaconCore);
+
+impl NodeHandler<Frame> for OwningBeacon {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Frame>) {
+        BeaconCore::start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Frame>, from: NodeId, msg: Frame) {
+        self.0.absorb(ctx, from, &msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Frame>, _timer: sds_simnet::TimerId, tag: u64) {
+        BeaconCore::beacon(ctx, tag);
+    }
+}
+
+struct RunReport {
+    events: u64,
+    wall_s: f64,
+    clones: u64,
+    deliveries: u64,
+}
+
+fn run_one(n: usize, shared: bool) -> RunReport {
+    let lans = n.div_ceil(LAN_SIZE);
+    let mut topo = Topology::new();
+    let lan_ids: Vec<_> = (0..lans).map(|_| topo.add_lan()).collect();
+    let cfg = SimConfig::default();
+    let mut sim: Sim<Frame> = Sim::new(cfg, topo, 0x51);
+    for i in 0..n {
+        let handler: Box<dyn NodeHandler<Frame>> = if shared {
+            Box::new(SharedBeacon::default())
+        } else {
+            Box::new(OwningBeacon::default())
+        };
+        sim.add_node(lan_ids[i / LAN_SIZE], handler);
+    }
+    // Rounds sized so deliveries ≈ EVENT_BUDGET, at least one full period.
+    let per_round = (n as u64) * (LAN_SIZE as u64 - 1);
+    let rounds = (EVENT_BUDGET / per_round.max(1)).clamp(1, 200);
+
+    CLONES.store(0, Ordering::Relaxed);
+    let start = Instant::now();
+    sim.run_until(rounds * PERIOD + PERIOD);
+    let wall_s = start.elapsed().as_secs_f64();
+    let clones = CLONES.load(Ordering::Relaxed);
+
+    let mut deliveries = 0u64;
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        deliveries += if shared {
+            sim.handler::<SharedBeacon>(node).unwrap().0.received
+        } else {
+            sim.handler::<OwningBeacon>(node).unwrap().0.received
+        };
+    }
+    let timer_fires = (n as u64) * rounds; // one beacon timer per node per round
+    RunReport { events: deliveries + timer_fires, wall_s, clones, deliveries }
+}
+
+fn main() {
+    let quick = std::env::var_os("SDS_BENCH_QUICK").is_some();
+    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000, 100_000] };
+    let modes: &[(&str, bool)] = &[("shared", true), ("owning", false)];
+
+    let mut h = Harness::from_args();
+    let mut table = Table::new(&[
+        "mode",
+        "nodes",
+        "lans",
+        "events",
+        "wall (s)",
+        "events/sec",
+        "clones/delivery",
+        "bytes-cloned/delivery",
+    ]);
+
+    for &(mode, shared) in modes {
+        for &n in sizes {
+            let r = run_one(n, shared);
+            let evps = r.events as f64 / r.wall_s;
+            let cpd = r.clones as f64 / r.deliveries as f64;
+            table.row(&[
+                mode.to_string(),
+                n.to_string(),
+                n.div_ceil(LAN_SIZE).to_string(),
+                r.events.to_string(),
+                format!("{:.3}", r.wall_s),
+                format!("{:.0}", evps),
+                f2(cpd),
+                format!("{:.0}", cpd * PAYLOAD_BYTES as f64),
+            ]);
+            h.record_value(&format!("s1/{mode}/{n}/sec-per-event"), r.wall_s / r.events as f64);
+            h.record_value(&format!("s1/{mode}/{n}/clones-per-delivery"), cpd);
+        }
+    }
+
+    table.print("S1: engine throughput on the multicast-heavy LAN discovery workload");
+    println!(
+        "Workload: {LAN_SIZE}-node LANs, one {PAYLOAD_BYTES}-byte multicast beacon per node\n\
+         per {PERIOD} ms, a unicast reply every {REPLY_EVERY} deliveries. events = deliveries\n\
+         + timer fires; clones/delivery is the allocation proxy (payload materializations\n\
+         per delivered copy). Values recorded to target/bench-history.jsonl."
+    );
+    h.finish();
+}

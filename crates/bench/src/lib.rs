@@ -7,6 +7,7 @@
 //! first-response latency against the ground-truth oracle.
 
 pub mod harness;
+pub mod parallel;
 
 use sds_core::{ClientNode, QueryOptions};
 use sds_metrics::{ratio, recall, Summary};

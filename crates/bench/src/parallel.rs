@@ -1,0 +1,178 @@
+//! A share-nothing parallel experiment driver.
+//!
+//! Every multi-seed experiment in this workspace has the same shape: N
+//! independent simulations (one per seed), each fully deterministic, whose
+//! results are merged in seed order. The simulations share *nothing* — each
+//! builds its own topology, RNG streams, and handler state from its seed —
+//! so fanning them across cores is observably free: [`map`] is required to
+//! return exactly what the equivalent sequential loop would (asserted by
+//! `tests/tests/engine_equivalence.rs`).
+//!
+//! Zero external dependencies, per the workspace policy: `std::thread::scope`
+//! workers pulling indices off one atomic cursor, writing each result into
+//! its own slot. Results come back in *input* order regardless of
+//! completion order, so downstream aggregation (tables, summaries, digests)
+//! is independent of scheduling.
+//!
+//! Worker count: `SDS_BENCH_THREADS` if set, else
+//! [`std::thread::available_parallelism`]. A single-worker fall-back runs
+//! the plain sequential loop on the calling thread — no spawn, identical
+//! results, no thread overhead on single-core machines.
+//!
+//! ```
+//! let squares = sds_bench::parallel::map(&[1u64, 2, 3], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! ```
+//!
+//! Panics in a worker propagate to the caller when the scope joins, so a
+//! failing seed still fails the test or experiment that launched it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of workers [`map`] fans out to: `SDS_BENCH_THREADS` when set
+/// (values `0`/unparsable fall back), else the machine's available
+/// parallelism, else 1.
+pub fn workers() -> usize {
+    if let Some(n) = std::env::var("SDS_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning across up to [`workers`] threads, and
+/// returns the results in input order. `f` receives `(index, &item)` — the
+/// index lets callers label per-seed work without threading it through the
+/// item type.
+///
+/// Guarantee: for a pure `f` (a function of its arguments only), the result
+/// is identical to `items.iter().enumerate().map(...).collect()` — the
+/// driver adds no observable nondeterminism, only wall-clock parallelism.
+pub fn map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    map_with_workers(workers(), items, f)
+}
+
+/// [`map`] with an explicit worker count, for callers (and the equivalence
+/// tests) that need to pin the fan-out regardless of the machine or the
+/// `SDS_BENCH_THREADS` override. `workers <= 1` runs the plain sequential
+/// loop on the calling thread.
+pub fn map_with_workers<I, T, F>(workers: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    // One mutex-guarded slot per item (never contended: each index is
+    // claimed by exactly one worker). `Mutex` rather than `OnceLock` so `T`
+    // only needs `Send` — results are moved out, never shared.
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("no panic while holding a slot lock") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panics propagate at scope join")
+                .expect("every index was claimed and filled")
+        })
+        .collect()
+}
+
+/// [`map`] over the seed range `0..n` — the common "run this experiment
+/// under n seeds" driver.
+pub fn map_seeds<T, F>(n: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let seeds: Vec<u64> = (0..n).collect();
+    map(&seeds, |_, &seed| f(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        assert_eq!(out, items.iter().map(|&x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(map(&empty, |_, &x: &u64| x).is_empty());
+        assert_eq!(map(&[7u64], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_equals_sequential_for_stateful_per_item_work() {
+        // Each item runs its own little deterministic state machine; the
+        // parallel result must match the sequential loop exactly.
+        let work = |seed: u64| -> u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for _ in 0..1_000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+            }
+            state
+        };
+        let seeds: Vec<u64> = (0..32).collect();
+        let parallel = map(&seeds, |_, &s| work(s));
+        let sequential: Vec<u64> = seeds.iter().map(|&s| work(s)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn map_seeds_covers_the_range_in_order() {
+        assert_eq!(map_seeds(4, |s| s * 10), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn workers_is_positive() {
+        assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn pinned_worker_counts_agree_with_sequential() {
+        // Exercises the threaded path even on a single-core machine, and
+        // odd worker/item ratios (more workers than items, prime counts).
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let got = map_with_workers(workers, &items, |_, &x| x.wrapping_mul(x) ^ 0xA5);
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+}

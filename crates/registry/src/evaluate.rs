@@ -15,7 +15,7 @@ use sds_semantic::{match_request, Degree, SubsumptionIndex};
 /// Returns `None` for a non-match or for an advert in a different model;
 /// `Some((degree, distance))` for a hit. Simple models only ever produce
 /// [`Degree::Exact`] with distance 0.
-pub trait ModelEvaluator {
+pub trait ModelEvaluator: Send {
     /// The model this evaluator handles.
     fn model(&self) -> ModelId;
 

@@ -1,7 +1,20 @@
 //! The discrete-event engine.
+//!
+//! Performance model (DESIGN §11): the engine is allocation-lean on its hot
+//! paths. Queued payloads are reference-counted — a multicast enqueues *one*
+//! shared payload however many receivers it fans out to, and the inner
+//! payload is cloned only when a corruptor actually mutates a frame or an
+//! owning handler materializes a copy. The event queue is a calendar
+//! timing wheel (`WHEEL_SPAN` one-time-unit buckets plus a far-heap for
+//! beyond-horizon events), so push and pop are O(1) amortized while
+//! preserving the old heap's exact `(at, seq)` dispatch order. Timer slots
+//! are generation-stamped, so cancelled timers are reclaimed immediately
+//! instead of leaving tombstones; per-node RNG streams materialize lazily
+//! on first draw, so dead or never-drawing nodes cost nothing.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::rc::Rc;
 
 use sds_rand::{Rng, Seed};
 
@@ -123,35 +136,107 @@ pub enum ControlAction {
 /// counted). The discovery stack installs encode → byte-mutation → decode.
 pub type Corruptor<P> = Box<dyn FnMut(&mut Rng, &P) -> Option<P>>;
 
-enum EventKind<P> {
-    Deliver { to: NodeId, from: NodeId, payload: P, bytes: u32, kind: MsgKind },
-    Timer { node: NodeId, epoch: u32, id: TimerId, tag: u64 },
+/// Wheel span in time units (must be a power of two). Events scheduled
+/// within `WHEEL_SPAN` of `now` — every delivery under realistic latencies,
+/// and every short protocol timer — go straight into their time's bucket:
+/// O(1) push, no comparisons. Only beyond-horizon events (long leases,
+/// scripted scenario controls) pay for the far heap.
+const WHEEL_SPAN: u64 = 1 << 12;
+const WHEEL_MASK: usize = (WHEEL_SPAN - 1) as usize;
+
+/// One queued event, stored inline in its time bucket. Within a bucket,
+/// dispatch order is vector order, which by construction is push order —
+/// exactly the `(at, seq)` order the old comparison-based heap produced.
+enum Queued<P> {
+    /// Payloads are queued behind `Rc`: every receiver of a multicast (and
+    /// every duplicated copy) shares one allocation. Copy-on-write: only a
+    /// corruptor mutation materializes a divergent payload.
+    Deliver { to: NodeId, from: NodeId, payload: Rc<P> },
+    /// Timers are the only cancellable events, so only they pay for an
+    /// out-of-line, generation-stamped cell: cancelling bumps the cell's
+    /// stamp, and a mismatched stamp here means "already cancelled — skip".
+    /// No tombstone set, no memory held until the dead timer's fire time.
+    Timer { slot: u32, gen: u64 },
     Control(ControlAction),
+    /// Placeholder left behind while a bucket entry is being dispatched
+    /// (buckets drain by index because a handler may append same-time
+    /// events to the bucket currently draining).
+    Consumed,
 }
 
-struct Event<P> {
+/// A beyond-horizon event, parked in the far heap until `now` comes within
+/// `WHEEL_SPAN` of it; ordered by `(at, seq)` so same-time far events
+/// migrate into their bucket in push order.
+struct FarEvent<P> {
     at: SimTime,
-    kind: EventKind<P>,
+    seq: u64,
+    ev: Queued<P>,
+}
+
+impl<P> PartialEq for FarEvent<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for FarEvent<P> {}
+impl<P> PartialOrd for FarEvent<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for FarEvent<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The out-of-line cell for one pending timer. `gen` stamps the current
+/// occupancy: firing and cancelling both bump it, so a queued
+/// `Queued::Timer` referencing an old stamp is dead. The payload fields are
+/// simply left behind on vacate (no `Option` dance).
+struct TimerSlot {
+    gen: u64,
+    node: NodeId,
+    epoch: u32,
+    id: TimerId,
+    tag: u64,
 }
 
 /// The simulator: topology + node handlers + event queue + accounting.
 ///
 /// `P` is the payload type carried by every message (the discovery stack
-/// instantiates it with its wire message type). Multicast clones the payload
-/// per receiver, hence `P: Clone`.
+/// instantiates it with its wire message type). In-flight payloads are
+/// shared (`Rc<P>`); `P: Clone` is needed only to materialize owned copies
+/// for handlers that take delivery by value and for corruptor mutations.
 pub struct Sim<P> {
     cfg: SimConfig,
     topo: Topology,
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<EventKey>>,
-    // Events are stored out-of-line so the heap's ordering never looks at `P`.
-    slots: Vec<Option<Event<P>>>,
-    free_slots: Vec<usize>,
+    /// The calendar queue: one bucket per time unit, indexed `at mod
+    /// WHEEL_SPAN`. Invariant: every bucketed event satisfies
+    /// `at - now < WHEEL_SPAN`, so a bucket never mixes two times.
+    buckets: Vec<Vec<Queued<P>>>,
+    /// One bit per bucket, so finding the next occupied time skips empty
+    /// stretches a word (64 buckets) at a stride.
+    occupied: Vec<u64>,
+    /// How far into `now`'s bucket dispatch has progressed (buckets drain
+    /// by index so same-time appends during dispatch are picked up).
+    drain_pos: usize,
+    /// Beyond-horizon events, ordered `(at, seq)`; they migrate into
+    /// buckets as `now` approaches (see [`Sim::migrate_until`]).
+    far: BinaryHeap<Reverse<FarEvent<P>>>,
+    far_seq: u64,
+    /// Live queued events (deliveries + pending timers + controls):
+    /// incremented on push, decremented on dispatch and on cancel.
+    live_events: usize,
     handlers: Vec<Option<Box<dyn NodeHandler<P>>>>,
     alive: Vec<bool>,
     epoch: Vec<u32>,
-    rngs: Vec<Rng>,
+    /// Lazily materialized per-node RNG streams: `None` until the node's
+    /// first draw. The stream state is a pure function of the node's derived
+    /// seed, so laziness is invisible to handlers — but a million-node sim
+    /// whose nodes never draw seeds nothing.
+    rngs: Vec<Option<Rng>>,
     /// Per-node derived seeds, handed to handlers through `Ctx` so they can
     /// derive private labelled sub-streams (retry jitter etc.) that never
     /// perturb the main per-node stream.
@@ -161,8 +246,16 @@ pub struct Sim<P> {
     /// perturbs the link RNG draws of fault-free traffic.
     fault_rng: Rng,
     next_timer: u64,
-    cancelled: HashSet<TimerId>,
+    /// The timer cells (see [`TimerSlot`]) plus their free list.
+    timer_table: Vec<TimerSlot>,
+    timer_free: Vec<u32>,
+    /// Pending (not yet fired, not cancelled) timers → the cell+generation
+    /// of their queued event. Entries leave on fire *and* on cancel, so the
+    /// map is bounded by the number of outstanding timers — cancelling an
+    /// already-fired timer is a map miss, never a leak.
+    timer_slots: HashMap<TimerId, (u32, u64)>,
     stats: NetStats,
+    events_processed: u64,
     seed: u64,
     /// Per-LAN medium busy-until time (bandwidth model).
     lan_busy_until: Vec<SimTime>,
@@ -176,13 +269,11 @@ pub struct Sim<P> {
     /// present entry replaces `wan_faults` for deliveries in that direction.
     wan_pair_faults: BTreeMap<(LanId, LanId), FaultProfile>,
     corruptor: Option<Corruptor<P>>,
-}
-
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey {
-    at: SimTime,
-    seq: u64,
-    slot: usize,
+    /// Reused membership buffer for multicast dispatch — no per-multicast
+    /// `Vec` allocation.
+    multicast_scratch: Vec<NodeId>,
+    /// Reused action buffer handed to `Ctx` — no per-invoke allocation.
+    actions_scratch: Vec<Action<P>>,
 }
 
 impl<P: Clone + 'static> Sim<P> {
@@ -194,10 +285,12 @@ impl<P: Clone + 'static> Sim<P> {
             cfg,
             topo,
             now: 0,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            slots: Vec::new(),
-            free_slots: Vec::new(),
+            buckets: (0..WHEEL_SPAN).map(|_| Vec::new()).collect(),
+            occupied: vec![0u64; WHEEL_SPAN as usize / 64],
+            drain_pos: 0,
+            far: BinaryHeap::new(),
+            far_seq: 0,
+            live_events: 0,
             handlers: Vec::new(),
             alive: Vec::new(),
             epoch: Vec::new(),
@@ -206,14 +299,19 @@ impl<P: Clone + 'static> Sim<P> {
             link_rng: Seed(seed).derive("simnet.link").rng(),
             fault_rng: Seed(seed).derive("simnet.fault").rng(),
             next_timer: 0,
-            cancelled: HashSet::new(),
+            timer_table: Vec::new(),
+            timer_free: Vec::new(),
+            timer_slots: HashMap::new(),
             stats: NetStats::default(),
+            events_processed: 0,
             lan_busy_until: vec![0; lan_count],
             wan_busy_until: 0,
             lan_faults: vec![FaultProfile::default(); lan_count],
             wan_faults: FaultProfile::default(),
             wan_pair_faults: BTreeMap::new(),
             corruptor: None,
+            multicast_scratch: Vec::new(),
+            actions_scratch: Vec::new(),
             // Folded into each node's private RNG in `add_node`.
             seed,
         }
@@ -228,7 +326,7 @@ impl<P: Clone + 'static> Sim<P> {
         self.alive.push(true);
         self.epoch.push(0);
         let node_seed = Seed(self.seed).derive_idx("simnet.node", u64::from(id.0));
-        self.rngs.push(node_seed.rng());
+        self.rngs.push(None);
         self.node_seeds.push(node_seed);
         self.invoke(id, |h, ctx| h.on_start(ctx));
         id
@@ -253,6 +351,28 @@ impl<P: Clone + 'static> Sim<P> {
     /// after a warm-up phase).
     pub fn reset_stats(&mut self) {
         self.stats = NetStats::default();
+    }
+
+    /// Events dispatched so far (deliveries, timer fires, control actions;
+    /// cancelled timers are reclaimed without dispatching and do not
+    /// count). The engine-throughput denominator for scaling benches.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Timers set but not yet fired or cancelled. Bounded by construction:
+    /// entries leave the pending map on fire and on cancel (the old
+    /// tombstone design grew without bound when timers were cancelled after
+    /// firing).
+    pub fn pending_timer_count(&self) -> usize {
+        self.timer_slots.len()
+    }
+
+    /// Events currently queued (deliveries in flight, pending timers,
+    /// scheduled controls). Cancelled timers leave the count immediately,
+    /// so this tracks live events only.
+    pub fn queued_event_count(&self) -> usize {
+        self.live_events
     }
 
     /// Whether a node is currently up.
@@ -280,7 +400,7 @@ impl<P: Clone + 'static> Sim<P> {
     /// Schedules a control action at an absolute simulated time.
     pub fn schedule(&mut self, at: SimTime, action: ControlAction) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push_event(at, EventKind::Control(action));
+        self.push_event(at, Queued::Control(action));
     }
 
     /// Replaces one LAN's fault profile, effective immediately.
@@ -382,57 +502,123 @@ impl<P: Clone + 'static> Sim<P> {
         });
     }
 
+    /// Dispatches every event with `at <= limit`, in `(at, push-order)`
+    /// order. Buckets drain front-to-back by index so a handler appending a
+    /// same-time event (zero-delay timer, zero-latency link) sees it
+    /// dispatched within the same time step, after everything already
+    /// queued — exactly the old comparison-heap order. A bucket whose only
+    /// entries were cancelled timers still advances the clock to its time,
+    /// matching the old engine's handling of dead heap keys.
+    fn run_events(&mut self, limit: SimTime) {
+        loop {
+            let bi = (self.now as usize) & WHEEL_MASK;
+            if self.drain_pos < self.buckets[bi].len() {
+                let pos = self.drain_pos;
+                self.drain_pos += 1;
+                let ev = std::mem::replace(&mut self.buckets[bi][pos], Queued::Consumed);
+                if self.dispatch(ev) {
+                    self.events_processed += 1;
+                    self.live_events -= 1;
+                }
+                continue;
+            }
+            self.buckets[bi].clear();
+            self.occupied[bi >> 6] &= !(1u64 << (bi & 63));
+            self.drain_pos = 0;
+            let Some(next) = self.next_event_time() else { return };
+            if next > limit {
+                return;
+            }
+            self.migrate_until(next);
+            self.now = next;
+        }
+    }
+
+    /// The earliest queued event time after `now`, if any. Bucketed events
+    /// always precede far ones (the far heap holds only beyond-horizon
+    /// times), so the wheel is scanned first.
+    fn next_event_time(&self) -> Option<SimTime> {
+        let span = WHEEL_SPAN as usize;
+        let start = ((self.now + 1) as usize) & WHEEL_MASK;
+        let mut o = 0usize;
+        while o < span - 1 {
+            let idx = (start + o) & WHEEL_MASK;
+            if idx & 63 == 0 && span - 1 - o >= 64 && self.occupied[idx >> 6] == 0 {
+                o += 64;
+                continue;
+            }
+            if self.occupied[idx >> 6] & (1u64 << (idx & 63)) != 0 {
+                return Some(self.now + 1 + o as u64);
+            }
+            o += 1;
+        }
+        self.far.peek().map(|Reverse(f)| f.at)
+    }
+
+    /// Pulls every far event that `new_now`'s horizon now covers into its
+    /// bucket. Far events migrate in `(at, seq)` heap order, and always
+    /// before any same-time near push can happen (near pushes at time `t`
+    /// only occur once `now > t - WHEEL_SPAN`, and every advance of `now`
+    /// migrates first) — so bucket order remains global push order.
+    fn migrate_until(&mut self, new_now: SimTime) {
+        while let Some(Reverse(top)) = self.far.peek() {
+            if top.at - new_now >= WHEEL_SPAN {
+                break;
+            }
+            let Reverse(fe) = self.far.pop().expect("peeked");
+            self.bucket_insert(fe.at, fe.ev);
+        }
+    }
+
     /// Processes all events up to and including `until`, then advances the
     /// clock to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(key)) = self.queue.peek() {
-            if key.at > until {
-                break;
-            }
-            let Reverse(key) = self.queue.pop().expect("peeked");
-            let ev = self.slots[key.slot].take().expect("event slot occupied");
-            self.free_slots.push(key.slot);
-            self.now = ev.at;
-            self.dispatch(ev.kind);
+        self.run_events(until);
+        if until > self.now {
+            self.migrate_until(until);
+            self.now = until;
         }
-        self.now = until;
     }
 
     /// Runs until the event queue drains or `max` is reached; returns the
     /// final simulated time.
     pub fn run_to_quiescence(&mut self, max: SimTime) -> SimTime {
-        while let Some(Reverse(key)) = self.queue.peek() {
-            if key.at > max {
-                break;
-            }
-            let Reverse(key) = self.queue.pop().expect("peeked");
-            let ev = self.slots[key.slot].take().expect("event slot occupied");
-            self.free_slots.push(key.slot);
-            self.now = ev.at;
-            self.dispatch(ev.kind);
-        }
+        self.run_events(max);
         self.now
     }
 
-    fn dispatch(&mut self, kind: EventKind<P>) {
-        match kind {
-            EventKind::Deliver { to, from, payload, bytes, kind } => {
-                let _ = (bytes, kind);
+    /// Dispatches one queued event; returns `false` for stale entries
+    /// (cancelled timers) that dispatch nothing.
+    fn dispatch(&mut self, ev: Queued<P>) -> bool {
+        match ev {
+            Queued::Deliver { to, from, payload } => {
                 if self.alive[to.index()] {
-                    self.invoke(to, move |h, ctx| h.on_message(ctx, from, payload));
+                    self.stats.record_delivery();
+                    self.invoke(to, move |h, ctx| h.on_shared_message(ctx, from, payload));
                 } else {
                     self.stats.record_drop();
                 }
+                true
             }
-            EventKind::Timer { node, epoch, id, tag } => {
-                if self.cancelled.remove(&id) {
-                    return;
+            Queued::Timer { slot, gen } => {
+                let cell = &mut self.timer_table[slot as usize];
+                if cell.gen != gen {
+                    // Cancelled: its cell was vacated (and possibly reused)
+                    // at cancel time.
+                    return false;
                 }
+                cell.gen += 1;
+                let (node, epoch, id, tag) = (cell.node, cell.epoch, cell.id, cell.tag);
+                self.timer_free.push(slot);
+                self.timer_slots.remove(&id);
                 if self.alive[node.index()] && self.epoch[node.index()] == epoch {
                     self.invoke(node, move |h, ctx| h.on_timer(ctx, id, tag));
                 }
+                true
             }
-            EventKind::Control(action) => match action {
+            Queued::Consumed => unreachable!("consumed entries are never revisited"),
+            Queued::Control(action) => {
+                match action {
                 ControlAction::Crash(n) => self.crash_node(n),
                 ControlAction::Revive(n) => self.revive_node(n),
                 ControlAction::Partition(groups) => {
@@ -446,12 +632,16 @@ impl<P: Clone + 'static> Sim<P> {
                 ControlAction::CutWanPair(a, b) => self.cut_wan_pair(a, b),
                 ControlAction::HealWanPair(a, b) => self.heal_wan_pair(a, b),
                 ControlAction::ClearFaults => self.clear_faults(),
-            },
+                }
+                true
+            }
         }
     }
 
     fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NodeHandler<P>, &mut Ctx<'_, P>)) {
         let mut handler = self.handlers[node.index()].take().expect("handler present");
+        let mut actions = std::mem::take(&mut self.actions_scratch);
+        actions.clear();
         let mut ctx = Ctx {
             now: self.now,
             node,
@@ -459,7 +649,7 @@ impl<P: Clone + 'static> Sim<P> {
             seed: self.node_seeds[node.index()],
             rng: &mut self.rngs[node.index()],
             next_timer: &mut self.next_timer,
-            actions: Vec::new(),
+            actions,
         };
         f(handler.as_mut(), &mut ctx);
         let actions = std::mem::take(&mut ctx.actions);
@@ -467,18 +657,49 @@ impl<P: Clone + 'static> Sim<P> {
         self.apply_actions(node, actions);
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<P>>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: NodeId, mut actions: Vec<Action<P>>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { dest, payload, bytes, kind } => self.transmit(node, dest, payload, bytes, kind),
                 Action::SetTimer { id, fire_at, tag } => {
                     let epoch = self.epoch[node.index()];
-                    self.push_event(fire_at, EventKind::Timer { node, epoch, id, tag });
+                    let slot = match self.timer_free.pop() {
+                        Some(s) => {
+                            let cell = &mut self.timer_table[s as usize];
+                            cell.node = node;
+                            cell.epoch = epoch;
+                            cell.id = id;
+                            cell.tag = tag;
+                            s
+                        }
+                        None => {
+                            self.timer_table.push(TimerSlot { gen: 0, node, epoch, id, tag });
+                            (self.timer_table.len() - 1) as u32
+                        }
+                    };
+                    let gen = self.timer_table[slot as usize].gen;
+                    self.timer_slots.insert(id, (slot, gen));
+                    self.push_event(fire_at, Queued::Timer { slot, gen });
                 }
                 Action::CancelTimer(id) => {
-                    self.cancelled.insert(id);
+                    if let Some((slot, gen)) = self.timer_slots.remove(&id) {
+                        // The map only holds timers whose event is still
+                        // queued, so the stamp always matches; the check
+                        // guards the invariant rather than trusting it.
+                        let cell = &mut self.timer_table[slot as usize];
+                        if cell.gen == gen {
+                            cell.gen += 1;
+                            self.timer_free.push(slot);
+                            self.live_events -= 1;
+                        }
+                    }
                 }
             }
+        }
+        // Hand the (now empty) buffer back for the next invoke, keeping its
+        // capacity. A nested invoke (none today) would merely allocate anew.
+        if actions.capacity() > self.actions_scratch.capacity() {
+            self.actions_scratch = actions;
         }
     }
 
@@ -495,7 +716,7 @@ impl<P: Clone + 'static> Sim<P> {
                 if to == from {
                     // Loopback: free and instantaneous-ish.
                     let at = self.now + 1;
-                    self.push_event(at, EventKind::Deliver { to, from, payload, bytes, kind });
+                    self.push_event(at, Queued::Deliver { to, from, payload: Rc::new(payload) });
                     return;
                 }
                 let from_lan = self.topo.lan_of(from);
@@ -517,7 +738,7 @@ impl<P: Clone + 'static> Sim<P> {
                     return;
                 }
                 let serialization = self.reserve_medium(scope, from_lan, bytes);
-                self.deliver_faulty(faults, scope, serialization, to, from, payload, bytes, kind);
+                self.deliver_faulty(faults, scope, serialization, to, from, Rc::new(payload));
             }
             Destination::Multicast(lan) => {
                 assert_eq!(lan, self.topo.lan_of(from), "multicast is link-local: sender must be on the LAN");
@@ -526,25 +747,31 @@ impl<P: Clone + 'static> Sim<P> {
                 self.stats.record_multicast();
                 let serialization = self.reserve_medium(Scope::Lan, lan, bytes);
                 let faults = self.lan_faults[lan.index()];
-                let members: Vec<NodeId> =
-                    self.topo.members(lan).iter().copied().filter(|&m| m != from).collect();
-                for to in members {
+                // One shared payload for the whole fan-out; one reused
+                // membership buffer instead of a fresh Vec per multicast.
+                let payload = Rc::new(payload);
+                let mut members = std::mem::take(&mut self.multicast_scratch);
+                members.clear();
+                members.extend(self.topo.members(lan).iter().copied().filter(|&m| m != from));
+                for &to in &members {
                     if self.sample_loss(Scope::Lan) || self.sample_fault_loss(faults) {
                         self.stats.record_drop();
                         continue;
                     }
-                    self.deliver_faulty(
-                        faults, Scope::Lan, serialization, to, from, payload.clone(), bytes, kind,
-                    );
+                    self.deliver_faulty(faults, Scope::Lan, serialization, to, from, Rc::clone(&payload));
                 }
+                members.clear();
+                self.multicast_scratch = members;
             }
         }
     }
 
     /// Schedules one logical delivery, applying duplication, reordering and
     /// corruption from `faults`. A quiet profile draws nothing from the
-    /// fault RNG, keeping fault-free runs bit-identical.
-    #[allow(clippy::too_many_arguments)]
+    /// fault RNG, keeping fault-free runs bit-identical. The shared payload
+    /// is copy-on-write: every scheduled copy holds a reference to the same
+    /// allocation unless a corruptor mutation materializes a divergent one —
+    /// receivers of the other copies still see the original bytes.
     fn deliver_faulty(
         &mut self,
         faults: FaultProfile,
@@ -552,9 +779,7 @@ impl<P: Clone + 'static> Sim<P> {
         serialization: SimTime,
         to: NodeId,
         from: NodeId,
-        payload: P,
-        bytes: u32,
-        kind: MsgKind,
+        payload: Rc<P>,
     ) {
         let copies = if faults.duplicate > 0.0 && self.fault_rng.gen_bool(faults.duplicate) {
             self.stats.record_duplicate();
@@ -562,8 +787,7 @@ impl<P: Clone + 'static> Sim<P> {
         } else {
             1
         };
-        let mut payload = Some(payload);
-        for copy in 0..copies {
+        for _copy in 0..copies {
             // Each copy samples its own latency and reorder delay, so a
             // duplicate can overtake the original.
             let reorder = if faults.reorder_jitter > 0 {
@@ -575,19 +799,14 @@ impl<P: Clone + 'static> Sim<P> {
             } else {
                 0
             };
-            let p = if copy + 1 == copies {
-                payload.take().expect("last copy takes the payload")
-            } else {
-                payload.as_ref().cloned().expect("payload present until last copy")
-            };
             let p = if faults.corrupt > 0.0 && self.fault_rng.gen_bool(faults.corrupt) {
                 self.stats.record_corrupted();
                 let mutated = match self.corruptor.as_mut() {
-                    Some(hook) => hook(&mut self.fault_rng, &p),
+                    Some(hook) => hook(&mut self.fault_rng, &payload),
                     None => None,
                 };
                 match mutated {
-                    Some(m) => m,
+                    Some(m) => Rc::new(m),
                     None => {
                         // The mutation destroyed the frame: the receiver's
                         // decoder would reject it, so it never reaches the
@@ -597,10 +816,10 @@ impl<P: Clone + 'static> Sim<P> {
                     }
                 }
             } else {
-                p
+                Rc::clone(&payload)
             };
             let at = self.now + serialization + self.sample_latency(scope) + reorder;
-            self.push_event(at, EventKind::Deliver { to, from, payload: p, bytes, kind });
+            self.push_event(at, Queued::Deliver { to, from, payload: p });
         }
     }
 
@@ -657,21 +876,25 @@ impl<P: Clone + 'static> Sim<P> {
         base + if jitter > 0 { self.link_rng.gen_range(0..=jitter) } else { 0 }
     }
 
-    fn push_event(&mut self, at: SimTime, kind: EventKind<P>) {
-        let seq = self.seq;
-        self.seq += 1;
-        let ev = Event { at, kind };
-        let slot = match self.free_slots.pop() {
-            Some(s) => {
-                self.slots[s] = Some(ev);
-                s
-            }
-            None => {
-                self.slots.push(Some(ev));
-                self.slots.len() - 1
-            }
-        };
-        self.queue.push(Reverse(EventKey { at, seq, slot }));
+    /// Queues an event at `at` (≥ `now`): O(1) into its wheel bucket when
+    /// within the horizon, else into the far heap with a sequence stamp
+    /// that preserves push order among same-time far events.
+    fn push_event(&mut self, at: SimTime, ev: Queued<P>) {
+        debug_assert!(at >= self.now, "events are never scheduled in the past");
+        self.live_events += 1;
+        if at - self.now < WHEEL_SPAN {
+            self.bucket_insert(at, ev);
+        } else {
+            let seq = self.far_seq;
+            self.far_seq += 1;
+            self.far.push(Reverse(FarEvent { at, seq, ev }));
+        }
+    }
+
+    fn bucket_insert(&mut self, at: SimTime, ev: Queued<P>) {
+        let bi = (at as usize) & WHEEL_MASK;
+        self.buckets[bi].push(ev);
+        self.occupied[bi >> 6] |= 1u64 << (bi & 63);
     }
 }
 
@@ -718,6 +941,8 @@ mod tests {
         assert_eq!(rec.messages, vec![(a, "hi".to_string())]);
         assert_eq!(sim.stats().lan_bytes, 10);
         assert_eq!(sim.stats().wan_bytes, 0);
+        assert_eq!(sim.stats().delivered_messages, 1);
+        assert_eq!(sim.events_processed(), 1);
     }
 
     #[test]
@@ -801,6 +1026,64 @@ mod tests {
         });
         sim.run_until(200);
         assert_eq!(sim.handler::<Recorder>(a).unwrap().timers, vec![2]);
+    }
+
+    #[test]
+    fn cancelling_reclaims_the_event_immediately() {
+        // A cancelled timer must vacate its queue slot at cancel time, not
+        // at its would-have-fired time (the old design tombstoned it).
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            let t = ctx.set_timer(1_000_000, 1);
+            ctx.cancel_timer(t);
+        });
+        assert_eq!(sim.pending_timer_count(), 0, "cancelled timer is not pending");
+        assert_eq!(sim.queued_event_count(), 0, "its event slot was reclaimed");
+        sim.run_until(2_000_000);
+        assert!(sim.handler::<Recorder>(a).unwrap().timers.is_empty());
+    }
+
+    #[test]
+    fn timer_bookkeeping_stays_bounded_over_long_soaks() {
+        // Regression for the unbounded tombstone set: cancelling timers
+        // that already fired used to insert entries nothing ever removed.
+        // Now every pattern — cancel-before-fire, cancel-after-fire,
+        // double-cancel, fire-without-cancel — leaves the pending map and
+        // the slot table empty once the queue drains.
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let mut stale: Vec<TimerId> = Vec::new();
+        for round in 0..1_000u64 {
+            let ids = {
+                let mut ids = (TimerId(0), TimerId(0));
+                sim.with_node::<Recorder>(a, |_, ctx| {
+                    ids.0 = ctx.set_timer(5, round);
+                    ids.1 = ctx.set_timer(7, round);
+                });
+                ids
+            };
+            // Cancel one before it fires; let the other fire, then cancel
+            // it (and re-cancel an older fired one) — the leak pattern.
+            sim.with_node::<Recorder>(a, |_, ctx| ctx.cancel_timer(ids.0));
+            sim.run_until(sim.now() + 20);
+            sim.with_node::<Recorder>(a, |_, ctx| {
+                ctx.cancel_timer(ids.1);
+                if let Some(&old) = stale.first() {
+                    ctx.cancel_timer(old);
+                }
+            });
+            stale.push(ids.1);
+            assert!(
+                sim.pending_timer_count() <= 2,
+                "round {round}: pending map grew to {}",
+                sim.pending_timer_count()
+            );
+        }
+        sim.run_until(sim.now() + 1_000);
+        assert_eq!(sim.pending_timer_count(), 0, "all timers fired or cancelled");
+        assert_eq!(sim.queued_event_count(), 0, "no events left queued");
+        assert_eq!(sim.handler::<Recorder>(a).unwrap().timers.len(), 1_000);
     }
 
     #[test]
@@ -902,6 +1185,85 @@ mod tests {
         assert_eq!(sim.handler::<Recorder>(b).unwrap().messages, vec![(a, "msg?".to_string())]);
         assert_eq!(sim.stats().corrupted_messages, 1);
         assert_eq!(sim.stats().corrupt_dropped_messages, 0);
+    }
+
+    #[test]
+    fn corruptor_mutation_is_copy_on_write() {
+        // A corrupted copy must materialize its own payload: every receiver
+        // whose copy was NOT corrupted sees the original bytes, however the
+        // copies share the underlying allocation.
+        let mut saw_mixed_multicast = false;
+        for seed in 0..50 {
+            let mut topo = Topology::new();
+            let l0 = topo.add_lan();
+            let mut sim: Sim<String> = Sim::new(SimConfig::default(), topo, seed);
+            let sender = sim.add_node(l0, Box::<Recorder>::default());
+            let receivers: Vec<NodeId> =
+                (0..6).map(|_| sim.add_node(l0, Box::<Recorder>::default())).collect();
+            sim.set_corruptor(|_rng, p: &String| Some(format!("{p}!")));
+            sim.set_lan_faults(l0, FaultProfile { corrupt: 0.5, ..Default::default() });
+            sim.with_node::<Recorder>(sender, |_, ctx| {
+                let lan = ctx.lan();
+                ctx.send(Destination::Multicast(lan), "original".into(), 16, "test");
+            });
+            sim.run_until(1_000);
+            let mut got_original = 0;
+            let mut got_mutated = 0;
+            for &r in &receivers {
+                for (_, m) in &sim.handler::<Recorder>(r).unwrap().messages {
+                    match m.as_str() {
+                        "original" => got_original += 1,
+                        "original!" => got_mutated += 1,
+                        other => panic!("seed {seed}: unexpected payload {other:?}"),
+                    }
+                }
+            }
+            if got_original > 0 && got_mutated > 0 {
+                saw_mixed_multicast = true;
+                break;
+            }
+        }
+        assert!(
+            saw_mixed_multicast,
+            "no seed in 0..50 corrupted some copies of one multicast but not others"
+        );
+    }
+
+    #[test]
+    fn duplicated_copies_are_independently_corruptible() {
+        // Duplicate + corrupt: the two copies of one delivery share the
+        // payload until the corruptor forks one; the other copy must arrive
+        // intact.
+        let mut saw_split = false;
+        for seed in 0..50 {
+            let mut topo = Topology::new();
+            let l0 = topo.add_lan();
+            let mut sim: Sim<String> = Sim::new(SimConfig::default(), topo, seed);
+            let a = sim.add_node(l0, Box::<Recorder>::default());
+            let b = sim.add_node(l0, Box::<Recorder>::default());
+            sim.set_corruptor(|_rng, p: &String| Some(format!("{p}!")));
+            sim.set_lan_faults(
+                l0,
+                FaultProfile { duplicate: 1.0, corrupt: 0.5, ..Default::default() },
+            );
+            sim.with_node::<Recorder>(a, |_, ctx| {
+                ctx.send(Destination::Unicast(b), "frame".into(), 8, "test");
+            });
+            sim.run_until(1_000);
+            let msgs: Vec<&str> = sim
+                .handler::<Recorder>(b)
+                .unwrap()
+                .messages
+                .iter()
+                .map(|(_, m)| m.as_str())
+                .collect();
+            assert_eq!(msgs.len(), 2, "seed {seed}: duplicate delivers two copies");
+            if msgs.contains(&"frame") && msgs.contains(&"frame!") {
+                saw_split = true;
+                break;
+            }
+        }
+        assert!(saw_split, "no seed in 0..50 corrupted exactly one duplicate copy");
     }
 
     #[test]
@@ -1066,6 +1428,69 @@ mod tests {
     }
 
     #[test]
+    fn lazy_node_rng_matches_eager_seeding_and_stays_unmaterialized() {
+        // The lazily created stream must be exactly the stream eager
+        // creation produced (it is a pure function of the derived seed) —
+        // and a node that never draws must never materialize one.
+        let (mut sim, l0, _) = two_lan_sim();
+        let drawer = sim.add_node(l0, Box::<Recorder>::default());
+        let idle = sim.add_node(l0, Box::<Recorder>::default());
+        let mut drawn = Vec::new();
+        sim.with_node::<Recorder>(drawer, |_, ctx| {
+            drawn = (0..4).map(|_| ctx.rng().next_u64()).collect();
+        });
+        let expected: Vec<u64> = {
+            let mut r = Seed(7).derive_idx("simnet.node", u64::from(drawer.0)).rng();
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(drawn, expected, "lazy stream == eagerly seeded stream");
+        assert!(sim.rngs[drawer.index()].is_some(), "drawing node materialized");
+        assert!(sim.rngs[idle.index()].is_none(), "idle node never materialized");
+    }
+
+    #[test]
+    fn timers_across_the_wheel_horizon_fire_in_schedule_order() {
+        // Delays straddling WHEEL_SPAN: near ones go straight to buckets,
+        // far ones park in the heap and migrate as the clock approaches.
+        // Same-delay pairs must fire in set order (FIFO within a time).
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let delays: &[u64] =
+            &[10, WHEEL_SPAN - 1, WHEEL_SPAN, WHEEL_SPAN + 1, 3 * WHEEL_SPAN, 10 * WHEEL_SPAN, 10 * WHEEL_SPAN];
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            // Tag = schedule index; set in shuffled order so fire order is
+            // decided by (time, set-order), not by tag.
+            for &(i, d) in &[(4u64, delays[4]), (0, delays[0]), (5, delays[5]), (2, delays[2]), (1, delays[1]), (6, delays[6]), (3, delays[3])] {
+                ctx.set_timer(d, i);
+            }
+        });
+        sim.run_until(20 * WHEEL_SPAN);
+        // Sort schedule entries by (delay, set order): set order above was
+        // 4,0,5,2,1,6,3 → expected fire order by time then set order.
+        assert_eq!(sim.handler::<Recorder>(a).unwrap().timers, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(sim.pending_timer_count(), 0);
+        assert_eq!(sim.queued_event_count(), 0);
+    }
+
+    #[test]
+    fn cancelling_a_far_timer_reclaims_it_immediately() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            let t = ctx.set_timer(100 * WHEEL_SPAN, 1);
+            ctx.cancel_timer(t);
+            ctx.set_timer(2 * WHEEL_SPAN, 2);
+        });
+        assert_eq!(sim.pending_timer_count(), 1);
+        assert_eq!(sim.queued_event_count(), 1);
+        let end = sim.run_to_quiescence(SimTime::MAX);
+        assert_eq!(sim.handler::<Recorder>(a).unwrap().timers, vec![2]);
+        // The cancelled far timer still advances the clock when its ghost
+        // entry surfaces (same semantics as the old dead heap keys).
+        assert_eq!(end, 100 * WHEEL_SPAN);
+    }
+
+    #[test]
     fn with_node_on_dead_node_is_noop() {
         let (mut sim, l0, _) = two_lan_sim();
         let a = sim.add_node(l0, Box::<Recorder>::default());
@@ -1073,5 +1498,40 @@ mod tests {
         let mut called = false;
         sim.with_node::<Recorder>(a, |_, _| called = true);
         assert!(!called);
+    }
+
+    /// A handler that reads deliveries through the shared reference without
+    /// ever cloning the payload (the zero-copy fast path).
+    #[derive(Default)]
+    struct SharedReader {
+        seen: Vec<String>,
+    }
+
+    impl NodeHandler<String> for SharedReader {
+        fn on_shared_message(
+            &mut self,
+            _ctx: &mut Ctx<'_, String>,
+            _from: NodeId,
+            msg: Rc<String>,
+        ) {
+            self.seen.push((*msg).clone());
+        }
+    }
+
+    #[test]
+    fn shared_and_owning_handlers_observe_identical_payloads() {
+        let (mut sim, l0, _) = two_lan_sim();
+        let sender = sim.add_node(l0, Box::<Recorder>::default());
+        let owning = sim.add_node(l0, Box::<Recorder>::default());
+        let shared = sim.add_node(l0, Box::<SharedReader>::default());
+        sim.with_node::<Recorder>(sender, |_, ctx| {
+            let lan = ctx.lan();
+            ctx.send(Destination::Multicast(lan), "announce".into(), 24, "test");
+        });
+        sim.run_until(100);
+        let o = &sim.handler::<Recorder>(owning).unwrap().messages;
+        let s = &sim.handler::<SharedReader>(shared).unwrap().seen;
+        assert_eq!(o, &vec![(sender, "announce".to_string())]);
+        assert_eq!(s, &vec!["announce".to_string()]);
     }
 }

@@ -2,6 +2,7 @@
 //! the [`Ctx`] through which they act on the network.
 
 use std::any::Any;
+use std::rc::Rc;
 
 use sds_rand::{Rng, Seed};
 
@@ -25,14 +26,28 @@ impl<T: Any> AsAny for T {
     }
 }
 
+/// Materializes an owned payload from a shared in-flight delivery: free
+/// (a move) when this was the last queued copy, one clone otherwise.
+pub fn take_payload<P: Clone>(msg: Rc<P>) -> P {
+    Rc::try_unwrap(msg).unwrap_or_else(|rc| (*rc).clone())
+}
+
 /// Behaviour of one node. A node may play any of the paper's three roles
 /// (client, service, registry) — or several at once, in which case the
 /// handler composes them.
 ///
 /// Handlers are driven entirely by the engine: `on_start` when the node
-/// (re)boots, `on_message` for each delivered payload, `on_timer` for each
-/// timer that fires. All side effects go through the [`Ctx`]; they are
+/// (re)boots, `on_shared_message` for each delivered payload, `on_timer` for
+/// each timer that fires. All side effects go through the [`Ctx`]; they are
 /// applied by the engine after the callback returns.
+///
+/// Payloads travel the network reference-counted: one multicast enqueues a
+/// single shared payload for every receiver. Handlers that only *read* a
+/// delivery override [`NodeHandler::on_shared_message`] and never pay a
+/// clone; handlers that want ownership implement the plain
+/// [`NodeHandler::on_message`], which the default `on_shared_message`
+/// forwards to after materializing an owned copy (free when this was the
+/// last in-flight copy).
 pub trait NodeHandler<P>: AsAny + 'static {
     /// Called once when the node is added, and again each time it is revived
     /// after a crash. A revived node keeps its Rust state; handlers that
@@ -44,6 +59,19 @@ pub trait NodeHandler<P>: AsAny + 'static {
     /// A message addressed to (or multicast past) this node arrived.
     fn on_message(&mut self, ctx: &mut Ctx<'_, P>, from: NodeId, msg: P) {
         let _ = (ctx, from, msg);
+    }
+
+    /// The delivery entry point the engine calls: the payload arrives behind
+    /// a shared `Rc` (other receivers of the same multicast, or duplicated
+    /// copies, may still hold references). The default materializes an owned
+    /// copy via [`take_payload`] and forwards to
+    /// [`NodeHandler::on_message`]; override this to read the payload
+    /// without cloning it.
+    fn on_shared_message(&mut self, ctx: &mut Ctx<'_, P>, from: NodeId, msg: Rc<P>)
+    where
+        P: Clone,
+    {
+        self.on_message(ctx, from, take_payload(msg));
     }
 
     /// A timer set through [`Ctx::set_timer`] fired. `tag` is the caller's
@@ -77,7 +105,9 @@ pub struct Ctx<'a, P> {
     pub(crate) node: NodeId,
     pub(crate) lan: LanId,
     pub(crate) seed: Seed,
-    pub(crate) rng: &'a mut Rng,
+    /// Lazily materialized: a node that never draws never seeds a stream
+    /// (see [`Ctx::rng`]).
+    pub(crate) rng: &'a mut Option<Rng>,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) actions: Vec<Action<P>>,
 }
@@ -101,9 +131,13 @@ impl<P> Ctx<'_, P> {
 
     /// This node's deterministic private RNG. Each node's stream is derived
     /// independently from the simulation seed, so one handler drawing more
-    /// (or fewer) values never perturbs another node's behaviour.
+    /// (or fewer) values never perturbs another node's behaviour. The stream
+    /// is materialized on first draw — the stream state is a pure function
+    /// of the derived seed, so lazy creation yields exactly the values eager
+    /// creation did, and nodes that never draw cost nothing.
     pub fn rng(&mut self) -> &mut Rng {
-        self.rng
+        let seed = self.seed;
+        self.rng.get_or_insert_with(|| seed.rng())
     }
 
     /// Derives a fresh deterministic RNG stream for this node, keyed by

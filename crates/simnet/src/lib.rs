@@ -60,7 +60,7 @@ pub use engine::{ControlAction, Corruptor, FaultProfile, Sim, SimConfig};
 // Handlers receive a `&mut Rng` through `Ctx::rng`; re-exported so roles can
 // name the type without depending on sds-rand directly.
 pub use sds_rand::{Rng, Seed};
-pub use handler::{Ctx, NodeHandler};
+pub use handler::{take_payload, Ctx, NodeHandler};
 pub use ids::{LanId, NodeId, TimerId};
 pub use message::{Destination, MsgKind};
 pub use stats::{KindStats, NetStats, Scope};

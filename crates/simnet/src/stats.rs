@@ -37,6 +37,10 @@ pub struct NetStats {
     pub lan_bytes: u64,
     pub wan_messages: u64,
     pub wan_bytes: u64,
+    /// Payload copies actually handed to a live handler (multicast counts
+    /// once per receiver, duplicates count each copy). The denominator for
+    /// per-delivery allocation accounting.
+    pub delivered_messages: u64,
     /// Messages abandoned because the destination was down, unreachable
     /// (partition), nonexistent (corrupted address), or lost to the
     /// configured loss probability (base or fault-injected).
@@ -78,6 +82,10 @@ impl NetStats {
 
     pub fn record_multicast(&mut self) {
         self.multicast_transmissions += 1;
+    }
+
+    pub fn record_delivery(&mut self) {
+        self.delivered_messages += 1;
     }
 
     pub fn record_drop(&mut self) {

@@ -22,10 +22,28 @@ SDS_CHAOS_SEEDS=8 cargo test -q --offline -p sds-integration --test chaos_soak
 SDS_CHAOS_SEEDS=2 SDS_RECOVERY_BOUND=30000 \
   cargo test -q --offline -p sds-integration --test rolling_chaos
 
+# Engine equivalence: the shared-payload timing-wheel event core must
+# reproduce the pre-change engine bit-for-bit. The default-run tests cover
+# 2 golden seeds plus parallel-vs-sequential driver agreement; the ignored
+# test releases the full 8-seed chaos-soak digest sweep (release profile,
+# fanned across cores by the parallel driver itself).
+cargo test -q --offline --release -p sds-integration --test engine_equivalence \
+  -- --include-ignored
+
 # Microbenchmark smoke run: quick-mode wall clock, mostly to prove the
 # benches still build and run. Every measurement appends to
 # target/bench-history.jsonl, arming the 10x median regression flag for
 # the next run; a missing history file afterwards means recording broke.
+# SDS_BENCH_REV tags each sample with the revision under test so history
+# lines are attributable after the fact.
+SDS_BENCH_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export SDS_BENCH_REV
 SDS_BENCH_QUICK=1 cargo bench -q --offline -p sds-bench --bench microbench
+
+# Engine-scaling smoke (quick mode: 10^2 and 10^3 nodes, both delivery
+# modes): proves the S1 bin runs and keeps recording sec-per-event and
+# clones-per-delivery into the history file.
+SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin s1_engine_scaling
+
 test -s "${CARGO_TARGET_DIR:-target}/bench-history.jsonl" \
   || { echo "ci: bench-history.jsonl missing or empty after bench run" >&2; exit 1; }

@@ -26,3 +26,5 @@ pub fn query_and_collect(
         .map(|h| h.advert.provider)
         .collect()
 }
+
+pub mod soak;

@@ -1,0 +1,91 @@
+//! Byte-identical equivalence evidence for the engine optimization work.
+//!
+//! The shared-payload delivery path, the generation-stamped (tombstone-free)
+//! event core, and the lazily materialized per-node RNGs were all introduced
+//! under one contract: *no observable bit changes*. These tests pin that
+//! contract:
+//!
+//! * the full chaos-soak metric transcript digests for eight seeds must equal
+//!   the goldens recorded from the pre-change engine (same commit history,
+//!   release profile) — the soak exercises multicast fan-out, duplication,
+//!   corruption (copy-on-write forks), reordering, timer cancellation storms,
+//!   crashes and revivals, so a single diverged RNG draw or reordered
+//!   delivery flips the digest;
+//! * the parallel multi-seed driver must return exactly what the sequential
+//!   loop returns, at every worker count, including for full simulation
+//!   workloads.
+
+use sds_bench::parallel;
+use sds_integration::soak::run_soak;
+
+/// Chaos-soak digests recorded from the engine *before* the shared-payload /
+/// generation-stamp / lazy-RNG rewrite (release build). The optimized engine
+/// must reproduce them bit-for-bit.
+const PRE_CHANGE_GOLDENS: [(u64, u64); 8] = [
+    (0, 0xD2190D2842686EFA),
+    (1, 0x418E169F0D671E7C),
+    (2, 0x0A986879CD893641),
+    (3, 0x17D2D02FC265149E),
+    (4, 0x26424E8E6ECB489A),
+    (5, 0x455EC97B8B4DF60A),
+    (6, 0x0E57546A85F34D55),
+    (7, 0xCEFEEDC802D84C2E),
+];
+
+/// The two seeds cheap enough for the debug-profile tier-1 run; the release
+/// variant below covers all eight.
+#[test]
+fn chaos_digests_match_pre_change_engine() {
+    for &(seed, want) in &PRE_CHANGE_GOLDENS[..2] {
+        let got = run_soak(seed).digest;
+        assert_eq!(
+            got, want,
+            "seed {seed}: engine output diverged from the pre-optimization transcript \
+             (got 0x{got:016X}, want 0x{want:016X})"
+        );
+    }
+}
+
+/// Full eight-seed sweep, driven through the parallel driver — one test
+/// proving both halves at once: the optimized engine reproduces the
+/// pre-change transcripts, and the parallel fan-out changes nothing.
+/// Expensive in debug, so gated to release-style soak runs like the chaos
+/// soak's long tail.
+#[test]
+#[ignore = "eight release-profile soaks; run explicitly via ci.sh"]
+fn chaos_digests_match_pre_change_engine_all_seeds_parallel() {
+    let seeds: Vec<u64> = PRE_CHANGE_GOLDENS.iter().map(|&(s, _)| s).collect();
+    let digests = parallel::map(&seeds, |_, &seed| run_soak(seed).digest);
+    for (&(seed, want), &got) in PRE_CHANGE_GOLDENS.iter().zip(&digests) {
+        assert_eq!(got, want, "seed {seed} under the parallel driver");
+    }
+}
+
+/// The parallel driver must be observably identical to the sequential loop
+/// for real simulation workloads, at every worker count — including counts
+/// larger than the machine's core count (the threaded path must be correct,
+/// not just never taken, on small machines).
+#[test]
+fn parallel_driver_matches_sequential_for_simulation_workloads() {
+    let seeds: Vec<u64> = (100..106).collect();
+    let sequential: Vec<u64> = seeds.iter().map(|&s| run_soak(s).digest).collect();
+    for workers in [2, 3, 8] {
+        let parallel = parallel::map_with_workers(workers, &seeds, |_, &s| run_soak(s).digest);
+        assert_eq!(parallel, sequential, "workers={workers}");
+    }
+}
+
+/// `map` (auto worker count, honoring `SDS_BENCH_THREADS`) returns results
+/// in input order with the index argument matching the item position.
+#[test]
+fn parallel_map_indexes_and_orders_by_input() {
+    let seeds: Vec<u64> = (0..16).collect();
+    let out = parallel::map(&seeds, |i, &s| {
+        assert_eq!(i as u64, s);
+        (i, s.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    });
+    for (i, &(idx, v)) in out.iter().enumerate() {
+        assert_eq!(idx, i);
+        assert_eq!(v, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+}

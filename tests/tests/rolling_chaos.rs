@@ -16,6 +16,7 @@
 //! `SDS_CHAOS_SEEDS` picks the seed count (default 3 for CI; the full
 //! acceptance run uses 8).
 
+use sds_bench::parallel;
 use sds_workload::{run_rolling, RollingChaosConfig};
 
 fn seed_count() -> u64 {
@@ -31,10 +32,16 @@ fn rolling_chaos_recovers_within_bound_and_healing_beats_passive() {
     let bound = recovery_bound();
     let mut healing_total = 0u64;
     let mut passive_total = 0u64;
-    for seed in 0..seed_count() {
-        let healing = run_rolling(&RollingChaosConfig::new(seed, true));
-        let passive = run_rolling(&RollingChaosConfig::new(seed, false));
-
+    // Each (seed, mode) run is an independent simulation — fan the pairs
+    // across cores via the parallel driver, assert in seed order.
+    let runs = parallel::map_seeds(seed_count(), |seed| {
+        (
+            run_rolling(&RollingChaosConfig::new(seed, true)),
+            run_rolling(&RollingChaosConfig::new(seed, false)),
+        )
+    });
+    for (seed, (healing, passive)) in runs.iter().enumerate() {
+        let seed = seed as u64;
         for w in &healing.windows {
             let r = w.recovery_ms.unwrap_or_else(|| {
                 panic!("seed {seed}: healing run never recovered from {} window", w.kind)
