@@ -195,6 +195,20 @@ pub struct RegistryConfig {
     /// registries". Pulling happens during the signaling round, one random
     /// peer at a time.
     pub advert_pull_interval: SimTime,
+    /// Worker shards in the registry data plane. Adverts are partitioned
+    /// across shards by semantic taxonomy component (exact-match hashing for
+    /// URI/template models) and queries route to the one shard that can hold
+    /// their matches; results are observably identical at any shard count.
+    /// 1 keeps everything in a single shard.
+    pub shard_count: usize,
+    /// Capacity of the registry-edge query result cache (entries). Repeated
+    /// identical queries are answered from the cache while every returned
+    /// lease is still running, with publish/renew/remove invalidation keeping
+    /// served bytes identical to a fresh evaluation. 0 disables caching.
+    pub query_cache_capacity: usize,
+    /// How often the query cache sweeps out entries whose validity lapsed
+    /// (0 disables the sweep; lapsed entries then die lazily on lookup).
+    pub cache_sweep_interval: SimTime,
     /// Which description models this registry can evaluate.
     pub models: Vec<ModelId>,
     /// Requested advertisement lease period granted to publishers is decided
@@ -221,6 +235,9 @@ impl Default for RegistryConfig {
             transitive_peering: true,
             advert_push_interval: 0,
             advert_pull_interval: 0,
+            shard_count: 1,
+            query_cache_capacity: 128,
+            cache_sweep_interval: secs(5),
             models: vec![ModelId::Uri, ModelId::Template, ModelId::Semantic],
             lease_policy: sds_registry::LeasePolicy::default(),
             codec: Codec::default(),

@@ -11,7 +11,9 @@
 //!   (passive discovery);
 //! * the publishing surface: publish/renew/remove/update with leases, and
 //!   lease-based purging of obsolete advertisements;
-//! * the querying surface: local evaluation via [`sds_registry::RegistryEngine`],
+//! * the querying surface: local evaluation via the sharded data plane
+//!   ([`sds_registry::ShardedEngine`]) behind a registry-edge result cache
+//!   ([`sds_registry::QueryCache`]) with lease-driven invalidation,
 //!   federation forwarding (flood / expanding ring / random walk), response
 //!   aggregation with deduplication, ranking, and query response control;
 //! * registry network maintenance: seeded federation join, peer liveness
@@ -27,8 +29,8 @@ use sds_protocol::{
     QueryMessage, QueryOp, QueryPayload, ResponseHit, Uuid,
 };
 use sds_registry::{
-    rank_hits, PublishOutcome, RegistryEngine, SeenQueries, SemanticEvaluator,
-    SubscriptionIndex, TemplateEvaluator, UriEvaluator,
+    cache_key, rank_hits, CacheStats, PublishOutcome, QueryCache, SeenQueries, SemanticEvaluator,
+    ShardedEngine, SubscriptionIndex, TemplateEvaluator, UriEvaluator,
 };
 use sds_semantic::{Artifact, ClassId, SubsumptionIndex};
 use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, Rng, SimTime, TimerId};
@@ -108,7 +110,10 @@ pub struct RegistryNode {
     /// Artifacts re-hosted on restart (assumed to live on disk, unlike the
     /// soft-state advertisement store).
     artifacts: Vec<Artifact>,
-    engine: RegistryEngine,
+    engine: ShardedEngine,
+    /// Registry-edge result cache: memoized ranked hits with lease-driven
+    /// validity plus reverse invalidation on publish/renew/remove.
+    query_cache: QueryCache,
     peers: BTreeMap<NodeId, PeerState>,
     /// Suspected-silent peers being re-pinged under backoff.
     probation: BTreeMap<NodeId, ProbationState>,
@@ -137,11 +142,13 @@ impl RegistryNode {
     pub fn new(cfg: RegistryConfig, semantic_index: Option<Arc<SubsumptionIndex>>) -> Self {
         let engine = Self::fresh_engine(&cfg, &semantic_index);
         let seen_retention = cfg.seen_retention;
+        let query_cache = QueryCache::new(cfg.query_cache_capacity);
         Self {
             cfg,
             semantic_index,
             artifacts: Vec::new(),
             engine,
+            query_cache,
             peers: BTreeMap::new(),
             probation: BTreeMap::new(),
             probation_rng: None,
@@ -166,8 +173,8 @@ impl RegistryNode {
         self
     }
 
-    fn fresh_engine(cfg: &RegistryConfig, idx: &Option<Arc<SubsumptionIndex>>) -> RegistryEngine {
-        let mut engine = RegistryEngine::new(cfg.lease_policy);
+    fn fresh_engine(cfg: &RegistryConfig, idx: &Option<Arc<SubsumptionIndex>>) -> ShardedEngine {
+        let mut engine = ShardedEngine::new(cfg.lease_policy, cfg.shard_count, idx.as_deref());
         for model in &cfg.models {
             match model {
                 ModelId::Uri => engine.register_evaluator(Box::new(UriEvaluator)),
@@ -183,8 +190,13 @@ impl RegistryNode {
     }
 
     /// The engine, for inspection in tests and experiments.
-    pub fn engine(&self) -> &RegistryEngine {
+    pub fn engine(&self) -> &ShardedEngine {
         &self.engine
+    }
+
+    /// Query-cache counters, for experiments.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.query_cache.stats()
     }
 
     /// Number of live standing queries (diagnostics).
@@ -434,11 +446,78 @@ impl RegistryNode {
         }
     }
 
+    /// Evaluates a query through the registry-edge cache: a repeat of a
+    /// recently evaluated query is served from memory while every returned
+    /// lease is still running, byte-identical to a fresh evaluation.
+    fn cached_evaluate(&mut self, query: &QueryMessage, now: SimTime) -> Vec<ResponseHit> {
+        if self.cfg.query_cache_capacity == 0 {
+            return self.engine.evaluate(query, now);
+        }
+        let key = cache_key(&query.payload, query.max_responses);
+        if let Some(hits) = self.query_cache.get(&key, now) {
+            return hits.to_vec();
+        }
+        let (hits, valid_until) = self.engine.evaluate_with_validity(query, now);
+        self.query_cache.insert(key, &query.payload, hits.clone(), valid_until, now);
+        hits
+    }
+
+    /// Drops cached results the advert could affect (appear in, or newly
+    /// match).
+    fn invalidate_cache(&mut self, advert: &Advertisement) {
+        if self.query_cache.is_empty() {
+            return;
+        }
+        self.query_cache.invalidate_for_advert(advert, self.semantic_index.as_deref());
+    }
+
+    /// Publishes through the engine, keeping the query cache coherent. Every
+    /// event that can change some query's result set drops the affected
+    /// entries: new content, updated content (old and new constraints both),
+    /// and resurrection — a lease extension bringing an expired-but-unpurged
+    /// advert back to life without a content change (duplicate publish, or a
+    /// stale-version provider heartbeat). Pure expiry needs no hook: each
+    /// cache entry's validity already ends at its earliest returned lease.
+    fn publish_cached(
+        &mut self,
+        advert: Advertisement,
+        from: NodeId,
+        now: SimTime,
+        lease_ms: u64,
+    ) -> (PublishOutcome, SimTime) {
+        let before = self
+            .engine
+            .store()
+            .get(&advert.id)
+            .map(|s| (s.advert.clone(), s.is_live(now)));
+        let (outcome, lease_until) = self.engine.publish(advert.clone(), from, now, lease_ms);
+        match (outcome, &before) {
+            (PublishOutcome::New, _) => self.invalidate_cache(&advert),
+            (PublishOutcome::Updated, Some((old, _))) => {
+                let old = old.clone();
+                self.invalidate_cache(&old);
+                self.invalidate_cache(&advert);
+            }
+            (PublishOutcome::Updated, None) => self.invalidate_cache(&advert),
+            (PublishOutcome::Unchanged, Some((_, false))) => self.invalidate_cache(&advert),
+            (PublishOutcome::StaleVersion, Some((old, false))) => {
+                // The provider-heartbeat rule may have revived the *stored*
+                // version; its constraints are what now match again.
+                if self.engine.store().get(&advert.id).is_some_and(|s| s.is_live(now)) {
+                    let old = old.clone();
+                    self.invalidate_cache(&old);
+                }
+            }
+            _ => {}
+        }
+        (outcome, lease_until)
+    }
+
     /// Adopts a client query: evaluate locally, then either answer at once
     /// or aggregate federation responses within the response window.
     fn adopt_query(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, query: QueryMessage) {
         self.stats.queries_adopted += 1;
-        let local_hits = self.engine.evaluate(&query, ctx.now());
+        let local_hits = self.cached_evaluate(&query, ctx.now());
 
         let i_am_gateway = self.is_gateway(ctx);
         let ttl = self.adoption_ttl(query.ttl, 0);
@@ -501,7 +580,7 @@ impl RegistryNode {
         query: QueryMessage,
         aggregator: NodeId,
     ) {
-        let hits = self.engine.evaluate(&query, ctx.now());
+        let hits = self.cached_evaluate(&query, ctx.now());
         if !hits.is_empty() {
             self.stats.federation_responses += 1;
             send_msg(
@@ -813,7 +892,7 @@ impl RegistryNode {
                     return;
                 }
                 let (outcome, lease_until) =
-                    self.engine.publish(advert.clone(), from, ctx.now(), lease_ms);
+                    self.publish_cached(advert.clone(), from, ctx.now(), lease_ms);
                 send_msg(
                     ctx,
                     self.cfg.codec,
@@ -827,7 +906,19 @@ impl RegistryNode {
                 }
             }
             PublishOp::RenewLease { id } => {
+                // A renewal can revive an expired-but-unpurged advert, which
+                // changes query results without new content: invalidate.
+                let revived = self
+                    .engine
+                    .store()
+                    .get(&id)
+                    .and_then(|s| (!s.is_live(ctx.now())).then(|| s.advert.clone()));
                 let (known, lease_until) = self.engine.renew(id, ctx.now());
+                if known {
+                    if let Some(advert) = revived {
+                        self.invalidate_cache(&advert);
+                    }
+                }
                 send_msg(
                     ctx,
                     self.cfg.codec,
@@ -836,7 +927,17 @@ impl RegistryNode {
                 );
             }
             PublishOp::Remove { id } => {
+                // Removing a live advert can shrink cached results; removing
+                // an already-expired one cannot (validity ended with it).
+                let removed = self
+                    .engine
+                    .store()
+                    .get(&id)
+                    .and_then(|s| s.is_live(ctx.now()).then(|| s.advert.clone()));
                 self.engine.remove(id);
+                if let Some(advert) = removed {
+                    self.invalidate_cache(&advert);
+                }
             }
             PublishOp::ForwardAdverts { adverts } => {
                 for advert in adverts {
@@ -846,7 +947,7 @@ impl RegistryNode {
                         self.stats.publishes_nacked += 1;
                         continue;
                     }
-                    let (outcome, _) = self.engine.publish(advert.clone(), from, ctx.now(), 0);
+                    let (outcome, _) = self.publish_cached(advert.clone(), from, ctx.now(), 0);
                     if outcome == PublishOutcome::New {
                         self.notify_subscribers(ctx, &advert);
                     }
@@ -936,6 +1037,7 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
         for a in &self.artifacts {
             self.engine.host_artifact(a.clone());
         }
+        self.query_cache = QueryCache::new(self.cfg.query_cache_capacity);
         self.peers.clear();
         self.probation.clear();
         self.local_registries.clear();
@@ -964,6 +1066,9 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
         }
         if self.cfg.advert_pull_interval > 0 {
             ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+        }
+        if self.cfg.query_cache_capacity > 0 && self.cfg.cache_sweep_interval > 0 {
+            ctx.set_timer(self.cfg.cache_sweep_interval, tags::CACHE_SWEEP);
         }
     }
 
@@ -1069,6 +1174,10 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
                     );
                 }
                 ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+            }
+            tags::CACHE_SWEEP => {
+                self.query_cache.sweep(ctx.now());
+                ctx.set_timer(self.cfg.cache_sweep_interval, tags::CACHE_SWEEP);
             }
             tags::SEED_RETRY => {
                 if self.peers.is_empty() {

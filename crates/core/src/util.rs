@@ -34,6 +34,9 @@ pub(crate) mod tags {
     pub const ADVERT_PULL: u64 = 10;
     /// Attachment: probe decision window elapsed — pick the best reply.
     pub const PROBE_DECIDE: u64 = 11;
+    /// Registry: periodic query-cache sweep — drop entries whose validity
+    /// lapsed, so dead results do not linger until their next lookup.
+    pub const CACHE_SWEEP: u64 = 12;
 
     /// Width of every sequenced tag family's range. Wide enough that no
     /// in-simulation counter (query seq, service index, node id) can
@@ -100,7 +103,7 @@ mod tests {
         ];
         for (i, &a) in bases.iter().enumerate() {
             // Fixed tags sit below every family window.
-            assert!(tags::PROBE_DECIDE < a);
+            assert!(tags::CACHE_SWEEP < a);
             // The largest in-window tag of one family never reaches the next.
             let top = tags::tagged(a, tags::WINDOW - 1);
             for &b in bases.iter().skip(i + 1) {

@@ -663,6 +663,17 @@ fn read_queryop(r: &mut Reader<'_>) -> R<QueryOp> {
     })
 }
 
+/// Serializes one query payload on its own, using the exact wire encoding.
+/// The encoding is injective (floats go through their bit patterns, strings
+/// are length-prefixed), so equal byte strings ⇔ equal payloads — which is
+/// what lets registries key result caches on payloads that cannot derive
+/// `Eq`/`Hash` themselves (QoS fields are `f64`).
+pub fn encode_payload(p: &QueryPayload) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_payload(&mut w, p);
+    w.buf
+}
+
 /// Serializes a message.
 pub fn encode(msg: &DiscoveryMessage) -> Vec<u8> {
     let mut w = Writer::new();

@@ -128,38 +128,9 @@ impl RegistryEngine {
                 .evaluate(&query.payload, &stored.advert)
                 .map(|(degree, distance)| RankedRef { degree, distance, stored })
         });
-        let ranked: Vec<RankedRef<'_>> = match query.max_responses {
-            // Bounded selection: a max-heap of the k best seen so far, worst
-            // on top; O(candidates · log k) and never more than k+1 entries.
-            Some(k) => {
-                let k = k as usize;
-                let mut top = std::collections::BinaryHeap::with_capacity(k + 1);
-                for hit in confirmed {
-                    if k == 0 {
-                        break;
-                    }
-                    top.push(hit);
-                    if top.len() > k {
-                        top.pop();
-                    }
-                }
-                let mut v = top.into_vec();
-                v.sort_unstable();
-                v
-            }
-            None => {
-                let mut v: Vec<RankedRef<'_>> = confirmed.collect();
-                v.sort_unstable();
-                v
-            }
-        };
-        ranked
+        select_ranked(confirmed, query.max_responses)
             .into_iter()
-            .map(|h| ResponseHit {
-                advert: h.stored.advert.clone(),
-                degree: h.degree,
-                distance: h.distance,
-            })
+            .map(RankedRef::into_hit)
             .collect()
     }
 
@@ -233,8 +204,11 @@ impl RegistryEngine {
 
     /// Current summary for registry signaling. Models come out ascending by
     /// wire tag by construction; when nothing is expired-but-unpurged the
-    /// model buckets answer directly without scanning the table.
-    pub fn summary(&self, now: SimTime) -> RegistrySummary {
+    /// model buckets answer directly without scanning the table. `&mut`
+    /// because deciding "nothing expired" pops stale expiry-heap entries —
+    /// without that, every renewal would knock the summary onto full scans
+    /// until the superseded expiry passed.
+    pub fn summary(&mut self, now: SimTime) -> RegistrySummary {
         let counts: [usize; 3] = if self.store.none_expired(now) {
             self.store.model_counts()
         } else {
@@ -258,15 +232,59 @@ impl RegistryEngine {
 /// A confirmed hit over a borrowed advert, ordered best-first: degree desc,
 /// distance asc, advert id asc — the same total order as [`rank_hits`], so
 /// "greatest" means "worst" and a max-heap of size k retains the top k.
-struct RankedRef<'a> {
-    degree: sds_semantic::Degree,
-    distance: u32,
-    stored: &'a crate::store::StoredAdvert,
+/// Crate-visible so the sharded data plane shares the exact selection logic
+/// (the total order over unique advert ids is what makes sharded evaluation
+/// byte-identical to this engine's, whatever order shards enumerate in).
+pub(crate) struct RankedRef<'a> {
+    pub(crate) degree: sds_semantic::Degree,
+    pub(crate) distance: u32,
+    pub(crate) stored: &'a crate::store::StoredAdvert,
 }
 
 impl RankedRef<'_> {
     fn key(&self) -> (std::cmp::Reverse<sds_semantic::Degree>, u32, AdvertId) {
         (std::cmp::Reverse(self.degree), self.distance, self.stored.advert.id)
+    }
+
+    pub(crate) fn into_hit(self) -> ResponseHit {
+        ResponseHit {
+            advert: self.stored.advert.clone(),
+            degree: self.degree,
+            distance: self.distance,
+        }
+    }
+}
+
+/// Selects the best `max` hits (all of them when unbounded) in rank order
+/// from an arbitrarily-ordered stream of confirmed hits. Bounded selection
+/// keeps a max-heap of the k best seen so far, worst on top: O(n · log k)
+/// and never more than k+1 entries resident.
+pub(crate) fn select_ranked<'a>(
+    confirmed: impl Iterator<Item = RankedRef<'a>>,
+    max: Option<u16>,
+) -> Vec<RankedRef<'a>> {
+    match max {
+        Some(k) => {
+            let k = k as usize;
+            let mut top = std::collections::BinaryHeap::with_capacity(k + 1);
+            for hit in confirmed {
+                if k == 0 {
+                    break;
+                }
+                top.push(hit);
+                if top.len() > k {
+                    top.pop();
+                }
+            }
+            let mut v = top.into_vec();
+            v.sort_unstable();
+            v
+        }
+        None => {
+            let mut v: Vec<RankedRef<'a>> = confirmed.collect();
+            v.sort_unstable();
+            v
+        }
     }
 }
 
@@ -409,6 +427,25 @@ mod tests {
         assert_eq!(s, RegistrySummary { advert_count: 2, models: vec![ModelId::Uri] });
         let s_late = e.summary(5_000);
         assert_eq!(s_late.advert_count, 1, "expired advert excluded from summary");
+    }
+
+    #[test]
+    fn renewed_store_regains_summary_fast_path() {
+        // Regression: after a renewal the superseded heap entry used to pin
+        // the raw minimum, so `none_expired` stayed false and `summary` fell
+        // off its O(1) fast path for the whole old-lease window.
+        let mut e = engine_with_uri();
+        e.publish(uri_advert(1, "urn:a"), NodeId(1), 0, 1_000);
+        let (known, lease) = e.renew(Uuid(1), 500);
+        assert!(known);
+        assert_eq!(lease, 1_500);
+        // Between the old expiry (1 000) and the new one (1 500) the store
+        // must report none-expired, which is exactly the fast-path gate.
+        assert!(e.store_mut().none_expired(1_200), "fast path regained after renewal");
+        let s = e.summary(1_200);
+        assert_eq!(s, RegistrySummary { advert_count: 1, models: vec![ModelId::Uri] });
+        assert!(!e.store_mut().none_expired(1_500), "renewed expiry still honoured");
+        assert_eq!(e.summary(1_500).advert_count, 0);
     }
 
     #[test]

@@ -19,19 +19,31 @@
 //! * [`RegistryEngine`]: evaluation + ranking + query response control +
 //!   summaries + artifact hosting, glued together;
 //! * [`SeenQueries`]: the query-id cache used for loop avoidance when
-//!   registries forward queries.
+//!   registries forward queries;
+//! * the sharded data plane: [`ShardRouter`] partitions the advert space by
+//!   taxonomy component (plus exact-match hashing for URI/template models),
+//!   [`ShardedEngine`] runs one logical registry over per-partition worker
+//!   shards with batched, coalesced query evaluation, and [`QueryCache`]
+//!   memoizes ranked results at the registry edge with lease-driven
+//!   invalidation — all observably equivalent to the unsharded engine.
 //!
 //! The network-facing behaviour (timers, beacons, federation) lives in
 //! `sds-core`; baselines reuse these internals with different policies.
 
+mod cache;
 mod engine;
 mod evaluate;
 mod seen;
+mod shard;
+mod sharded;
 mod store;
 mod subscriptions;
 
+pub use cache::{cache_key, CacheKey, CacheStats, QueryCache};
 pub use engine::{rank_hits, RegistryEngine, RegistrySummary};
 pub use evaluate::{ModelEvaluator, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
 pub use seen::SeenQueries;
+pub use shard::{Route, SemanticPartitions, ShardRouter, MAX_SHARDS};
+pub use sharded::{BatchResult, ShardedEngine, StoreView};
 pub use store::{Candidates, LeasePolicy, PublishOutcome, RegistryStore, StoredAdvert};
 pub use subscriptions::SubscriptionIndex;

@@ -1,0 +1,504 @@
+//! The sharded registry data plane: one logical registry engine whose advert
+//! table is split across worker shards by [`ShardRouter`] partition, so each
+//! query is evaluated against one shard's postings in the common case.
+//!
+//! Observable equivalence is the design invariant: every public operation
+//! returns exactly what [`RegistryEngine`] would — same outcomes, same
+//! granted leases, same ranked hit bytes, same summaries — which the
+//! `shard_props` property suite locks across shard counts. The ranking order
+//! `(degree desc, distance asc, id asc)` is total over unique advert ids, so
+//! merging per-shard confirmed hits through the shared top-k selection
+//! reproduces the unsharded result whatever order shards enumerate in.
+//!
+//! Multi-homing: a semantic advert whose category and outputs fall in
+//! different taxonomy components is stored in every one of those shards (its
+//! *home mask*), so each single-shard route still sees every possible match.
+//! Broadcast queries deduplicate by evaluating an advert only in its first
+//! home shard. Lease state is kept identical across an advert's home shards:
+//! publishes, renewals, heartbeats, and purges fan out to the whole mask.
+
+use std::collections::HashMap;
+
+use sds_protocol::{Advertisement, AdvertId, ModelId, QueryMessage, QueryPayload, ResponseHit};
+use sds_semantic::{Artifact, ArtifactRepository, ClassId, SubsumptionIndex};
+use sds_simnet::{NodeId, SimTime};
+
+use crate::engine::{select_ranked, RankedRef, RegistrySummary};
+use crate::evaluate::ModelEvaluator;
+use crate::shard::{Route, ShardRouter};
+use crate::store::{LeasePolicy, PublishOutcome, RegistryStore, StoredAdvert};
+
+/// Where an advert lives: its shard bitmask plus the model it counts under.
+#[derive(Clone, Copy, Debug)]
+struct Home {
+    mask: u64,
+    model: ModelId,
+}
+
+/// One query's result batched together with how it was obtained.
+pub struct BatchResult {
+    /// Ranked hits per input query, in input order.
+    pub hits: Vec<Vec<ResponseHit>>,
+    /// How many evaluations actually ran after coalescing identical
+    /// payloads: N identical in-flight queries cost 1.
+    pub unique_evaluations: usize,
+}
+
+/// A registry engine running the sharded data plane. Drop-in for
+/// [`RegistryEngine`]: the public surface mirrors it method for method, with
+/// batch and validity-tracking variants layered on top.
+pub struct ShardedEngine {
+    router: ShardRouter,
+    shards: Vec<RegistryStore>,
+    homes: HashMap<AdvertId, Home>,
+    /// Distinct stored adverts per model wire tag (multi-homed adverts count
+    /// once) — the sharded analogue of the store's model buckets, kept
+    /// incrementally so `summary`'s fast path stays O(shards).
+    model_counts: [usize; 3],
+    lease_policy: LeasePolicy,
+    evaluators: HashMap<ModelId, Box<dyn ModelEvaluator>>,
+    artifacts: ArtifactRepository,
+}
+
+impl ShardedEngine {
+    /// An engine with `shard_count` worker shards, partitioned over `idx`
+    /// when given (without it, semantic descriptions pin to shard 0; see
+    /// [`ShardRouter::new`]).
+    pub fn new(
+        lease_policy: LeasePolicy,
+        shard_count: usize,
+        idx: Option<&SubsumptionIndex>,
+    ) -> Self {
+        let router = ShardRouter::new(shard_count, idx);
+        let shards = (0..router.shard_count()).map(|_| RegistryStore::new()).collect();
+        Self {
+            router,
+            shards,
+            homes: HashMap::new(),
+            model_counts: [0; 3],
+            lease_policy,
+            evaluators: HashMap::new(),
+            artifacts: ArtifactRepository::new(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers an evaluator plug-in; replaces any previous evaluator for
+    /// the same model.
+    pub fn register_evaluator(&mut self, evaluator: Box<dyn ModelEvaluator>) {
+        self.evaluators.insert(evaluator.model(), evaluator);
+    }
+
+    pub fn supports(&self, model: ModelId) -> bool {
+        self.evaluators.contains_key(&model)
+    }
+
+    pub fn lease_policy(&self) -> LeasePolicy {
+        self.lease_policy
+    }
+
+    pub fn artifacts(&self) -> &ArtifactRepository {
+        &self.artifacts
+    }
+
+    pub fn host_artifact(&mut self, artifact: Artifact) {
+        self.artifacts.put(artifact);
+    }
+
+    /// A read view over the sharded advert table with the same surface as
+    /// [`RegistryEngine::store`] exposes: multi-homed adverts appear once.
+    pub fn store(&self) -> StoreView<'_> {
+        StoreView { shards: &self.shards, homes: &self.homes }
+    }
+
+    fn first_shard(mask: u64) -> usize {
+        debug_assert_ne!(mask, 0, "every stored advert has at least one home");
+        mask.trailing_zeros() as usize
+    }
+
+    /// Iterates the shard indices set in `mask`, ascending.
+    fn shards_of(mask: u64) -> impl Iterator<Item = usize> {
+        (0..64usize).filter(move |s| mask & (1u64 << s) != 0)
+    }
+
+    /// Handles a publish/update; grants a lease per policy, fans the write
+    /// out to the advert's home shards, and keeps lease state identical
+    /// across them. Outcome and granted expiry match [`RegistryEngine`]
+    /// exactly, including the stale-heartbeat and requested-duration rules.
+    pub fn publish(
+        &mut self,
+        advert: Advertisement,
+        source: NodeId,
+        now: SimTime,
+        requested_lease_ms: u64,
+    ) -> (PublishOutcome, SimTime) {
+        let lease_until = self.lease_policy.grant(now, requested_lease_ms);
+        let id = advert.id;
+        let new_mask = self.router.home_mask(&advert);
+        let model = advert.description.model();
+        let Some(&home) = self.homes.get(&id) else {
+            for s in Self::shards_of(new_mask) {
+                self.shards[s].publish(advert.clone(), source, now, lease_until, requested_lease_ms);
+            }
+            self.homes.insert(id, Home { mask: new_mask, model });
+            self.model_counts[model.wire_tag() as usize] += 1;
+            return (PublishOutcome::New, lease_until);
+        };
+        let existing = self.shards[Self::first_shard(home.mask)]
+            .get(&id)
+            .expect("homes tracks stored adverts");
+        if advert.version < existing.advert.version {
+            // Stale content: every home shard applies the same
+            // provider-heartbeat rule, so leases stay aligned.
+            for s in Self::shards_of(home.mask) {
+                self.shards[s].publish(advert.clone(), source, now, lease_until, requested_lease_ms);
+            }
+            return (PublishOutcome::StaleVersion, lease_until);
+        }
+        let newer = advert.version > existing.advert.version;
+        let unchanged = advert.version == existing.advert.version && advert == existing.advert;
+        // A content change can move the advert between shards. Shards kept in
+        // the mask update in place; shards leaving drop it; shards joining
+        // insert it fresh — carrying over the *effective* lease and requested
+        // duration so every home shard stores the same record the unsharded
+        // engine would.
+        let effective_lease = existing.lease_until.max(lease_until);
+        let keep_requested =
+            if newer { requested_lease_ms } else { existing.requested_lease_ms };
+        debug_assert!(!unchanged || new_mask == home.mask, "mask is a function of content");
+        for s in Self::shards_of(home.mask & new_mask) {
+            self.shards[s].publish(advert.clone(), source, now, lease_until, requested_lease_ms);
+        }
+        for s in Self::shards_of(home.mask & !new_mask) {
+            self.shards[s].remove(id);
+        }
+        for s in Self::shards_of(new_mask & !home.mask) {
+            self.shards[s].publish(advert.clone(), source, now, effective_lease, keep_requested);
+        }
+        if new_mask != home.mask || model != home.model {
+            self.model_counts[home.model.wire_tag() as usize] -= 1;
+            self.model_counts[model.wire_tag() as usize] += 1;
+            self.homes.insert(id, Home { mask: new_mask, model });
+        }
+        (if unchanged { PublishOutcome::Unchanged } else { PublishOutcome::Updated }, lease_until)
+    }
+
+    /// Handles a lease renewal, re-granting the originally requested
+    /// duration; the extension fans out to every home shard. Returns
+    /// `(known, new_expiry)`.
+    pub fn renew(&mut self, id: AdvertId, now: SimTime) -> (bool, SimTime) {
+        let Some(&home) = self.homes.get(&id) else {
+            return (false, self.lease_policy.grant(now, 0));
+        };
+        let requested = self.shards[Self::first_shard(home.mask)]
+            .get(&id)
+            .map_or(0, |a| a.requested_lease_ms);
+        let lease_until = self.lease_policy.grant(now, requested);
+        let mut known = false;
+        for s in Self::shards_of(home.mask) {
+            known |= self.shards[s].renew(id, lease_until);
+        }
+        (known, lease_until)
+    }
+
+    /// Handles explicit removal across every home shard.
+    pub fn remove(&mut self, id: AdvertId) -> bool {
+        let Some(home) = self.homes.remove(&id) else {
+            return false;
+        };
+        self.model_counts[home.model.wire_tag() as usize] -= 1;
+        let mut had = false;
+        for s in Self::shards_of(home.mask) {
+            had |= self.shards[s].remove(id);
+        }
+        debug_assert!(had, "homes tracks stored adverts");
+        had
+    }
+
+    /// Purges expired adverts from every shard; returns purged ids in the
+    /// same global `(lease_until, id)` order the unsharded store produces.
+    /// Leases are identical across a mask, so an advert expires from all its
+    /// home shards in the same purge.
+    pub fn purge(&mut self, now: SimTime) -> Vec<AdvertId> {
+        let mut dead: Vec<(SimTime, AdvertId)> = Vec::new();
+        for shard in &mut self.shards {
+            dead.extend(shard.purge_expired_with_times(now));
+        }
+        dead.sort_unstable();
+        dead.dedup();
+        let mut out = Vec::with_capacity(dead.len());
+        for (_, id) in dead {
+            let home = self.homes.remove(&id).expect("purged adverts were homed");
+            self.model_counts[home.model.wire_tag() as usize] -= 1;
+            out.push(id);
+        }
+        out
+    }
+
+    /// Evaluates a query: routed to one shard when the payload pins a
+    /// partition, merged across shards (first-home deduplicated) otherwise.
+    /// Byte-identical to [`RegistryEngine::evaluate`] on the same adverts.
+    pub fn evaluate(&self, query: &QueryMessage, now: SimTime) -> Vec<ResponseHit> {
+        self.evaluate_with_validity(query, now).0
+    }
+
+    /// [`ShardedEngine::evaluate`] also reporting how long the result stays
+    /// valid: the earliest lease expiry among the returned hits
+    /// (`SimTime::MAX` when empty — an empty result only changes when a
+    /// publish arrives, which cache invalidation covers separately). A
+    /// cached copy served while `now < valid_until` is byte-identical to a
+    /// fresh evaluation, because expiry of any *non*-returned advert cannot
+    /// change a top-k selection it was not part of.
+    pub fn evaluate_with_validity(
+        &self,
+        query: &QueryMessage,
+        now: SimTime,
+    ) -> (Vec<ResponseHit>, SimTime) {
+        let Some(evaluator) = self.evaluators.get(&query.payload.model()) else {
+            return (Vec::new(), SimTime::MAX);
+        };
+        let ranked = match self.router.route(&query.payload) {
+            Route::One(s) => {
+                self.confirm_in_shard(s, evaluator.as_ref(), &query.payload, now, query.max_responses)
+            }
+            Route::Broadcast => self.confirm_broadcast(evaluator.as_ref(), &query.payload, now, query.max_responses),
+        };
+        let valid_until =
+            ranked.iter().map(|h| h.stored.lease_until).min().unwrap_or(SimTime::MAX);
+        (ranked.into_iter().map(RankedRef::into_hit).collect(), valid_until)
+    }
+
+    fn confirm_in_shard<'a>(
+        &'a self,
+        shard: usize,
+        evaluator: &'a dyn ModelEvaluator,
+        payload: &QueryPayload,
+        now: SimTime,
+        max: Option<u16>,
+    ) -> Vec<RankedRef<'a>> {
+        let store = &self.shards[shard];
+        let candidates = store.candidates(payload, evaluator.subsumption_index());
+        let confirmed = candidates.iter().filter_map(move |id| {
+            let stored = store.get(&id)?;
+            if !stored.is_live(now) {
+                return None;
+            }
+            evaluator
+                .evaluate(payload, &stored.advert)
+                .map(|(degree, distance)| RankedRef { degree, distance, stored })
+        });
+        select_ranked(confirmed, max)
+    }
+
+    fn confirm_broadcast<'a>(
+        &'a self,
+        evaluator: &'a dyn ModelEvaluator,
+        payload: &'a QueryPayload,
+        now: SimTime,
+        max: Option<u16>,
+    ) -> Vec<RankedRef<'a>> {
+        let confirmed = self.shards.iter().enumerate().flat_map(move |(si, store)| {
+            let candidates = store.candidates(payload, evaluator.subsumption_index());
+            // Materialize: `Candidates` borrows the store for the closure's
+            // lifetime, and each id is a copy anyway.
+            let ids: Vec<AdvertId> = candidates.iter().collect();
+            ids.into_iter().filter_map(move |id| {
+                // Multi-homed adverts answer from their first home only.
+                if Self::first_shard(self.homes.get(&id)?.mask) != si {
+                    return None;
+                }
+                let stored = store.get(&id)?;
+                if !stored.is_live(now) {
+                    return None;
+                }
+                evaluator
+                    .evaluate(payload, &stored.advert)
+                    .map(|(degree, distance)| RankedRef { degree, distance, stored })
+            })
+        });
+        select_ranked(confirmed, max)
+    }
+
+    /// Evaluates a queue of outstanding queries as one batch: identical
+    /// payloads are coalesced to a single evaluation, and semantic taxonomy
+    /// walks (candidate generation over `related_concepts`) are memoized per
+    /// shard so a burst of queries for the same concept walks the taxonomy
+    /// once. Results come back in input order, byte-identical to evaluating
+    /// each query alone.
+    pub fn evaluate_batch(&self, queries: &[QueryMessage], now: SimTime) -> BatchResult {
+        // Coalesce by (payload bytes, max): the codec encoding is injective,
+        // so equal keys ⇔ equal queries (QoS floats block a derived Eq).
+        let mut unique_of: HashMap<(Vec<u8>, Option<u16>), usize> = HashMap::new();
+        let mut uniques: Vec<&QueryMessage> = Vec::new();
+        let mut slot_of: Vec<usize> = Vec::with_capacity(queries.len());
+        for q in queries {
+            let key = (sds_protocol::codec::encode_payload(&q.payload), q.max_responses);
+            let slot = *unique_of.entry(key).or_insert_with(|| {
+                uniques.push(q);
+                uniques.len() - 1
+            });
+            slot_of.push(slot);
+        }
+        // Per-shard memo of materialized semantic candidate lists, keyed by
+        // the routing concept — the taxonomy walk is identical for every
+        // query constraining on the same category (or first output).
+        let mut memo: HashMap<(usize, bool, ClassId), Vec<AdvertId>> = HashMap::new();
+        let mut results: Vec<Vec<ResponseHit>> = Vec::with_capacity(uniques.len());
+        for q in &uniques {
+            results.push(self.evaluate_memoized(q, now, &mut memo));
+        }
+        BatchResult {
+            hits: slot_of.into_iter().map(|s| results[s].clone()).collect(),
+            unique_evaluations: uniques.len(),
+        }
+    }
+
+    /// One evaluation sharing `memo` with the rest of a batch. Only
+    /// single-shard semantic routes are memoizable — URI/template candidate
+    /// lookups are a hash probe already, and broadcasts have no single
+    /// concept key.
+    fn evaluate_memoized(
+        &self,
+        query: &QueryMessage,
+        now: SimTime,
+        memo: &mut HashMap<(usize, bool, ClassId), Vec<AdvertId>>,
+    ) -> Vec<ResponseHit> {
+        let Some(evaluator) = self.evaluators.get(&query.payload.model()) else {
+            return Vec::new();
+        };
+        let (shard, concept_key) = match self.router.route(&query.payload) {
+            Route::One(s) => match &query.payload {
+                QueryPayload::Semantic(req) => match (req.category, req.outputs.first()) {
+                    (Some(cat), _) => (s, Some((s, true, cat))),
+                    (None, Some(&out)) => (s, Some((s, false, out))),
+                    (None, None) => (s, None),
+                },
+                _ => (s, None),
+            },
+            Route::Broadcast => return self.evaluate(query, now),
+        };
+        let Some(key) = concept_key else {
+            return self
+                .confirm_in_shard(shard, evaluator.as_ref(), &query.payload, now, query.max_responses)
+                .into_iter()
+                .map(RankedRef::into_hit)
+                .collect();
+        };
+        let store = &self.shards[shard];
+        let ids = memo.entry(key).or_insert_with(|| {
+            store.candidates(&query.payload, evaluator.subsumption_index()).iter().collect()
+        });
+        let confirmed = ids.iter().filter_map(|id| {
+            let stored = store.get(id)?;
+            if !stored.is_live(now) {
+                return None;
+            }
+            evaluator
+                .evaluate(&query.payload, &stored.advert)
+                .map(|(degree, distance)| RankedRef { degree, distance, stored })
+        });
+        select_ranked(confirmed, query.max_responses)
+            .into_iter()
+            .map(RankedRef::into_hit)
+            .collect()
+    }
+
+    /// Plans a service chain over the live semantic adverts, as
+    /// [`RegistryEngine::compose`] does over its single store.
+    pub fn compose(
+        &self,
+        request: &sds_semantic::ServiceRequest,
+        now: SimTime,
+        max_depth: usize,
+    ) -> Option<Vec<Advertisement>> {
+        let evaluator = self.evaluators.get(&ModelId::Semantic)?;
+        let index = evaluator.subsumption_index()?;
+        let live: Vec<&Advertisement> = self
+            .store()
+            .live(now)
+            .map(|s| &s.advert)
+            .filter(|a| matches!(a.description, sds_protocol::Description::Semantic(_)))
+            .collect();
+        let profiles: Vec<sds_semantic::ServiceProfile> = live
+            .iter()
+            .map(|a| match &a.description {
+                sds_protocol::Description::Semantic(p) => p.clone(),
+                _ => unreachable!("filtered above"),
+            })
+            .collect();
+        let plan = sds_semantic::compose(index, request, &profiles, max_depth)?;
+        Some(plan.steps.iter().map(|&i| live[i].clone()).collect())
+    }
+
+    /// Evaluates a single payload against a single advertisement — used for
+    /// subscription matching on publish.
+    pub fn evaluate_single(
+        &self,
+        payload: &QueryPayload,
+        advert: &Advertisement,
+    ) -> Option<(sds_semantic::Degree, u32)> {
+        self.evaluators.get(&payload.model())?.evaluate(payload, advert)
+    }
+
+    /// Current summary for registry signaling, agreeing with
+    /// [`RegistryEngine::summary`]. Fast path: when no shard holds an
+    /// expired-but-unpurged advert, the maintained per-model counts answer
+    /// in O(shards).
+    pub fn summary(&mut self, now: SimTime) -> RegistrySummary {
+        let none_expired = self.shards.iter_mut().all(|s| s.none_expired(now));
+        let counts: [usize; 3] = if none_expired {
+            self.model_counts
+        } else {
+            let mut counts = [0usize; 3];
+            for a in self.store().live(now) {
+                counts[a.advert.description.model().wire_tag() as usize] += 1;
+            }
+            counts
+        };
+        let models: Vec<ModelId> = ModelId::ALL
+            .into_iter()
+            .filter(|m| counts[m.wire_tag() as usize] > 0)
+            .collect();
+        RegistrySummary { advert_count: counts.iter().sum::<usize>() as u32, models }
+    }
+}
+
+/// A read view over the sharded table presenting each advert once (from its
+/// first home shard — all home shards store identical records). Mirrors the
+/// accessor surface callers use on `engine().store()`.
+pub struct StoreView<'a> {
+    shards: &'a [RegistryStore],
+    homes: &'a HashMap<AdvertId, Home>,
+}
+
+impl<'a> StoreView<'a> {
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    pub fn get(&self, id: &AdvertId) -> Option<&'a StoredAdvert> {
+        let home = self.homes.get(id)?;
+        self.shards[ShardedEngine::first_shard(home.mask)].get(id)
+    }
+
+    /// Iterates all adverts including expired-but-not-yet-purged ones.
+    pub fn iter(&self) -> impl Iterator<Item = &'a StoredAdvert> + '_ {
+        self.homes.iter().map(|(id, home)| {
+            self.shards[ShardedEngine::first_shard(home.mask)]
+                .get(id)
+                .expect("homes tracks stored adverts")
+        })
+    }
+
+    /// Iterates adverts whose lease is still live at `now`.
+    pub fn live(&self, now: SimTime) -> impl Iterator<Item = &'a StoredAdvert> + '_ {
+        self.iter().filter(move |a| a.is_live(now))
+    }
+}

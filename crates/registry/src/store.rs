@@ -262,12 +262,29 @@ impl RegistryStore {
             return PublishOutcome::New;
         };
         if advert.version < existing.advert.version {
+            // The content is stale, but a publish from the advert's own
+            // provider still proves the provider is alive: a replication race
+            // must not cost a live service its lease. Extend (never shorten)
+            // like any other heartbeat; replication forwards from third
+            // parties carry no such liveness evidence and are dropped whole.
+            if source == existing.advert.provider && lease_until > existing.lease_until {
+                existing.lease_until = lease_until;
+                let generation = self.schedule_expiry(id, lease_until);
+                self.adverts.get_mut(&id).expect("present above").lease_generation = generation;
+            }
             return PublishOutcome::StaleVersion;
         }
+        let newer = advert.version > existing.advert.version;
         let unchanged = advert.version == existing.advert.version && advert == existing.advert;
         let old = std::mem::replace(&mut existing.advert, advert);
         existing.source = source;
-        existing.requested_lease_ms = requested_lease_ms;
+        // A same-version duplicate may be a reordered copy of an older
+        // publish: adopting its requested duration could silently downgrade
+        // every future renewal grant. Only a genuinely newer version speaks
+        // for the provider's current wishes.
+        if newer {
+            existing.requested_lease_ms = requested_lease_ms;
+        }
         let extended = lease_until > existing.lease_until;
         if extended {
             existing.lease_until = lease_until;
@@ -320,14 +337,22 @@ impl RegistryStore {
     /// lease, and the service description would be purged"), ordered by
     /// `(lease_until, id)`.
     pub fn purge_expired(&mut self, now: SimTime) -> Vec<AdvertId> {
+        self.purge_expired_with_times(now).into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// [`RegistryStore::purge_expired`] keeping each purged advert's expiry
+    /// time, so callers holding several stores (the sharded data plane) can
+    /// merge per-shard results back into one global `(lease_until, id)`
+    /// order.
+    #[doc(hidden)]
+    pub fn purge_expired_with_times(&mut self, now: SimTime) -> Vec<(SimTime, AdvertId)> {
         if now == SimTime::MAX {
             // At the end of time everything is expired — `is_live` is strict,
             // so even `SimTime::MAX` leases (which never enter the heap) die.
             let mut dead: Vec<(SimTime, AdvertId)> =
                 self.adverts.iter().map(|(&id, a)| (a.lease_until, id)).collect();
             dead.sort_unstable();
-            let dead: Vec<AdvertId> = dead.into_iter().map(|(_, id)| id).collect();
-            for &id in &dead {
+            for &(_, id) in &dead {
                 let stored = self.adverts.remove(&id).expect("collected above");
                 self.index.remove(id, &stored.advert);
             }
@@ -348,7 +373,7 @@ impl RegistryStore {
                 let stored = self.adverts.remove(&id).expect("checked above");
                 debug_assert_eq!(stored.lease_until, t, "current entry carries the lease");
                 self.index.remove(id, &stored.advert);
-                dead.push(id);
+                dead.push((t, id));
             }
         }
         dead
@@ -371,12 +396,14 @@ impl RegistryStore {
         None
     }
 
-    /// True when no stored advert can be expired at `now`, decided from the
-    /// raw heap minimum without mutation. Stale entries only make this
-    /// conservative: the raw minimum lower-bounds every live entry, and every
-    /// finite-lease advert keeps a current entry in the heap.
-    pub fn none_expired(&self, now: SimTime) -> bool {
-        self.expiry.peek().is_none_or(|&Reverse((t, _, _))| t > now)
+    /// True when no stored advert can be expired at `now`. Stale heap
+    /// entries (renewed leases, removed adverts) are popped first — deciding
+    /// from the raw minimum would stay pessimistically false for the whole
+    /// window between a renewal and the old expiry passing, knocking
+    /// `summary` off its O(1) fast path — hence `&mut`. After popping, the
+    /// heap minimum is the true earliest expiry among stored adverts.
+    pub fn none_expired(&mut self, now: SimTime) -> bool {
+        self.next_expiry().is_none_or(|t| t > now)
     }
 
     /// Candidate adverts for `payload`: a sound over-approximation of every
@@ -512,11 +539,53 @@ mod tests {
         let mut s = RegistryStore::new();
         assert_eq!(s.publish(advert(1, 1), NodeId(1), 0, 100, 0), PublishOutcome::New);
         assert_eq!(s.publish(advert(1, 2), NodeId(1), 10, 200, 0), PublishOutcome::Updated);
-        assert_eq!(s.publish(advert(1, 1), NodeId(1), 20, 300, 0), PublishOutcome::StaleVersion);
+        // A stale version from a third party (replication race) is dropped
+        // whole; it is no liveness evidence for the provider.
+        assert_eq!(s.publish(advert(1, 1), NodeId(7), 20, 300, 0), PublishOutcome::StaleVersion);
         assert_eq!(s.len(), 1);
         assert_eq!(s.get(&Uuid(1)).unwrap().advert.version, 2);
-        // Stale publish must not shorten the lease.
         assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 200);
+    }
+
+    #[test]
+    fn stale_publish_from_provider_extends_lease() {
+        // Regression: a stale-version publish used to early-return before
+        // touching the lease, so a replication race could let a live
+        // provider's advert expire. The provider's own publish is a
+        // heartbeat whatever version it carries.
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 2), NodeId(1), 0, 200, 0);
+        assert_eq!(s.publish(advert(1, 1), NodeId(1), 20, 300, 0), PublishOutcome::StaleVersion);
+        let stored = s.get(&Uuid(1)).unwrap();
+        assert_eq!(stored.advert.version, 2, "stale content still dropped");
+        assert_eq!(stored.lease_until, 300, "provider heartbeat extends the lease");
+        // The heap follows the extension: nothing purges at the old expiry.
+        assert_eq!(s.purge_expired(200), Vec::<AdvertId>::new());
+        assert_eq!(s.next_expiry(), Some(300));
+        // Never shorten: a provider-sourced stale publish with an older
+        // (shorter) lease leaves the grant alone.
+        assert_eq!(s.publish(advert(1, 1), NodeId(1), 30, 250, 0), PublishOutcome::StaleVersion);
+        assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 300);
+    }
+
+    #[test]
+    fn reordered_duplicate_keeps_requested_lease_duration() {
+        // Regression: every publish used to overwrite `requested_lease_ms`,
+        // so a reordered duplicate carrying 0 downgraded future renewals to
+        // the registry default. Only a newer version adopts a new duration.
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 2), NodeId(1), 0, 100, 90_000);
+        // Reordered duplicate of the same version asking for the default.
+        assert_eq!(s.publish(advert(1, 2), NodeId(1), 10, 150, 0), PublishOutcome::Unchanged);
+        assert_eq!(s.get(&Uuid(1)).unwrap().lease_until, 150, "heartbeat still extends");
+        assert_eq!(
+            s.get(&Uuid(1)).unwrap().requested_lease_ms,
+            90_000,
+            "renewals keep re-granting the provider's requested duration"
+        );
+        // A genuinely newer version speaks for the provider's current wish.
+        s.publish(advert(1, 3), NodeId(1), 20, 200, 45_000);
+        assert_eq!(s.get(&Uuid(1)).unwrap().requested_lease_ms, 45_000);
     }
 
     #[test]
@@ -642,6 +711,22 @@ mod tests {
         assert!(!s.none_expired(100));
         s.purge_expired(100);
         assert!(s.none_expired(100));
+    }
+
+    #[test]
+    fn none_expired_skips_stale_entries_after_renewal() {
+        // Regression: the raw heap minimum used to pin `none_expired` false
+        // for the whole window between a renewal and the superseded expiry
+        // passing. Stale entries must be popped, not believed.
+        let mut s = RegistryStore::new();
+        s.publish(advert(1, 1), NodeId(1), 0, 100, 0);
+        assert!(s.renew(Uuid(1), 500));
+        assert!(s.none_expired(250), "stale (100, id) entry must not count");
+        assert!(!s.none_expired(500), "the renewed expiry still does");
+        // Removal leaves a stale entry behind too.
+        s.publish(advert(2, 1), NodeId(1), 0, 300, 0);
+        assert!(s.remove(Uuid(2)));
+        assert!(s.none_expired(350));
     }
 
     fn sem_advert(id: u128, category: ClassId, outputs: &[ClassId]) -> Advertisement {

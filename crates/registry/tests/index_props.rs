@@ -199,11 +199,8 @@ fn indexed_evaluate_equals_naive_full_scan() {
                     );
                 }
             }
-            assert_eq!(
-                engine.summary(now),
-                naive_summary(&engine, now),
-                "summary diverged at t={now}"
-            );
+            let expected_summary = naive_summary(&engine, now);
+            assert_eq!(engine.summary(now), expected_summary, "summary diverged at t={now}");
         }
     });
 }

@@ -21,7 +21,7 @@ fn advert(id: u128, version: u32) -> Advertisement {
 
 #[derive(Clone, Debug)]
 enum StoreOp {
-    Publish { id: u128, version: u32, lease_until: u64 },
+    Publish { id: u128, version: u32, lease_until: u64, from_provider: bool },
     Renew { id: u128, lease_until: u64 },
     Remove { id: u128 },
     Purge { now: u64 },
@@ -33,6 +33,7 @@ fn arb_store_op(rng: &mut Rng) -> StoreOp {
             id: u128::from(rng.gen_range(0..8u64)),
             version: rng.gen_range(0..4u32),
             lease_until: rng.gen_range(1..1_000u64),
+            from_provider: rng.gen_range(0..2u32) == 0,
         },
         1 => StoreOp::Renew {
             id: u128::from(rng.gen_range(0..8u64)),
@@ -57,14 +58,22 @@ fn store_agrees_with_naive_model() {
         let mut model = Model::default();
         for op in ops {
             match op {
-                StoreOp::Publish { id, version, lease_until } => {
-                    store.publish(advert(id, version), NodeId(0), 0, lease_until, 0);
+                StoreOp::Publish { id, version, lease_until, from_provider } => {
+                    // The advert's provider is NodeId(id); third-party
+                    // sources model replication forwards.
+                    let source = if from_provider { NodeId(id as u32) } else { NodeId(999) };
+                    store.publish(advert(id, version), source, 0, lease_until, 0);
                     match model.adverts.get_mut(&id) {
                         Some((v, l)) if version >= *v => {
                             *v = version;
                             *l = (*l).max(lease_until);
                         }
-                        Some(_) => {} // stale version dropped
+                        Some((_, l)) if from_provider => {
+                            // Stale content dropped, but a publish from the
+                            // provider itself is still a liveness heartbeat.
+                            *l = (*l).max(lease_until);
+                        }
+                        Some(_) => {} // stale version from a third party: dropped whole
                         None => {
                             model.adverts.insert(id, (version, lease_until));
                         }

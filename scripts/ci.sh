@@ -45,5 +45,17 @@ SDS_BENCH_QUICK=1 cargo bench -q --offline -p sds-bench --bench microbench
 # clones-per-delivery into the history file.
 SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin s1_engine_scaling
 
+# Shard-equivalence sweep: the sharded data plane (1/2/4/8 shards), batched
+# coalescing, and the lease-invalidated query cache must stay byte-identical
+# to the unsharded engine on randomized taxonomies, stores, and lease
+# schedules (seeded in-workspace property harness).
+cargo test -q --offline -p sds-registry --test shard_props
+
+# Mixed-workload smoke (quick mode): proves the Q2 bin runs — sharded +
+# batched + cached data-plane configurations under sustained query bursts
+# with publish churn — and records queries/s-derived mean and p99 latency
+# into the history file.
+SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin q2_mixed_workload
+
 test -s "${CARGO_TARGET_DIR:-target}/bench-history.jsonl" \
   || { echo "ci: bench-history.jsonl missing or empty after bench run" >&2; exit 1; }
