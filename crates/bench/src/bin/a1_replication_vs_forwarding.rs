@@ -11,7 +11,7 @@
 //! depends on the query:service-churn ratio, so we sweep the query rate.
 
 use sds_bench::{f2, kib, run_query_phase, Table};
-use sds_core::{ForwardStrategy, QueryOptions};
+use sds_core::{ForwardStrategy, QueryOptions, SyncMode};
 use sds_protocol::ModelId;
 use sds_simnet::secs;
 use sds_workload::{Deployment, PopulationSpec, Scenario, ScenarioConfig};
@@ -38,6 +38,10 @@ fn run(mode: &Mode, queries: usize, seed: u64) -> (f64, f64, u64, u64, f64) {
     };
     cfg.registry.strategy = mode.strategy.clone();
     cfg.registry.advert_push_interval = mode.push_interval;
+    // This ablation compares the legacy cooperation modes against each
+    // other; the anti-entropy plane (F1) would replicate underneath all
+    // three and wash out the contrast.
+    cfg.registry.sync_mode = SyncMode::Legacy;
     let mut s = Scenario::build(cfg);
     s.sim.run_until(secs(15)); // let at least one push round happen
     s.sim.reset_stats();

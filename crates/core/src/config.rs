@@ -90,6 +90,22 @@ impl Default for ForwardStrategy {
     }
 }
 
+/// How federated registries keep their replicated advert sets consistent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Digest-based anti-entropy (default): a periodic `SyncDigest` round
+    /// per peer, delta replies for mismatched buckets only, and a single
+    /// digest round on probation reinstatement. Converges through loss and
+    /// partitions at O(divergence) wire cost.
+    #[default]
+    AntiEntropy,
+    /// The pre-anti-entropy behaviour, byte-for-byte: fire-and-forget
+    /// `ForwardAdverts` rounds on `advert_push_interval` /
+    /// `advert_pull_interval`, and a full advert push on reinstatement.
+    /// Selecting this reproduces the historical golden digests exactly.
+    Legacy,
+}
+
 /// How a node finds its first registry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Bootstrap {
@@ -195,6 +211,20 @@ pub struct RegistryConfig {
     /// registries". Pulling happens during the signaling round, one random
     /// peer at a time.
     pub advert_pull_interval: SimTime,
+    /// Federation replication machinery: digest-based anti-entropy
+    /// (default) or the legacy push/pull rounds. Push/pull timers only run
+    /// in [`SyncMode::Legacy`]; the anti-entropy sync timer only in
+    /// [`SyncMode::AntiEntropy`].
+    pub sync_mode: SyncMode,
+    /// Anti-entropy round period per peer (0 disables the rounds even in
+    /// [`SyncMode::AntiEntropy`]).
+    pub sync_interval: SimTime,
+    /// Number of digest buckets per sync round. More buckets mean finer
+    /// mismatch localization (smaller deltas) at a linear digest cost.
+    pub sync_buckets: u16,
+    /// Cap on peer endpoints carried by `FederationJoin`/`FederationAck`
+    /// gossip, so peer-list payloads stay bounded on large federations.
+    pub gossip_peer_cap: usize,
     /// Worker shards in the registry data plane. Adverts are partitioned
     /// across shards by semantic taxonomy component (exact-match hashing for
     /// URI/template models) and queries route to the one shard that can hold
@@ -235,6 +265,10 @@ impl Default for RegistryConfig {
             transitive_peering: true,
             advert_push_interval: 0,
             advert_pull_interval: 0,
+            sync_mode: SyncMode::default(),
+            sync_interval: secs(10),
+            sync_buckets: 16,
+            gossip_peer_cap: 64,
             shard_count: 1,
             query_cache_capacity: 128,
             cache_sweep_interval: secs(5),
@@ -349,6 +383,10 @@ mod tests {
         );
         let q = QueryOptions::default();
         assert!(q.timeout > r.response_window, "client must outwait aggregation");
+        // Anti-entropy on by default, with sane digest geometry.
+        assert_eq!(r.sync_mode, SyncMode::AntiEntropy);
+        assert!(r.sync_interval > 0 && r.sync_buckets > 0);
+        assert!(r.gossip_peer_cap > 0, "a zero cap would break federation joins");
         // Self-healing defaults off: the pre-PR behaviour is the default.
         assert!(!ClientConfig::default().retry.enabled());
         assert!(!ServiceConfig::default().retry.enabled());

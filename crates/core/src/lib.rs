@@ -39,7 +39,7 @@ pub use attach::{AttachEvent, RegistryAttachment};
 pub use client_node::{ClientNode, CompletedQuery, CompositionResult, FetchedArtifact, Notification};
 pub use config::{
     AttachConfig, Bootstrap, ClientConfig, ForwardStrategy, QueryMode, QueryOptions,
-    RegistryConfig, RetryPolicy, ServiceConfig,
+    RegistryConfig, RetryPolicy, ServiceConfig, SyncMode,
 };
 pub use registry_node::{RegistryNode, RegistryNodeStats};
 pub use service_node::{ServiceNode, ServiceNodeStats};

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use sds_protocol::{
     Advertisement, Description, DiscoveryMessage, MaintenanceOp, ModelId, PublishOp, QueryId,
-    QueryMessage, QueryOp, QueryPayload, ResponseHit, Uuid,
+    QueryMessage, QueryOp, QueryPayload, ResponseHit, SyncEntry, Uuid, WireSize,
 };
 use sds_registry::{
     cache_key, rank_hits, CacheStats, PublishOutcome, QueryCache, SeenQueries, SemanticEvaluator,
@@ -35,8 +35,12 @@ use sds_registry::{
 use sds_semantic::{Artifact, ClassId, SubsumptionIndex};
 use sds_simnet::{Ctx, Destination, NodeId, NodeHandler, Rng, SimTime, TimerId};
 
-use crate::config::{ForwardStrategy, RegistryConfig};
+use crate::config::{ForwardStrategy, RegistryConfig, SyncMode};
 use crate::util::{send_msg, tags};
+
+/// The fixed wire size of a [`SyncEntry::Delta`] body (id, version, lease):
+/// what a delta-encoded advert update costs instead of the full advert.
+const SYNC_DELTA_ENTRY_BYTES: u32 = 56;
 
 /// Liveness record for a federation peer.
 #[derive(Clone, Copy, Debug)]
@@ -53,6 +57,24 @@ struct PeerState {
 struct ProbationState {
     /// Backed-off re-pings sent since the peer was suspected.
     attempts: u8,
+}
+
+/// Per-peer anti-entropy bookkeeping (`RegistryConfig::sync_mode ==
+/// AntiEntropy`). Both maps carry the origin's *stated* version and lease so
+/// digest comparison is independent of locally granted lease times, and both
+/// are pruned whenever the corresponding advert leaves the store ("believed
+/// synced ⊆ stored") so beliefs can never silently diverge from reality.
+#[derive(Default, Debug)]
+struct PeerSync {
+    /// Our belief of the peer's first-hand set: replicas we hold from it,
+    /// keyed by advert id with the stated (version, lease-until) we applied.
+    /// Digest rounds fold exactly this map; the peer corrects any bucket
+    /// whose digest disagrees with its actual first-hand content.
+    synced: BTreeMap<Uuid, (u32, SimTime)>,
+    /// Versions of our own first-hand adverts we shipped in full and
+    /// optimistically assume the peer holds: the delta-encoding base. Voided
+    /// when the peer reports the advert missing (`SyncAck`) or rejoins.
+    acked: BTreeMap<Uuid, u32>,
 }
 
 /// A standing query registered by a client.
@@ -99,6 +121,13 @@ pub struct RegistryNodeStats {
     pub peers_reinstated: u64,
     /// Probationers evicted after exhausting the probation retry budget.
     pub peers_evicted: u64,
+    /// Anti-entropy digests sent (one per peer per sync round).
+    pub sync_rounds: u64,
+    /// `SyncDelta` replies sent for mismatched digests or loss-recovery acks.
+    pub deltas_sent: u64,
+    /// Wire bytes avoided by delta-encoding adverts against the version the
+    /// peer last acknowledged (full entry size minus the fixed delta size).
+    pub bytes_saved: u64,
 }
 
 /// The registry role node handler.
@@ -115,6 +144,9 @@ pub struct RegistryNode {
     /// validity plus reverse invalidation on publish/renew/remove.
     query_cache: QueryCache,
     peers: BTreeMap<NodeId, PeerState>,
+    /// Anti-entropy state per peer, kept through probation (so a reinstated
+    /// peer resynchronizes in O(divergence)) and dropped on eviction.
+    sync: BTreeMap<NodeId, PeerSync>,
     /// Suspected-silent peers being re-pinged under backoff.
     probation: BTreeMap<NodeId, ProbationState>,
     /// Lazily derived jitter stream for probation backoff; never created
@@ -150,6 +182,7 @@ impl RegistryNode {
             engine,
             query_cache,
             peers: BTreeMap::new(),
+            sync: BTreeMap::new(),
             probation: BTreeMap::new(),
             probation_rng: None,
             local_registries: BTreeMap::new(),
@@ -257,19 +290,41 @@ impl RegistryNode {
         self.join_seeds_to(ctx, &seeds);
     }
 
+    /// Peer-list payload for federation gossip (`FederationJoin::known_peers`
+    /// / `FederationAck::peers`) toward `recipient`. Anti-entropy mode bounds
+    /// it: sorted, deduplicated, never naming the recipient or the sender
+    /// (the receiver learns the sender from the message itself), and capped
+    /// at `gossip_peer_cap` so each gossip payload stays O(cap) instead of
+    /// O(federation). Legacy mode reproduces the historical unbounded payload
+    /// byte-for-byte — the chaos-soak golden digests hash corrupted-frame
+    /// outcomes, which depend on exact frame bytes.
+    fn gossip_peer_list(&self, recipient: NodeId, append_self: Option<NodeId>) -> Vec<NodeId> {
+        let mut list: Vec<NodeId> = self.peers.keys().copied().collect();
+        if self.cfg.sync_mode == SyncMode::Legacy {
+            if let Some(id) = append_self {
+                list.push(id);
+            }
+            return list;
+        }
+        // BTreeMap keys are already sorted and unique; dedup is insurance
+        // against future callers handing in merged lists.
+        list.dedup();
+        list.retain(|&p| p != recipient);
+        list.truncate(self.cfg.gossip_peer_cap);
+        list
+    }
+
     fn join_seeds_to(&self, ctx: &mut Ctx<'_, DiscoveryMessage>, targets: &[NodeId]) {
-        let known: Vec<NodeId> = self.peers.keys().copied().collect();
         for &target in targets {
             if target == ctx.node() {
                 continue;
             }
+            let known_peers = self.gossip_peer_list(target, None);
             send_msg(
                 ctx,
                 self.cfg.codec,
                 Destination::Unicast(target),
-                DiscoveryMessage::maintenance(MaintenanceOp::FederationJoin {
-                    known_peers: known.clone(),
-                }),
+                DiscoveryMessage::maintenance(MaintenanceOp::FederationJoin { known_peers }),
             );
         }
     }
@@ -313,6 +368,9 @@ impl RegistryNode {
         };
         if state.attempts >= self.cfg.probation.max_retries {
             self.probation.remove(&id);
+            // Eviction is final: the sync belief for this peer dies with it
+            // (a later rejoin starts from a clean digest exchange).
+            self.sync.remove(&id);
             self.stats.peers_evicted += 1;
             return;
         }
@@ -349,8 +407,23 @@ impl RegistryNode {
             entry.unanswered_pings = 0;
         }
         self.join_seeds_to(ctx, &[id]);
-        if self.cfg.advert_push_interval > 0 {
-            self.push_adverts(ctx);
+        match self.cfg.sync_mode {
+            // The belief maps survived probation, so one digest round heals
+            // in O(divergence): only what changed while the peer was dark
+            // flows, not the whole store.
+            SyncMode::AntiEntropy => {
+                if self.cfg.sync_interval > 0 {
+                    self.send_sync_digest(ctx, id);
+                }
+            }
+            // Legacy replication re-announces with a full advert push — but
+            // only when push replication is actually enabled; a pull-only or
+            // replication-free deployment must not start pushing here.
+            SyncMode::Legacy => {
+                if self.cfg.advert_push_interval > 0 {
+                    self.push_adverts(ctx);
+                }
+            }
         }
     }
 
@@ -714,6 +787,196 @@ impl RegistryNode {
         }
     }
 
+    /// Whether this node runs the anti-entropy replication plane.
+    fn anti_entropy_on(&self) -> bool {
+        self.cfg.sync_mode == SyncMode::AntiEntropy && self.cfg.sync_interval > 0
+    }
+
+    /// One anti-entropy round toward `peer`: fold our *belief* of the peer's
+    /// first-hand set into per-bucket digests and send them. The peer
+    /// compares against its actual first-hand content (it is authoritative
+    /// for its own adverts) and answers mismatched buckets with a
+    /// `SyncDelta`; agreement costs one fixed-size message and no reply.
+    fn send_sync_digest(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, peer: NodeId) {
+        let n = self.cfg.sync_buckets;
+        let buckets = {
+            let st = self.sync.entry(peer).or_default();
+            sds_registry::sync::fold_digests(
+                st.synced.iter().map(|(&id, &(version, lease))| (id, version, lease)),
+                n,
+            )
+        };
+        self.stats.sync_rounds += 1;
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(peer),
+            DiscoveryMessage::maintenance(MaintenanceOp::SyncDigest {
+                count: u32::from(n),
+                buckets,
+            }),
+        );
+    }
+
+    /// Answers a digest mismatch (or a loss-recovery `SyncAck` via `resend`)
+    /// with our first-hand adverts the peer is missing or holds stale. Each
+    /// advert is delta-encoded against the version the peer last
+    /// acknowledged: a matching version ships as a fixed-size (id, version,
+    /// lease) renewal, anything else as the full advert. An empty `buckets`
+    /// slice marks a resend that must not prune the receiver's belief.
+    fn send_sync_delta(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        peer: NodeId,
+        buckets: &[u16],
+        resend: Option<&[Uuid]>,
+    ) {
+        let now = ctx.now();
+        let n = self.cfg.sync_buckets;
+        let mut owned: Vec<(Advertisement, SimTime)> = self
+            .engine
+            .store()
+            .first_hand(now)
+            .filter(|s| match resend {
+                Some(ids) => ids.contains(&s.advert.id),
+                None => buckets.contains(&sds_registry::sync::bucket_of(s.advert.id, n)),
+            })
+            .map(|s| (s.advert.clone(), s.lease_until))
+            .collect();
+        owned.sort_unstable_by_key(|(a, _)| a.id);
+        if owned.is_empty() && buckets.is_empty() {
+            // Nothing to resend and no bucket coverage to report.
+            return;
+        }
+        let st = self.sync.entry(peer).or_default();
+        let mut entries = Vec::with_capacity(owned.len());
+        let mut saved = 0u64;
+        for (advert, lease_until) in owned {
+            // A resend answers a peer that does NOT hold the advert: the
+            // acked version is void there, ship the full advert again.
+            let delta_ok =
+                resend.is_none() && st.acked.get(&advert.id) == Some(&advert.version);
+            if delta_ok {
+                let full = 16 + advert.body_size();
+                saved += u64::from(full.saturating_sub(SYNC_DELTA_ENTRY_BYTES));
+                entries.push(SyncEntry::Delta {
+                    id: advert.id,
+                    version: advert.version,
+                    lease_until,
+                });
+            } else {
+                st.acked.insert(advert.id, advert.version);
+                entries.push(SyncEntry::Full { advert, lease_until });
+            }
+        }
+        self.stats.bytes_saved += saved;
+        self.stats.deltas_sent += 1;
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(peer),
+            DiscoveryMessage::maintenance(MaintenanceOp::SyncDelta {
+                buckets: buckets.to_vec(),
+                entries,
+            }),
+        );
+    }
+
+    /// Applies a peer's `SyncDelta`: store full adverts, renew delta-encoded
+    /// ones we already hold at that version, report the rest missing, and
+    /// prune beliefs the covered buckets no longer mention (deletion
+    /// propagation). Idempotent under duplication and reorder: every step
+    /// converges the replica toward the origin's stated (version, lease).
+    fn apply_sync_delta(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        from: NodeId,
+        buckets: Vec<u16>,
+        entries: Vec<SyncEntry>,
+    ) {
+        let now = ctx.now();
+        let mut missing: Vec<Uuid> = Vec::new();
+        let mut mentioned: Vec<Uuid> = Vec::new();
+        for entry in entries {
+            match entry {
+                SyncEntry::Full { advert, lease_until } => {
+                    mentioned.push(advert.id);
+                    // Replicated adverts get the same ontology check as
+                    // legacy push replication; there is no provider to nack.
+                    if !self.unknown_concepts(&advert).is_empty() {
+                        self.stats.publishes_nacked += 1;
+                        continue;
+                    }
+                    // Grant what remains of the origin's lease, so the
+                    // replica expires when the origin stops refreshing it.
+                    let lease_ms = lease_until.saturating_sub(now);
+                    if lease_ms == 0 {
+                        continue;
+                    }
+                    let (outcome, _) = self.publish_cached(advert.clone(), from, now, lease_ms);
+                    if outcome == PublishOutcome::New {
+                        self.notify_subscribers(ctx, &advert);
+                    }
+                    self.sync
+                        .entry(from)
+                        .or_default()
+                        .synced
+                        .insert(advert.id, (advert.version, lease_until));
+                }
+                SyncEntry::Delta { id, version, lease_until } => {
+                    mentioned.push(id);
+                    let held = self
+                        .engine
+                        .store()
+                        .get(&id)
+                        .map(|s| (s.advert.version, s.is_live(now), s.advert.clone()));
+                    match held {
+                        Some((v, live, advert)) if v == version => {
+                            // A renewal can revive an expired-but-unpurged
+                            // replica, which changes query results without
+                            // new content: invalidate (mirrors RenewLease).
+                            let (known, _) = self.engine.renew(id, now);
+                            if known && !live {
+                                self.invalidate_cache(&advert);
+                            }
+                            self.sync
+                                .entry(from)
+                                .or_default()
+                                .synced
+                                .insert(id, (version, lease_until));
+                        }
+                        // Unknown advert or version skew: the delta base is
+                        // wrong on our side, ask for the full advert.
+                        _ => missing.push(id),
+                    }
+                }
+            }
+        }
+        // A mismatched bucket's reply lists the origin's entire first-hand
+        // content for that bucket, so believed entries it no longer mentions
+        // are gone at the origin. An empty bucket list marks a loss-recovery
+        // resend and prunes nothing.
+        if !buckets.is_empty() {
+            let n = self.cfg.sync_buckets;
+            if let Some(st) = self.sync.get_mut(&from) {
+                st.synced.retain(|&id, _| {
+                    !buckets.contains(&sds_registry::sync::bucket_of(id, n))
+                        || mentioned.contains(&id)
+                });
+            }
+        }
+        if !missing.is_empty() {
+            missing.sort_unstable();
+            missing.dedup();
+            send_msg(
+                ctx,
+                self.cfg.codec,
+                Destination::Unicast(from),
+                DiscoveryMessage::maintenance(MaintenanceOp::SyncAck { missing }),
+            );
+        }
+    }
+
     fn on_maintenance(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, op: MaintenanceOp) {
         match op {
             MaintenanceOp::RegistryProbe => {
@@ -788,8 +1051,7 @@ impl RegistryNode {
             }
             MaintenanceOp::FederationJoin { known_peers } => {
                 let self_id = ctx.node();
-                let mut peers: Vec<NodeId> = self.peers.keys().copied().collect();
-                peers.push(self_id);
+                let peers = self.gossip_peer_list(from, Some(self_id));
                 self.add_peer(from, ctx.now(), self_id);
                 if self.cfg.transitive_peering {
                     for p in known_peers {
@@ -802,6 +1064,16 @@ impl RegistryNode {
                     Destination::Unicast(from),
                     DiscoveryMessage::maintenance(MaintenanceOp::FederationAck { peers }),
                 );
+                if self.anti_entropy_on() {
+                    // A (re)joining peer may have restarted with nothing: our
+                    // delta-encoding base is void, and one immediate digest
+                    // round replaces the legacy full push for initial
+                    // replication (the peer corrects whatever differs).
+                    if let Some(st) = self.sync.get_mut(&from) {
+                        st.acked.clear();
+                    }
+                    self.send_sync_digest(ctx, from);
+                }
             }
             MaintenanceOp::FederationAck { peers } => {
                 let self_id = ctx.node();
@@ -810,6 +1082,52 @@ impl RegistryNode {
                     for p in peers {
                         self.add_peer(p, ctx.now(), self_id);
                     }
+                }
+                if self.anti_entropy_on() {
+                    // Complete the initial exchange in both directions.
+                    self.send_sync_digest(ctx, from);
+                }
+            }
+            MaintenanceOp::SyncDigest { count, buckets } => {
+                // A digest is proof the sender holds us as a federation peer
+                // (digests only go to peers) and proof of life: adopt it.
+                // Transitive peering can leave one-way edges behind —
+                // symmetric closure through the sync plane converges them in
+                // one round instead of waiting on signaling gossip.
+                if self.anti_entropy_on() {
+                    let newly_adopted = !self.peers.contains_key(&from);
+                    self.add_peer(from, ctx.now(), ctx.node());
+                    if newly_adopted && self.peers.contains_key(&from) {
+                        self.send_sync_digest(ctx, from);
+                    }
+                }
+                let n = self.cfg.sync_buckets;
+                let own = self.engine.store().sync_digests(ctx.now(), n);
+                // Bucket-for-bucket comparison only when the shapes agree; a
+                // peer with different bucket geometry (or a corrupted frame)
+                // counts every bucket as divergent.
+                let shape_ok = count as usize == buckets.len() && buckets.len() == own.len();
+                let mismatched: Vec<u16> = (0..n)
+                    .filter(|&b| !shape_ok || own[usize::from(b)] != buckets[usize::from(b)])
+                    .collect();
+                if !mismatched.is_empty() {
+                    self.send_sync_delta(ctx, from, &mismatched, None);
+                }
+            }
+            MaintenanceOp::SyncDelta { buckets, entries } => {
+                self.apply_sync_delta(ctx, from, buckets, entries);
+            }
+            MaintenanceOp::SyncAck { missing } => {
+                if !missing.is_empty() {
+                    // The peer lacks these (first sight on its side, or it
+                    // lost the original full advert): void the acked
+                    // versions and resend complete adverts. Empty bucket
+                    // coverage keeps the peer from pruning its beliefs.
+                    let st = self.sync.entry(from).or_default();
+                    for id in &missing {
+                        st.acked.remove(id);
+                    }
+                    self.send_sync_delta(ctx, from, &[], Some(&missing));
                 }
             }
             MaintenanceOp::SummaryAdvert { advert_count, .. } => {
@@ -938,6 +1256,13 @@ impl RegistryNode {
                 if let Some(advert) = removed {
                     self.invalidate_cache(&advert);
                 }
+                // The advert is gone from the store, so every sync belief
+                // referencing it is stale; the next digest round propagates
+                // the deletion (peers prune it from the covered bucket).
+                for st in self.sync.values_mut() {
+                    st.synced.remove(&id);
+                    st.acked.remove(&id);
+                }
             }
             PublishOp::ForwardAdverts { adverts } => {
                 for advert in adverts {
@@ -1047,6 +1372,7 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
         self.sub_index.clear();
         self.pending.clear();
         self.pending_by_alias.clear();
+        self.sync.clear();
 
         if self.cfg.beacon_interval > 0 {
             self.beacon(ctx);
@@ -1061,11 +1387,22 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
         if self.cfg.signaling_interval > 0 {
             ctx.set_timer(self.cfg.signaling_interval, tags::SIGNALING);
         }
-        if self.cfg.advert_push_interval > 0 {
-            ctx.set_timer(self.cfg.advert_push_interval, tags::ADVERT_PUSH);
-        }
-        if self.cfg.advert_pull_interval > 0 {
-            ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+        // The sync mode selects the replication plane: anti-entropy digest
+        // rounds, or the legacy push/pull timers — never both.
+        match self.cfg.sync_mode {
+            SyncMode::AntiEntropy => {
+                if self.cfg.sync_interval > 0 {
+                    ctx.set_timer(self.cfg.sync_interval, tags::SYNC);
+                }
+            }
+            SyncMode::Legacy => {
+                if self.cfg.advert_push_interval > 0 {
+                    ctx.set_timer(self.cfg.advert_push_interval, tags::ADVERT_PUSH);
+                }
+                if self.cfg.advert_pull_interval > 0 {
+                    ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+                }
+            }
         }
         if self.cfg.query_cache_capacity > 0 && self.cfg.cache_sweep_interval > 0 {
             ctx.set_timer(self.cfg.cache_sweep_interval, tags::CACHE_SWEEP);
@@ -1089,6 +1426,17 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
             tags::PURGE => {
                 let purged = self.engine.purge(ctx.now());
                 self.stats.adverts_purged += purged.len() as u64;
+                // Keep "believed synced ⊆ stored": a purged replica must be
+                // fetched again if its origin still lists it, and a purged
+                // first-hand advert can no longer serve as a delta base.
+                if !purged.is_empty() {
+                    for st in self.sync.values_mut() {
+                        for id in &purged {
+                            st.synced.remove(id);
+                            st.acked.remove(id);
+                        }
+                    }
+                }
                 let now = ctx.now();
                 let sub_index = &mut self.sub_index;
                 self.subscriptions.retain(|&id, sub| {
@@ -1110,9 +1458,12 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
                     .collect();
                 for id in dead {
                     if self.cfg.probation.enabled() {
+                        // Probation keeps the sync belief: reinstatement
+                        // then heals in O(divergence), not O(state).
                         self.suspect_peer(ctx, id);
                     } else {
                         self.peers.remove(&id);
+                        self.sync.remove(&id);
                     }
                 }
                 let targets: Vec<NodeId> = self.peers.keys().copied().collect();
@@ -1174,6 +1525,19 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
                     );
                 }
                 ctx.set_timer(self.cfg.advert_pull_interval, tags::ADVERT_PULL);
+            }
+            tags::SYNC => {
+                // Anti-entropy round: one digest per peer. Belief state for
+                // nodes that are neither peers nor probationers is garbage.
+                let peers_ref = &self.peers;
+                let probation_ref = &self.probation;
+                self.sync
+                    .retain(|id, _| peers_ref.contains_key(id) || probation_ref.contains_key(id));
+                let peers: Vec<NodeId> = self.peers.keys().copied().collect();
+                for peer in peers {
+                    self.send_sync_digest(ctx, peer);
+                }
+                ctx.set_timer(self.cfg.sync_interval, tags::SYNC);
             }
             tags::CACHE_SWEEP => {
                 self.query_cache.sweep(ctx.now());

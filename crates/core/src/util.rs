@@ -37,6 +37,8 @@ pub(crate) mod tags {
     /// Registry: periodic query-cache sweep — drop entries whose validity
     /// lapsed, so dead results do not linger until their next lookup.
     pub const CACHE_SWEEP: u64 = 12;
+    /// Registry: anti-entropy round — exchange sync digests with peers.
+    pub const SYNC: u64 = 13;
 
     /// Width of every sequenced tag family's range. Wide enough that no
     /// in-simulation counter (query seq, service index, node id) can
@@ -102,8 +104,8 @@ mod tests {
             tags::PROBATION_BASE,
         ];
         for (i, &a) in bases.iter().enumerate() {
-            // Fixed tags sit below every family window.
-            assert!(tags::CACHE_SWEEP < a);
+            // Fixed tags sit below every family window (SYNC is the highest).
+            assert!(tags::SYNC < a);
             // The largest in-window tag of one family never reaches the next.
             let top = tags::tagged(a, tags::WINDOW - 1);
             for &b in bases.iter().skip(i + 1) {

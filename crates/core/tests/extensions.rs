@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use sds_core::{
     ClientConfig, ClientNode, QueryOptions, RegistryConfig, RegistryNode, ServiceConfig,
-    ServiceNode,
+    ServiceNode, SyncMode,
 };
 use sds_protocol::{Description, DiscoveryMessage, QueryPayload};
 use sds_semantic::{ClassId, Ontology, ServiceProfile, ServiceRequest, SubsumptionIndex};
@@ -143,17 +143,19 @@ fn advert_pull_replicates_on_demand() {
     let lan0 = topo.add_lan();
     let lan1 = topo.add_lan();
     let mut sim: Sim<DiscoveryMessage> = Sim::new(SimConfig::default(), topo, 8);
-    // r0 pulls; r1 never pushes.
+    // r0 pulls; r1 never pushes. Legacy sync: the pull timer is the legacy
+    // replication plane and must do the work itself here.
+    let legacy = RegistryConfig { sync_mode: SyncMode::Legacy, ..Default::default() };
     let r0 = sim.add_node(
         lan0,
         Box::new(RegistryNode::new(
-            RegistryConfig { advert_pull_interval: secs(5), ..Default::default() },
+            RegistryConfig { advert_pull_interval: secs(5), ..legacy.clone() },
             None,
         )),
     );
     let _r1 = sim.add_node(
         lan1,
-        Box::new(RegistryNode::new(RegistryConfig { seeds: vec![r0], ..Default::default() }, None)),
+        Box::new(RegistryNode::new(RegistryConfig { seeds: vec![r0], ..legacy }, None)),
     );
     let _s = sim.add_node(
         lan1,
@@ -266,6 +268,7 @@ fn advert_push_replicates_across_federation() {
     let push = RegistryConfig {
         advert_push_interval: secs(5),
         strategy: sds_core::ForwardStrategy::None, // replication instead of forwarding
+        sync_mode: SyncMode::Legacy,               // exercise the legacy push plane
         ..Default::default()
     };
     let r0 = sim.add_node(lan0, Box::new(RegistryNode::new(push.clone(), None)));

@@ -10,6 +10,8 @@
 //! * [`RecoverySample`] / [`time_to_recovery`] — post-fault-window health
 //!   probes and the time-to-recovery arithmetic for the rolling-chaos
 //!   experiments;
+//! * [`StalenessTracker`] — how long any replica's view stays divergent
+//!   from its origin, for the federation-sync bounded-staleness claims;
 //! * [`Graph`] and the generators in [`topologies`] — registry-network
 //!   survivability analysis for the paper's topology discussion, following
 //!   its references to complex-network robustness work (Albert/Jeong/Barabási
@@ -20,9 +22,11 @@
 mod graph;
 mod invariants;
 mod recovery;
+mod staleness;
 mod stats;
 
 pub use graph::{topologies, Graph, RemovalReport};
 pub use invariants::{fingerprint, InvariantReport};
 pub use recovery::{time_to_recovery, RecoverySample};
+pub use staleness::StalenessTracker;
 pub use stats::{ratio, recall, Summary};

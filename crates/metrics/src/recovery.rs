@@ -1,10 +1,12 @@
 //! Recovery-time measurement for the rolling-chaos experiments.
 //!
 //! After a fault window heals, the harness samples discovery health (oracle
-//! recall, stale-lease count) on a fixed cadence. A system has *recovered*
-//! at the first sample where recall is back to 1.0 with no stale lease —
-//! the paper's dynamic-environment claim made measurable: how long until
-//! the registry network again answers every answerable query correctly?
+//! recall, stale-lease count, federation divergence) on a fixed cadence. A
+//! system has *recovered* at the first sample where recall is back to 1.0
+//! with no stale lease and every registry again holds a live copy of every
+//! live advertisement — the paper's dynamic-environment claim made
+//! measurable: how long until the registry network again answers every
+//! answerable query correctly, from every entry point?
 
 /// One post-window health probe.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -15,13 +17,19 @@ pub struct RecoverySample {
     pub recall: f64,
     /// Advertisements answered from leases that should have expired.
     pub stale_leases: u64,
+    /// Federation divergence: live first-hand adverts some other live
+    /// registry does not hold a live replica of. A diverged registry still
+    /// answers queries — incompletely — so replication masks it from
+    /// recall; this counts it directly.
+    pub divergent: u64,
 }
 
 impl RecoverySample {
-    /// A sample counts as healthy when every answerable query was answered
-    /// and nothing stale leaked into the answers.
+    /// A sample counts as healthy when every answerable query was answered,
+    /// nothing stale leaked into the answers, and every live registry holds
+    /// every live advert (no silently diverged replica set).
     pub fn healthy(&self) -> bool {
-        self.recall >= 1.0 && self.stale_leases == 0
+        self.recall >= 1.0 && self.stale_leases == 0 && self.divergent == 0
     }
 }
 
@@ -44,7 +52,7 @@ mod tests {
     use super::*;
 
     fn s(at: u64, recall: f64, stale: u64) -> RecoverySample {
-        RecoverySample { at, recall, stale_leases: stale }
+        RecoverySample { at, recall, stale_leases: stale, divergent: 0 }
     }
 
     #[test]
@@ -57,6 +65,15 @@ mod tests {
             s(130, 1.0, 0),
         ];
         assert_eq!(time_to_recovery(100, &samples), Some(20));
+    }
+
+    #[test]
+    fn divergent_replicas_block_recovery_even_at_full_recall() {
+        let samples = [
+            RecoverySample { at: 100, recall: 1.0, stale_leases: 0, divergent: 3 },
+            RecoverySample { at: 110, recall: 1.0, stale_leases: 0, divergent: 0 },
+        ];
+        assert_eq!(time_to_recovery(100, &samples), Some(10));
     }
 
     #[test]

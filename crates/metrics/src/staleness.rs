@@ -1,0 +1,105 @@
+//! Staleness tracking for replicated views.
+//!
+//! A replica is *stale* while its view of some item diverges from the
+//! origin's (missing, or at an older version). The interesting quantity for
+//! an anti-entropy plane is not whether divergence ever happens — every
+//! update opens a divergence window — but how long any single divergence
+//! *persists*: bounded staleness is the convergence guarantee made
+//! measurable.
+
+use std::collections::BTreeMap;
+
+/// Tracks, per key, how long it has been continuously divergent, and the
+/// worst persistence ever observed (including divergences since resolved).
+///
+/// Feed it the full divergent key set at each observation instant; keys are
+/// whatever identifies one replica's view of one item (e.g. a
+/// `(registry, advert id)` pair).
+#[derive(Clone, Debug, Default)]
+pub struct StalenessTracker<K: Ord + Copy> {
+    since: BTreeMap<K, u64>,
+    max_observed: u64,
+}
+
+impl<K: Ord + Copy> StalenessTracker<K> {
+    pub fn new() -> Self {
+        Self { since: BTreeMap::new(), max_observed: 0 }
+    }
+
+    /// Records the set of keys divergent at `now`. Keys seen for the first
+    /// time start their clock at `now`; keys no longer listed resolve (their
+    /// final age is folded into the maximum). Returns the current worst age.
+    ///
+    /// Ages are measured between observation instants, so the resolution is
+    /// the caller's sampling cadence.
+    pub fn observe<I: IntoIterator<Item = K>>(&mut self, now: u64, divergent: I) -> u64 {
+        let mut fresh = BTreeMap::new();
+        for k in divergent {
+            let since = self.since.get(&k).copied().unwrap_or(now);
+            fresh.insert(k, since);
+        }
+        // Anything previously tracked but absent now has resolved; it was
+        // last *seen* divergent one observation ago, but charging it until
+        // `now` keeps the estimate conservative.
+        for (_, since) in self.since.iter().filter(|(k, _)| !fresh.contains_key(k)) {
+            self.max_observed = self.max_observed.max(now - since);
+        }
+        self.since = fresh;
+        self.current_max_age(now)
+    }
+
+    /// Worst age among keys divergent right now.
+    pub fn current_max_age(&self, now: u64) -> u64 {
+        self.since.values().map(|&s| now.saturating_sub(s)).max().unwrap_or(0)
+    }
+
+    /// Worst divergence persistence ever observed, resolved or not — the
+    /// number a bounded-staleness claim is checked against.
+    pub fn max_observed(&self, now: u64) -> u64 {
+        self.max_observed.max(self.current_max_age(now))
+    }
+
+    /// Number of keys divergent at the last observation.
+    pub fn divergent_now(&self) -> usize {
+        self.since.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ages_accumulate_while_divergent_and_fold_on_resolve() {
+        let mut t = StalenessTracker::new();
+        assert_eq!(t.observe(100, [1u32]), 0);
+        assert_eq!(t.observe(150, [1]), 50);
+        assert_eq!(t.observe(200, [1, 2]), 100);
+        // Key 1 resolves: its 100 ms (plus the 200→250 gap) is remembered;
+        // key 2 keeps aging.
+        assert_eq!(t.observe(250, [2]), 50);
+        assert_eq!(t.max_observed(250), 150);
+        // Everything resolves; the maximum is retained.
+        t.observe(300, []);
+        assert_eq!(t.divergent_now(), 0);
+        assert_eq!(t.current_max_age(300), 0);
+        assert_eq!(t.max_observed(300), 150);
+    }
+
+    #[test]
+    fn reappearing_key_restarts_its_clock() {
+        let mut t = StalenessTracker::new();
+        t.observe(0, [7u32]);
+        t.observe(10, []);
+        assert_eq!(t.observe(20, [7]), 0, "a resolved key that diverges again starts fresh");
+        assert_eq!(t.max_observed(20), 10);
+    }
+
+    #[test]
+    fn empty_tracker_reports_zero() {
+        let t: StalenessTracker<u64> = StalenessTracker::new();
+        assert_eq!(t.current_max_age(5), 0);
+        assert_eq!(t.max_observed(5), 0);
+        assert_eq!(t.divergent_now(), 0);
+    }
+}

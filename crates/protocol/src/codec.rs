@@ -13,7 +13,7 @@ use sds_simnet::NodeId;
 
 use crate::message::{
     Advertisement, Description, DescriptionTemplate, DiscoveryMessage, MaintenanceOp, ModelId,
-    Operation, PublishOp, QueryId, QueryMessage, QueryOp, QueryPayload, ResponseHit,
+    Operation, PublishOp, QueryId, QueryMessage, QueryOp, QueryPayload, ResponseHit, SyncEntry,
     PROTOCOL_VERSION,
 };
 use crate::uuid::Uuid;
@@ -425,7 +425,60 @@ fn write_maintenance(w: &mut Writer, m: &MaintenanceOp) {
             w.bool(*found);
             w.u32(*size);
         }
+        MaintenanceOp::SyncDigest { count, buckets } => {
+            w.u8(13);
+            w.u32(*count);
+            w.u32(buckets.len() as u32);
+            for b in buckets {
+                w.u64(*b);
+            }
+        }
+        MaintenanceOp::SyncDelta { buckets, entries } => {
+            w.u8(14);
+            w.u32(buckets.len() as u32);
+            for b in buckets {
+                w.u16(*b);
+            }
+            w.u32(entries.len() as u32);
+            for e in entries {
+                write_sync_entry(w, e);
+            }
+        }
+        MaintenanceOp::SyncAck { missing } => {
+            w.u8(15);
+            w.u32(missing.len() as u32);
+            for id in missing {
+                w.u128(id.0);
+            }
+        }
     }
+}
+
+fn write_sync_entry(w: &mut Writer, e: &SyncEntry) {
+    match e {
+        SyncEntry::Full { advert, lease_until } => {
+            w.u8(0);
+            w.u64(*lease_until);
+            write_advert(w, advert);
+        }
+        SyncEntry::Delta { id, version, lease_until } => {
+            w.u8(1);
+            w.u128(id.0);
+            w.u32(*version);
+            w.u64(*lease_until);
+        }
+    }
+}
+
+fn read_sync_entry(r: &mut Reader<'_>) -> R<SyncEntry> {
+    Ok(match r.u8()? {
+        0 => {
+            let lease_until = r.u64()?;
+            SyncEntry::Full { advert: read_advert(r)?, lease_until }
+        }
+        1 => SyncEntry::Delta { id: Uuid(r.u128()?), version: r.u32()?, lease_until: r.u64()? },
+        t => return Err(DecodeError::InvalidTag { what: "sync entry", tag: t }),
+    })
 }
 
 fn read_maintenance(r: &mut Reader<'_>) -> R<MaintenanceOp> {
@@ -455,6 +508,36 @@ fn read_maintenance(r: &mut Reader<'_>) -> R<MaintenanceOp> {
         10 => MaintenanceOp::ArtifactRequest { name: r.str()? },
         12 => MaintenanceOp::AdvertPullRequest,
         11 => MaintenanceOp::ArtifactResponse { name: r.str()?, found: r.bool()?, size: r.u32()? },
+        13 => {
+            let count = r.u32()?;
+            let n = r.u32()? as usize;
+            let mut buckets = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                buckets.push(r.u64()?);
+            }
+            MaintenanceOp::SyncDigest { count, buckets }
+        }
+        14 => {
+            let n = r.u32()? as usize;
+            let mut buckets = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                buckets.push(r.u16()?);
+            }
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                entries.push(read_sync_entry(r)?);
+            }
+            MaintenanceOp::SyncDelta { buckets, entries }
+        }
+        15 => {
+            let n = r.u32()? as usize;
+            let mut missing = Vec::with_capacity(n.min(256));
+            for _ in 0..n {
+                missing.push(Uuid(r.u128()?));
+            }
+            MaintenanceOp::SyncAck { missing }
+        }
         t => return Err(DecodeError::InvalidTag { what: "maintenance op", tag: t }),
     })
 }
@@ -815,6 +898,29 @@ mod tests {
             name: "nato".into(),
             found: true,
             size: 4096,
+        }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::SyncDigest {
+            count: 16,
+            buckets: vec![0, u64::MAX, 0xDEAD_BEEF],
+        }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::SyncDelta {
+            buckets: vec![0, 3, 15],
+            entries: vec![
+                SyncEntry::Delta { id: Uuid(7), version: 2, lease_until: 30_000 },
+                SyncEntry::Full {
+                    advert: Advertisement {
+                        id: Uuid(8),
+                        provider: NodeId(3),
+                        description: Description::Uri("urn:svc:chat".into()),
+                        version: 1,
+                    },
+                    lease_until: 45_000,
+                },
+            ],
+        }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::SyncDelta { buckets: vec![], entries: vec![] }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::SyncAck {
+            missing: vec![Uuid(1), Uuid(u128::MAX)],
         }));
     }
 

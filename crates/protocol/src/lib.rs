@@ -33,6 +33,7 @@ mod wire;
 pub use message::{
     AdvertId, Advertisement, Description, DescriptionTemplate, DiscoveryMessage, MaintenanceOp,
     ModelId, Operation, PublishOp, QueryId, QueryMessage, QueryOp, QueryPayload, ResponseHit,
+    SyncEntry,
 };
 pub use profile::{minimum_profile, ProtocolProfile};
 pub use uuid::Uuid;

@@ -199,6 +199,35 @@ pub enum MaintenanceOp {
     ArtifactRequest { name: String },
     /// Artifact fetch result; `size` models the artifact body length.
     ArtifactResponse { name: String, found: bool, size: u32 },
+    /// Anti-entropy round opener: the sender's belief of the receiver's
+    /// first-hand advert set, folded into `count` per-bucket digests over
+    /// `(advert id, version, lease)`. The receiver compares against its own
+    /// live first-hand set and answers [`MaintenanceOp::SyncDelta`] for the
+    /// buckets that differ (silence means the peers agree).
+    SyncDigest { count: u32, buckets: Vec<u64> },
+    /// Anti-entropy reply: the full first-hand contents of the mismatched
+    /// `buckets`, each advert delta-encoded against the receiver's last-acked
+    /// version where possible ([`SyncEntry::Delta`] is a few bytes;
+    /// [`SyncEntry::Full`] ships the whole advert on first sight or desync).
+    /// An empty `buckets` list marks a loss-recovery resend that must not
+    /// prune anything at the receiver.
+    SyncDelta { buckets: Vec<u16>, entries: Vec<SyncEntry> },
+    /// Anti-entropy repair request: the receiver optimistically assumed
+    /// these adverts were already known ([`SyncEntry::Delta`]) but the
+    /// requester has never seen them — resend them in full.
+    SyncAck { missing: Vec<AdvertId> },
+}
+
+/// One advert inside a [`MaintenanceOp::SyncDelta`], either in full or
+/// delta-encoded against the version the receiver last acknowledged.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SyncEntry {
+    /// First sight (or desync): the whole advertisement plus the origin's
+    /// current lease deadline.
+    Full { advert: Advertisement, lease_until: SimTime },
+    /// The receiver already holds this advert at `version`: only the lease
+    /// heartbeat (and the version echo that proves it still applies) travel.
+    Delta { id: AdvertId, version: u32, lease_until: SimTime },
 }
 
 /// Publishing operations.
@@ -307,6 +336,9 @@ impl DiscoveryMessage {
                 MaintenanceOp::AdvertPullRequest => "advert-pull",
                 MaintenanceOp::ArtifactRequest { .. } => "artifact-req",
                 MaintenanceOp::ArtifactResponse { .. } => "artifact-resp",
+                MaintenanceOp::SyncDigest { .. } => "sync-digest",
+                MaintenanceOp::SyncDelta { .. } => "sync-delta",
+                MaintenanceOp::SyncAck { .. } => "sync-ack",
             },
             Operation::Publishing(p) => match p {
                 PublishOp::Publish { .. } => "publish",

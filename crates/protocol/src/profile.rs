@@ -42,7 +42,10 @@ pub fn minimum_profile(msg: &DiscoveryMessage) -> ProtocolProfile {
             MaintenanceOp::FederationJoin { .. }
             | MaintenanceOp::FederationAck { .. }
             | MaintenanceOp::SummaryAdvert { .. }
-            | MaintenanceOp::AdvertPullRequest => ProtocolProfile::Registry,
+            | MaintenanceOp::AdvertPullRequest
+            | MaintenanceOp::SyncDigest { .. }
+            | MaintenanceOp::SyncDelta { .. }
+            | MaintenanceOp::SyncAck { .. } => ProtocolProfile::Registry,
         },
         Operation::Publishing(p) => match p {
             PublishOp::Publish { .. }

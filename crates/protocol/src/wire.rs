@@ -11,7 +11,7 @@
 
 use crate::message::{
     Advertisement, Description, DescriptionTemplate, DiscoveryMessage, MaintenanceOp, Operation,
-    PublishOp, QueryMessage, QueryOp, QueryPayload, ResponseHit,
+    PublishOp, QueryMessage, QueryOp, QueryPayload, ResponseHit, SyncEntry,
 };
 
 /// SOAP envelope + WS-Addressing headers common to every message.
@@ -133,6 +133,27 @@ impl WireSize for MaintenanceOp {
             MaintenanceOp::ArtifactResponse { name, found, size } => {
                 48 + name.len() as u32 + if *found { *size } else { 0 }
             }
+            // Digest framing plus one 64-bit hash (hex-encoded, element
+            // framing) per bucket — a fixed, state-independent cost.
+            MaintenanceOp::SyncDigest { buckets, .. } => 40 + 12 * buckets.len() as u32,
+            MaintenanceOp::SyncDelta { buckets, entries } => {
+                32 + 4 * buckets.len() as u32
+                    + entries.iter().map(WireSize::body_size).sum::<u32>()
+            }
+            MaintenanceOp::SyncAck { missing } => 32 + 40 * missing.len() as u32,
+        }
+    }
+}
+
+impl WireSize for SyncEntry {
+    fn body_size(&self) -> u32 {
+        match self {
+            // Entry framing plus the whole advert body; pays the full
+            // semantic-description cost the delta path exists to avoid.
+            SyncEntry::Full { advert, .. } => 16 + advert.body_size(),
+            // UUID key, version echo, lease deadline: a lease renewal on
+            // the wire, independent of how large the description is.
+            SyncEntry::Delta { .. } => 56,
         }
     }
 }

@@ -8,7 +8,7 @@ use sds_rand::Rng;
 use sds_protocol::{
     codec, Advertisement, Description, DescriptionTemplate, DiscoveryMessage, MaintenanceOp,
     ModelId, PublishOp, QueryId, QueryMessage, QueryOp, QueryPayload, ResponseHit,
-    Uuid, WireSize,
+    SyncEntry, Uuid, WireSize,
 };
 use sds_semantic::{
     ClassId, Degree, QosConstraint, QosKey, QosValue, ServiceProfile, ServiceRequest,
@@ -120,8 +120,22 @@ fn arb_model_id(rng: &mut Rng) -> ModelId {
     }
 }
 
+fn arb_sync_entry(rng: &mut Rng) -> SyncEntry {
+    if rng.gen_bool(0.5) {
+        SyncEntry::Full { advert: arb_advert(rng), lease_until: rng.next_u64() }
+    } else {
+        // Version deliberately spans the full u32 range so skewed deltas
+        // (versions the receiver can never have acked) are generated too.
+        SyncEntry::Delta {
+            id: Uuid(rng.gen_u128()),
+            version: rng.next_u32(),
+            lease_until: rng.next_u64(),
+        }
+    }
+}
+
 fn arb_maintenance(rng: &mut Rng) -> MaintenanceOp {
-    match rng.gen_range(0..13u32) {
+    match rng.gen_range(0..16u32) {
         0 => MaintenanceOp::RegistryProbe,
         1 => MaintenanceOp::RegistryProbeReply { advert_count: rng.next_u32(), load: rng.next_u32() },
         2 => MaintenanceOp::RegistryBeacon { advert_count: rng.next_u32() },
@@ -137,11 +151,22 @@ fn arb_maintenance(rng: &mut Rng) -> MaintenanceOp {
         },
         10 => MaintenanceOp::AdvertPullRequest,
         11 => MaintenanceOp::ArtifactRequest { name: gen::ident(rng, 0, 12) },
-        _ => MaintenanceOp::ArtifactResponse {
+        12 => MaintenanceOp::ArtifactResponse {
             name: gen::ident(rng, 0, 12),
             found: rng.gen_bool(0.5),
             size: rng.next_u32(),
         },
+        13 => MaintenanceOp::SyncDigest {
+            // `count` independent of buckets.len(): skewed digests (claimed
+            // bucket count disagreeing with the payload) must decode too.
+            count: rng.gen_range(0..64u32),
+            buckets: gen::vec_of(rng, 0, 32, |r| r.next_u64()),
+        },
+        14 => MaintenanceOp::SyncDelta {
+            buckets: gen::vec_of(rng, 0, 8, |r| r.next_u64() as u16),
+            entries: gen::vec_of(rng, 0, 4, arb_sync_entry),
+        },
+        _ => MaintenanceOp::SyncAck { missing: gen::vec_of(rng, 0, 6, |r| Uuid(r.gen_u128())) },
     }
 }
 

@@ -38,6 +38,7 @@ mod shard;
 mod sharded;
 mod store;
 mod subscriptions;
+pub mod sync;
 
 pub use cache::{cache_key, CacheKey, CacheStats, QueryCache};
 pub use engine::{rank_hits, RegistryEngine, RegistrySummary};

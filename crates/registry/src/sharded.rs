@@ -501,4 +501,23 @@ impl<'a> StoreView<'a> {
     pub fn live(&self, now: SimTime) -> impl Iterator<Item = &'a StoredAdvert> + '_ {
         self.iter().filter(move |a| a.is_live(now))
     }
+
+    /// Iterates the registry's *first-hand* live adverts: those published
+    /// directly by their provider, excluding replicas learned from peers.
+    /// This is the set anti-entropy advertises to federation peers —
+    /// replicating replicas would make every registry re-gossip everyone
+    /// else's state and turn deletions ambiguous.
+    pub fn first_hand(&self, now: SimTime) -> impl Iterator<Item = &'a StoredAdvert> + '_ {
+        self.live(now).filter(|a| a.source == a.advert.provider)
+    }
+
+    /// Per-bucket anti-entropy digests over the first-hand live set (see
+    /// [`crate::sync`]); order-independent, so the `homes` hash map's
+    /// nondeterministic iteration order cannot leak into the wire.
+    pub fn sync_digests(&self, now: SimTime, buckets: u16) -> Vec<u64> {
+        crate::sync::fold_digests(
+            self.first_hand(now).map(|a| (a.advert.id, a.advert.version, a.lease_until)),
+            buckets,
+        )
+    }
 }

@@ -1,0 +1,127 @@
+//! Anti-entropy digest machinery for registry federation.
+//!
+//! Peers compare their advert sets by exchanging a small, fixed number of
+//! per-bucket digests instead of the adverts themselves. Each advert folds
+//! the triple `(id, version, lease_until)` into a 64-bit hash; hashes land
+//! in a bucket chosen by the advert id alone (so an advert stays in the
+//! same bucket across version bumps and lease renewals — only its bucket's
+//! digest moves), and a bucket's digest is the *wrapping sum* of its entry
+//! hashes. Summation is commutative, so digests are independent of
+//! iteration order — two stores holding the same records always produce
+//! the same digests no matter how their hash maps iterate.
+//!
+//! A digest collision (two different bucket contents summing to the same
+//! 64 bits) would delay reconciliation of that bucket until the next entry
+//! change perturbs it, never corrupt state: delta application is
+//! idempotent and versioned, so a spurious or missed round only costs
+//! staleness, not divergence.
+
+use sds_protocol::AdvertId;
+use sds_simnet::SimTime;
+
+/// 64-bit FNV-1a over the advert's sync-relevant fields. The triple fully
+/// determines what a replica must know to consider itself converged: a
+/// version bump or a lease heartbeat both move the hash.
+pub fn entry_hash(id: AdvertId, version: u32, lease_until: SimTime) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in id
+        .0
+        .to_le_bytes()
+        .into_iter()
+        .chain(version.to_le_bytes())
+        .chain(lease_until.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The bucket an advert belongs to, a function of the id only. Buckets use
+/// the id's *hash*, not the raw id bits, so sequentially allocated UUIDs
+/// still spread evenly.
+pub fn bucket_of(id: AdvertId, buckets: u16) -> u16 {
+    debug_assert!(buckets > 0, "bucket count must be positive");
+    // Hash with neutral version/lease so bucket choice ignores both.
+    (entry_hash(id, 0, 0) % u64::from(buckets.max(1))) as u16
+}
+
+/// Folds an entry set into `buckets` order-independent digests.
+pub fn fold_digests(
+    entries: impl Iterator<Item = (AdvertId, u32, SimTime)>,
+    buckets: u16,
+) -> Vec<u64> {
+    let mut out = vec![0u64; usize::from(buckets.max(1))];
+    for (id, version, lease_until) in entries {
+        let b = usize::from(bucket_of(id, buckets));
+        out[b] = out[b].wrapping_add(entry_hash(id, version, lease_until));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sds_protocol::Uuid;
+
+    fn entries(n: u128) -> Vec<(AdvertId, u32, SimTime)> {
+        (0..n).map(|i| (Uuid(i * 7 + 1), (i % 5) as u32, (i as u64) * 1000)).collect()
+    }
+
+    #[test]
+    fn digests_are_order_independent() {
+        let mut es = entries(64);
+        let forward = fold_digests(es.iter().copied(), 16);
+        es.reverse();
+        let backward = fold_digests(es.iter().copied(), 16);
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn version_and_lease_changes_move_exactly_one_bucket() {
+        let es = entries(64);
+        let base = fold_digests(es.iter().copied(), 16);
+        for (i, mutate) in [(3usize, 0u64), (40, 1)] {
+            let mut changed = es.clone();
+            if mutate == 0 {
+                changed[i].1 += 1; // version bump
+            } else {
+                changed[i].2 += 500; // lease heartbeat
+            }
+            let after = fold_digests(changed.iter().copied(), 16);
+            let moved: Vec<usize> =
+                (0..16).filter(|&b| base[b] != after[b]).collect();
+            assert_eq!(moved, vec![usize::from(bucket_of(changed[i].0, 16))]);
+        }
+    }
+
+    #[test]
+    fn bucket_choice_ignores_version_and_lease() {
+        let id = Uuid(42);
+        assert_eq!(bucket_of(id, 16), bucket_of(id, 16));
+        for (v, l) in [(0u32, 0u64), (7, 30_000), (u32::MAX, u64::MAX)] {
+            // bucket_of has no version/lease inputs; assert the digest fold
+            // keeps such an entry in its id-determined bucket.
+            let d = fold_digests(std::iter::once((id, v, l)), 16);
+            let nonzero: Vec<usize> = (0..16).filter(|&b| d[b] != 0).collect();
+            assert_eq!(nonzero, vec![usize::from(bucket_of(id, 16))]);
+        }
+    }
+
+    #[test]
+    fn sequential_ids_spread_across_buckets() {
+        let es: Vec<_> = (0..256u128).map(|i| (Uuid(i), 1u32, 1u64)).collect();
+        let d = fold_digests(es.iter().copied(), 16);
+        let occupied = d.iter().filter(|&&x| x != 0).count();
+        assert!(occupied >= 12, "only {occupied}/16 buckets occupied");
+    }
+
+    #[test]
+    fn empty_set_digests_to_zeros_and_zero_buckets_is_total() {
+        assert_eq!(fold_digests(std::iter::empty(), 16), vec![0; 16]);
+        // A hostile peer could claim 0 buckets; the fold must stay total.
+        assert_eq!(fold_digests(std::iter::empty(), 0).len(), 1);
+    }
+}

@@ -61,7 +61,10 @@ impl RollingChaosConfig {
             seed,
             healing,
             windows: 3,
-            window_ms: 18_000,
+            // Longer than a replica lease (≤ 30 s): under anti-entropy
+            // replication a registry rides out shorter cuts on its replicas
+            // alone, and nothing observable would ever break.
+            window_ms: 40_000,
             gap_ms: 45_000,
             sample_every_ms: 3_000,
             probe_timeout_ms: 2_500,
@@ -137,9 +140,11 @@ fn scenario(cfg: &RollingChaosConfig) -> Scenario {
         sc.client.attach.retry = standard;
         sc.service.retry = standard;
         sc.service.attach.retry = standard;
-        // Probation must keep re-pinging across a whole window, so give it
-        // a longer budget than the standard policy.
-        sc.registry.probation = RetryPolicy { max_retries: 6, ..standard };
+        // Probation must keep re-pinging across a whole window (suspicion
+        // lands ~10-15 s in; 8 capped-backoff retries cover the remaining
+        // ~25-30 s plus the heal), so give it a longer budget than the
+        // standard policy.
+        sc.registry.probation = RetryPolicy { max_retries: 8, ..standard };
     }
     Scenario::build(sc)
 }
@@ -188,25 +193,47 @@ fn probe(s: &mut Scenario, cfg: &RollingChaosConfig, transcript: &mut String) ->
 
     // Stale leases: an advert a live registry still stores past its lease
     // (plus one purge cadence) would answer queries with a dead provider.
+    // Divergence: a live first-hand advert some other live registry holds
+    // no live copy of. Replication masks divergence from recall (any one
+    // intact peer answers for the whole federation), so count it directly —
+    // a diverged registry is one partition away from wrong answers.
     let now = s.sim.now();
     let mut stale_leases = 0u64;
+    let mut live_ids = Vec::new();
+    let mut first_hand = Vec::new();
     for &r in &s.registries {
         if !s.sim.is_alive(r) {
             continue;
         }
         let node = s.sim.handler::<RegistryNode>(r).unwrap();
-        stale_leases += node
-            .engine()
-            .store()
-            .iter()
-            .filter(|stored| stored.lease_until + PURGE_SLACK <= now)
-            .count() as u64;
+        let store = node.engine().store();
+        stale_leases +=
+            store.iter().filter(|stored| stored.lease_until + PURGE_SLACK <= now).count() as u64;
+        let mut live = std::collections::BTreeSet::new();
+        let mut fh = Vec::new();
+        for stored in store.live(now) {
+            live.insert(stored.advert.id);
+            if stored.source == stored.advert.provider {
+                fh.push(stored.advert.id);
+            }
+        }
+        live_ids.push(live);
+        first_hand.push(fh);
+    }
+    let mut divergent = 0u64;
+    for (yi, fh) in first_hand.iter().enumerate() {
+        for id in fh {
+            divergent +=
+                live_ids.iter().enumerate().filter(|(xi, l)| *xi != yi && !l.contains(id)).count()
+                    as u64;
+        }
     }
     let _ = writeln!(
         transcript,
-        "probe at={at} recall={recall} found={found_total}/{expected_total} stale={stale_leases}"
+        "probe at={at} recall={recall} found={found_total}/{expected_total} \
+         stale={stale_leases} divergent={divergent}"
     );
-    RecoverySample { at, recall, stale_leases }
+    RecoverySample { at, recall, stale_leases, divergent }
 }
 
 /// Runs the full rolling-chaos schedule for one seed and mode.

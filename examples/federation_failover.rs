@@ -70,8 +70,9 @@ fn main() {
     let dup = sim.handler::<RegistryNode>(r2).unwrap().stats.duplicate_queries_dropped;
     println!("duplicate WAN queries dropped at r2 (election active): {dup}");
 
-    // Phase 3: the WAN partitions LAN 2 away. Local discovery must survive;
-    // remote discovery must fail — and recover after healing.
+    // Phase 3: the WAN partitions LAN 2 away. The anti-entropy plane has
+    // already replicated the weather advert to LAN 0's registries, so
+    // discovery *survives* the cut — the replica answers locally.
     println!("\n-- WAN partition: {{lan0, lan1}} | {{lan2}} at t=46s --");
     sim.schedule(secs(46), ControlAction::Partition(vec![vec![lan0, lan1], vec![lan2]]));
     sim.run_until(secs(50));
@@ -80,17 +81,28 @@ fn main() {
     });
     sim.run_until(secs(56));
     let during = sim.handler::<ClientNode>(client).unwrap().completed[1].hits.len();
-    println!("during partition: {during} hit(s)");
-    assert_eq!(during, 0);
+    println!("during partition (replica answers): {during} hit(s)");
+    assert_eq!(during, 1, "the replicated advert keeps the service discoverable");
 
-    println!("-- partition heals at t=60s --");
-    sim.schedule(secs(60), ControlAction::HealPartition);
-    sim.run_until(secs(110)); // seed retry + peer pings rebuild the overlay
+    // Phase 3b: but the replica is *soft state* — no renewal crosses the
+    // partition, so its lease runs out and the stale answer dies with it.
+    sim.run_until(secs(82));
     sim.with_node::<ClientNode>(client, |cl, ctx| {
         cl.issue_query(ctx, QueryPayload::Uri("urn:svc:weather".into()), QueryOptions::default());
     });
-    sim.run_until(secs(116));
-    let after = sim.handler::<ClientNode>(client).unwrap().completed[2].hits.len();
+    sim.run_until(secs(88));
+    let expired = sim.handler::<ClientNode>(client).unwrap().completed[2].hits.len();
+    println!("after the replica's lease expires: {expired} hit(s)");
+    assert_eq!(expired, 0, "leases bound how long a partitioned replica may answer");
+
+    println!("-- partition heals at t=90s --");
+    sim.schedule(secs(90), ControlAction::HealPartition);
+    sim.run_until(secs(140)); // seed retry + peer pings + sync rounds rebuild the overlay
+    sim.with_node::<ClientNode>(client, |cl, ctx| {
+        cl.issue_query(ctx, QueryPayload::Uri("urn:svc:weather".into()), QueryOptions::default());
+    });
+    sim.run_until(secs(146));
+    let after = sim.handler::<ClientNode>(client).unwrap().completed[3].hits.len();
     println!("after healing: {after} hit(s)");
     assert_eq!(after, 1, "the registry network reconnects and discovery resumes");
 

@@ -57,5 +57,17 @@ cargo test -q --offline -p sds-registry --test shard_props
 # into the history file.
 SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin q2_mixed_workload
 
+# Federation convergence property: 8 seeds of loss + duplication + reorder
+# plus a 20 s partial partition; every registry must end with the exact
+# same live (advert id -> version) map within the documented bound, via
+# the anti-entropy plane alone (zero legacy advert pushes).
+cargo test -q --offline -p sds-integration --test federation_sync
+
+# Federation-replication smoke (quick mode: 2 and 4 LANs, 60 s windows):
+# proves the F1 bin runs both replication planes and keeps recording the
+# WAN-bytes ratio and anti-entropy staleness into the history file. The
+# full-size >=5x / bounded-staleness assertions run in non-quick mode.
+SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin f1_federation_sync
+
 test -s "${CARGO_TARGET_DIR:-target}/bench-history.jsonl" \
   || { echo "ci: bench-history.jsonl missing or empty after bench run" >&2; exit 1; }

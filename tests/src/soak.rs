@@ -15,7 +15,7 @@
 
 use std::fmt::Write as _;
 
-use sds_core::{ClientNode, QueryOptions, RegistryNode};
+use sds_core::{ClientNode, QueryOptions, RegistryNode, SyncMode};
 use sds_metrics::{fingerprint, recall, InvariantReport};
 use sds_protocol::ModelId;
 use sds_simnet::{secs, NodeId};
@@ -35,7 +35,16 @@ pub struct SoakOutcome {
     pub digest: u64,
 }
 
+/// Runs the soak with the default registry configuration (anti-entropy
+/// replication, like every production-shaped scenario).
 pub fn run_soak(seed: u64) -> SoakOutcome {
+    run_soak_with(seed, SyncMode::default())
+}
+
+/// Runs the soak with an explicit replication plane. `SyncMode::Legacy`
+/// reproduces the historical wire behaviour byte-for-byte, which is what the
+/// golden-fingerprint equivalence tests pin.
+pub fn run_soak_with(seed: u64, sync_mode: SyncMode) -> SoakOutcome {
     let mut cfg = ScenarioConfig {
         lans: 3,
         clients_per_lan: 1,
@@ -50,6 +59,7 @@ pub fn run_soak(seed: u64) -> SoakOutcome {
         seed,
         ..Default::default()
     };
+    cfg.registry.sync_mode = sync_mode;
     // Keep the duplicate-counting invariant sharp: unicast queries have
     // exactly one legitimate responder (the home registry), so any second
     // counted response is a fault-injection duplicate leaking through.

@@ -16,7 +16,8 @@
 //!   workloads.
 
 use sds_bench::parallel;
-use sds_integration::soak::run_soak;
+use sds_core::SyncMode;
+use sds_integration::soak::{run_soak, run_soak_with};
 
 /// Chaos-soak digests recorded from the engine *before* the shared-payload /
 /// generation-stamp / lazy-RNG rewrite (release build). The optimized engine
@@ -33,11 +34,13 @@ const PRE_CHANGE_GOLDENS: [(u64, u64); 8] = [
 ];
 
 /// The two seeds cheap enough for the debug-profile tier-1 run; the release
-/// variant below covers all eight.
+/// variant below covers all eight. Pinned to `SyncMode::Legacy`: the goldens
+/// predate anti-entropy federation, and legacy mode contracts to reproduce
+/// the historical wire behaviour byte-for-byte.
 #[test]
 fn chaos_digests_match_pre_change_engine() {
     for &(seed, want) in &PRE_CHANGE_GOLDENS[..2] {
-        let got = run_soak(seed).digest;
+        let got = run_soak_with(seed, SyncMode::Legacy).digest;
         assert_eq!(
             got, want,
             "seed {seed}: engine output diverged from the pre-optimization transcript \
@@ -55,7 +58,7 @@ fn chaos_digests_match_pre_change_engine() {
 #[ignore = "eight release-profile soaks; run explicitly via ci.sh"]
 fn chaos_digests_match_pre_change_engine_all_seeds_parallel() {
     let seeds: Vec<u64> = PRE_CHANGE_GOLDENS.iter().map(|&(s, _)| s).collect();
-    let digests = parallel::map(&seeds, |_, &seed| run_soak(seed).digest);
+    let digests = parallel::map(&seeds, |_, &seed| run_soak_with(seed, SyncMode::Legacy).digest);
     for (&(seed, want), &got) in PRE_CHANGE_GOLDENS.iter().zip(&digests) {
         assert_eq!(got, want, "seed {seed} under the parallel driver");
     }

@@ -194,7 +194,7 @@ fn response_control_returns_a_prefix_of_the_unlimited_ranking() {
 /// A compact message generator spanning all three op families — enough
 /// surface for the fuzz property below to reach every handler arm.
 fn arb_wire_message(rng: &mut Rng, n: u32) -> sds_protocol::DiscoveryMessage {
-    use sds_protocol::{DiscoveryMessage, MaintenanceOp, PublishOp, QueryOp, ResponseHit};
+    use sds_protocol::{DiscoveryMessage, MaintenanceOp, PublishOp, QueryOp, ResponseHit, SyncEntry};
     use sds_semantic::Degree;
     let advert = |rng: &mut Rng| Advertisement {
         id: Uuid(rng.gen_u128()),
@@ -206,7 +206,7 @@ fn arb_wire_message(rng: &mut Rng, n: u32) -> sds_protocol::DiscoveryMessage {
         origin: NodeId(rng.gen_range(0..10u32)),
         seq: rng.next_u64(),
     };
-    match rng.gen_range(0..12u32) {
+    match rng.gen_range(0..15u32) {
         0 => DiscoveryMessage::maintenance(MaintenanceOp::RegistryProbe),
         1 => DiscoveryMessage::maintenance(MaintenanceOp::RegistryProbeReply {
             advert_count: rng.next_u32(),
@@ -253,9 +253,34 @@ fn arb_wire_message(rng: &mut Rng, n: u32) -> sds_protocol::DiscoveryMessage {
             payload: arb_payload(rng, n),
             lease_ms: rng.next_u64(),
         }),
-        _ => DiscoveryMessage::querying(QueryOp::Notify {
+        11 => DiscoveryMessage::querying(QueryOp::Notify {
             subscription: qid(rng),
             hit: ResponseHit { advert: advert(rng), degree: Degree::PlugIn, distance: 0 },
+        }),
+        // Anti-entropy ops. `count` deliberately decouples from the bucket
+        // vector length so shape-skewed digests reach the comparison arm.
+        12 => DiscoveryMessage::maintenance(MaintenanceOp::SyncDigest {
+            count: rng.gen_range(0..20u32),
+            buckets: gen::vec_of(rng, 0, 20, |r| r.next_u64()),
+        }),
+        13 => DiscoveryMessage::maintenance(MaintenanceOp::SyncDelta {
+            buckets: gen::vec_of(rng, 0, 6, |r| r.next_u64() as u16),
+            entries: gen::vec_of(rng, 0, 4, |r| {
+                if r.gen_bool(0.5) {
+                    SyncEntry::Full { advert: advert(r), lease_until: r.next_u64() }
+                } else {
+                    // Version-skewed delta: a renewal for an (id, version)
+                    // pair the receiver almost certainly never stored.
+                    SyncEntry::Delta {
+                        id: Uuid(r.gen_u128()),
+                        version: r.next_u32(),
+                        lease_until: r.next_u64(),
+                    }
+                }
+            }),
+        }),
+        _ => DiscoveryMessage::maintenance(MaintenanceOp::SyncAck {
+            missing: gen::vec_of(rng, 0, 4, |r| Uuid(r.gen_u128())),
         }),
     }
 }
