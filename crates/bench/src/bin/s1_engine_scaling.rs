@@ -9,25 +9,25 @@
 //! multicast fans one logical transmission out to 49 receivers, so payload
 //! handling per *delivery*, not per *send*, is the hot path.
 //!
-//! Two delivery modes measure the cost of payload materialization:
+//! Three dimensions are measured:
 //!
-//! * **shared** — the handler overrides `on_shared_message` and reads the
-//!   payload through the shared `Rc` without ever cloning it (the
-//!   post-optimization fast path);
-//! * **owning** — the handler takes the payload by value, forcing a clone
-//!   per delivered copy (the pre-optimization engine cloned eagerly per
-//!   receiver at enqueue time — same allocation count, charged at enqueue
-//!   instead of dispatch).
+//! * **delivery mode** — `shared` reads each payload through the shared
+//!   `Rc` (zero-copy fast path); `owning` takes it by value, forcing a
+//!   clone per delivered copy (≈ the pre-optimization engine);
+//! * **engine** — `seq` is the sequential engine; `parW` is the partitioned
+//!   engine (`PartitionPlan::Domains(W)`, W worker threads). The `≥ 2×`
+//!   speedup acceptance check runs only in full mode on machines with at
+//!   least 4 cores — on smaller machines the ratio is still measured and
+//!   recorded, just not asserted;
+//! * **scale** — up to 10⁶ nodes (S2's table). The million-node run also
+//!   reports resident bytes per node (RSS delta across build + run), the
+//!   number the struct-of-arrays node state is accountable to. Quick mode
+//!   smoke-runs 10⁶ over a shortened horizon so CI can afford it.
 //!
-//! Reported per store size: events processed, wall time, events/sec, payload
-//! clones per delivery, and a bytes-cloned-per-delivery proxy
-//! (clones × payload size). Seconds-per-event and clones-per-delivery land
-//! in `target/bench-history.jsonl` (names `s1/<mode>/<n>/...`), arming the
-//! order-of-magnitude regression flag.
-//!
-//! Sizes 10²–10⁵ nodes (quick mode: 10²–10³). Event budget per size is
-//! fixed (~5M deliveries) so wall time stays bounded while events/sec
-//! remains comparable across sizes.
+//! Seconds-per-event, clones-per-delivery, engine speedups, and bytes/node
+//! land in `target/bench-history.jsonl` (names `s1/...`), arming the
+//! order-of-magnitude regression flag and the per-PR `BENCH_<rev>.json`
+//! export.
 
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,7 +36,7 @@ use std::time::Instant;
 use sds_bench::harness::Harness;
 use sds_bench::{f2, Table};
 use sds_simnet::{
-    Ctx, Destination, NodeHandler, NodeId, Sim, SimConfig, SimTime, Topology,
+    Ctx, Destination, NodeHandler, NodeId, PartitionPlan, Sim, SimConfig, SimTime, Topology,
 };
 
 /// Nodes per LAN: one multicast reaches `LAN_SIZE - 1` receivers.
@@ -51,10 +51,12 @@ const PAYLOAD_BYTES: usize = 220;
 const REPLY_EVERY: u64 = 64;
 /// Target delivered-event budget per size (keeps wall time bounded).
 const EVENT_BUDGET: u64 = 5_000_000;
+/// The S2 scale target.
+const MILLION: usize = 1_000_000;
 
 /// Count of payload clones, bumped by `Frame::clone` — the
-/// bytes-allocated-per-delivery proxy. Single-threaded engine, but an atomic
-/// keeps the counter safe if sizes ever fan out.
+/// bytes-allocated-per-delivery proxy. Atomic because the partitioned
+/// engine clones from worker threads.
 static CLONES: AtomicU64 = AtomicU64::new(0);
 
 /// The beacon payload: an opaque advert-sized byte frame whose clones are
@@ -151,57 +153,91 @@ impl NodeHandler<Frame> for OwningBeacon {
     }
 }
 
+/// Resident set size from `/proc/self/status`, in bytes (Linux only; the
+/// bytes/node column reads `0` where the proc file is unavailable).
+fn vm_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 =
+                rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One benchmark configuration.
+struct Spec {
+    n: usize,
+    shared: bool,
+    plan: PartitionPlan,
+    workers: usize,
+    /// Simulated horizon; `None` sizes rounds from [`EVENT_BUDGET`].
+    horizon: Option<SimTime>,
+}
+
 struct RunReport {
     events: u64,
     wall_s: f64,
     clones: u64,
     deliveries: u64,
+    /// RSS growth across sim build + run, per node.
+    rss_bytes_per_node: u64,
 }
 
-fn run_one(n: usize, shared: bool) -> RunReport {
+fn run_one(spec: &Spec) -> RunReport {
+    let n = spec.n;
     let lans = n.div_ceil(LAN_SIZE);
     let mut topo = Topology::new();
     let lan_ids: Vec<_> = (0..lans).map(|_| topo.add_lan()).collect();
-    let cfg = SimConfig::default();
-    let mut sim: Sim<Frame> = Sim::new(cfg, topo, 0x51);
+    let rss_before = vm_rss_bytes();
+    let mut sim: Sim<Frame> = Sim::new_partitioned(SimConfig::default(), topo, 0x51, spec.plan);
+    sim.set_workers(spec.workers);
     for i in 0..n {
-        let handler: Box<dyn NodeHandler<Frame>> = if shared {
+        let handler: Box<dyn NodeHandler<Frame>> = if spec.shared {
             Box::new(SharedBeacon::default())
         } else {
             Box::new(OwningBeacon::default())
         };
         sim.add_node(lan_ids[i / LAN_SIZE], handler);
     }
-    // Rounds sized so deliveries ≈ EVENT_BUDGET, at least one full period.
-    let per_round = (n as u64) * (LAN_SIZE as u64 - 1);
-    let rounds = (EVENT_BUDGET / per_round.max(1)).clamp(1, 200);
+    let horizon = spec.horizon.unwrap_or_else(|| {
+        // Rounds sized so deliveries ≈ EVENT_BUDGET, at least one full period.
+        let per_round = (n as u64) * (LAN_SIZE as u64 - 1);
+        (EVENT_BUDGET / per_round.max(1)).clamp(1, 200) * PERIOD + PERIOD
+    });
 
     CLONES.store(0, Ordering::Relaxed);
     let start = Instant::now();
-    sim.run_until(rounds * PERIOD + PERIOD);
+    sim.run_until(horizon);
     let wall_s = start.elapsed().as_secs_f64();
     let clones = CLONES.load(Ordering::Relaxed);
+    let rss_after = vm_rss_bytes();
 
-    let mut deliveries = 0u64;
-    for i in 0..n {
-        let node = NodeId(i as u32);
-        deliveries += if shared {
-            sim.handler::<SharedBeacon>(node).unwrap().0.received
-        } else {
-            sim.handler::<OwningBeacon>(node).unwrap().0.received
-        };
+    let deliveries = sim.stats().delivered_messages;
+    RunReport {
+        events: sim.events_processed(),
+        wall_s,
+        clones,
+        deliveries,
+        rss_bytes_per_node: rss_after.saturating_sub(rss_before) / n as u64,
     }
-    let timer_fires = (n as u64) * rounds; // one beacon timer per node per round
-    RunReport { events: deliveries + timer_fires, wall_s, clones, deliveries }
+}
+
+fn engine_label(plan: PartitionPlan, workers: usize) -> String {
+    match plan {
+        PartitionPlan::Single => "seq".into(),
+        _ => format!("par{workers}"),
+    }
 }
 
 fn main() {
     let quick = std::env::var_os("SDS_BENCH_QUICK").is_some();
-    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000, 100_000] };
-    let modes: &[(&str, bool)] = &[("shared", true), ("owning", false)];
 
     let mut h = Harness::from_args();
     let mut table = Table::new(&[
+        "engine",
         "mode",
         "nodes",
         "lans",
@@ -210,34 +246,120 @@ fn main() {
         "events/sec",
         "clones/delivery",
         "bytes-cloned/delivery",
+        "rss bytes/node",
     ]);
 
-    for &(mode, shared) in modes {
+    let run_row = |spec: &Spec, mode: &str, table: &mut Table, h: &mut Harness| -> f64 {
+        let r = run_one(spec);
+        let evps = r.events as f64 / r.wall_s;
+        let cpd = r.clones as f64 / r.deliveries.max(1) as f64;
+        let engine = engine_label(spec.plan, spec.workers);
+        table.row(&[
+            engine.clone(),
+            mode.to_string(),
+            spec.n.to_string(),
+            spec.n.div_ceil(LAN_SIZE).to_string(),
+            r.events.to_string(),
+            format!("{:.3}", r.wall_s),
+            format!("{:.0}", evps),
+            f2(cpd),
+            format!("{:.0}", cpd * PAYLOAD_BYTES as f64),
+            r.rss_bytes_per_node.to_string(),
+        ]);
+        // Historical names (seq × mode) keep their original `s1/<mode>/...`
+        // form so bench-history stays one continuous series; the engine
+        // dimension and the million-node metrics get their own names.
+        if spec.plan == PartitionPlan::Single {
+            h.record_value(&format!("s1/{mode}/{}/sec-per-event", spec.n), r.wall_s / r.events as f64);
+            h.record_value(&format!("s1/{mode}/{}/clones-per-delivery", spec.n), cpd);
+        } else {
+            h.record_value(
+                &format!("s1/engine/{engine}/{}/sec-per-event", spec.n),
+                r.wall_s / r.events as f64,
+            );
+        }
+        if spec.n >= MILLION {
+            h.record_value("s1/million/sec-per-event", r.wall_s / r.events as f64);
+            h.record_value("s1/million/clones-per-delivery", cpd);
+            h.record_value("s1/million/rss-bytes-per-node", r.rss_bytes_per_node as f64);
+        }
+        evps
+    };
+
+    // ---- Delivery-mode sweep on the sequential engine (historical series).
+    let sizes: &[usize] = if quick { &[100, 1_000] } else { &[100, 1_000, 10_000, 100_000] };
+    for &(mode, shared) in &[("shared", true), ("owning", false)] {
         for &n in sizes {
-            let r = run_one(n, shared);
-            let evps = r.events as f64 / r.wall_s;
-            let cpd = r.clones as f64 / r.deliveries as f64;
-            table.row(&[
-                mode.to_string(),
-                n.to_string(),
-                n.div_ceil(LAN_SIZE).to_string(),
-                r.events.to_string(),
-                format!("{:.3}", r.wall_s),
-                format!("{:.0}", evps),
-                f2(cpd),
-                format!("{:.0}", cpd * PAYLOAD_BYTES as f64),
-            ]);
-            h.record_value(&format!("s1/{mode}/{n}/sec-per-event"), r.wall_s / r.events as f64);
-            h.record_value(&format!("s1/{mode}/{n}/clones-per-delivery"), cpd);
+            let spec =
+                Spec { n, shared, plan: PartitionPlan::Single, workers: 1, horizon: None };
+            run_row(&spec, mode, &mut table, &mut h);
         }
     }
+
+    // ---- Engine sweep: sequential vs partitioned at 2 and 4 workers.
+    let engine_n = if quick { 1_000 } else { 100_000 };
+    let seq_spec = Spec {
+        n: engine_n,
+        shared: true,
+        plan: PartitionPlan::Single,
+        workers: 1,
+        horizon: None,
+    };
+    let seq_evps = run_row(&seq_spec, "shared", &mut table, &mut h);
+    let mut par4_evps = 0.0;
+    for workers in [2usize, 4] {
+        let spec = Spec {
+            n: engine_n,
+            shared: true,
+            plan: PartitionPlan::Domains(workers),
+            workers,
+            horizon: None,
+        };
+        let evps = run_row(&spec, "shared", &mut table, &mut h);
+        h.record_value(
+            &format!("s1/engine/par{workers}/{engine_n}/speedup-vs-seq"),
+            evps / seq_evps,
+        );
+        if workers == 4 {
+            par4_evps = evps;
+        }
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if !quick && cores >= 4 {
+        assert!(
+            par4_evps >= 2.0 * seq_evps,
+            "4-worker partitioned engine must be ≥2× sequential at {engine_n} nodes \
+             on a ≥4-core machine: {par4_evps:.0} vs {seq_evps:.0} events/s"
+        );
+    } else {
+        println!(
+            "speedup check: par4 {:.2}× seq at {engine_n} nodes \
+             (asserted only in full mode on ≥4 cores; this machine has {cores})",
+            par4_evps / seq_evps
+        );
+    }
+
+    // ---- The million-node run (S2). Quick mode shortens the horizon to a
+    // fraction of one beacon period — the stagger spreads first beacons
+    // uniformly over the period, so 1/8 of one period still delivers ~6M
+    // events — keeping CI wall time bounded while proving 10⁶ nodes build,
+    // run, and fit in memory.
+    let million_spec = Spec {
+        n: MILLION,
+        shared: true,
+        plan: PartitionPlan::Domains(4.min(cores.max(2))),
+        workers: 4.min(cores.max(2)),
+        horizon: Some(if quick { PERIOD / 8 } else { PERIOD + 1 }),
+    };
+    run_row(&million_spec, "shared", &mut table, &mut h);
 
     table.print("S1: engine throughput on the multicast-heavy LAN discovery workload");
     println!(
         "Workload: {LAN_SIZE}-node LANs, one {PAYLOAD_BYTES}-byte multicast beacon per node\n\
          per {PERIOD} ms, a unicast reply every {REPLY_EVERY} deliveries. events = deliveries\n\
          + timer fires; clones/delivery is the allocation proxy (payload materializations\n\
-         per delivered copy). Values recorded to target/bench-history.jsonl."
+         per delivered copy); rss bytes/node is the RSS delta across build + run divided\n\
+         by the node count. Values recorded to target/bench-history.jsonl."
     );
     h.finish();
 }

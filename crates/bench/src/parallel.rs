@@ -14,10 +14,11 @@
 //! completion order, so downstream aggregation (tables, summaries, digests)
 //! is independent of scheduling.
 //!
-//! Worker count: `SDS_BENCH_THREADS` if set, else
-//! [`std::thread::available_parallelism`]. A single-worker fall-back runs
-//! the plain sequential loop on the calling thread — no spawn, identical
-//! results, no thread overhead on single-core machines.
+//! Worker count: `SDS_BENCH_THREADS` if set (must be a positive integer —
+//! anything else aborts rather than silently benchmarking at the wrong
+//! width), else [`std::thread::available_parallelism`]. A single-worker
+//! fall-back runs the plain sequential loop on the calling thread — no
+//! spawn, identical results, no thread overhead on single-core machines.
 //!
 //! ```
 //! let squares = sds_bench::parallel::map(&[1u64, 2, 3], |_, &x| x * x);
@@ -30,18 +31,39 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The number of workers [`map`] fans out to: `SDS_BENCH_THREADS` when set
-/// (values `0`/unparsable fall back), else the machine's available
-/// parallelism, else 1.
+/// The number of workers [`map`] fans out to: `SDS_BENCH_THREADS` when set,
+/// else the machine's available parallelism, else 1.
+///
+/// # Panics
+///
+/// When `SDS_BENCH_THREADS` is set to anything other than a positive
+/// integer. A typo'd override used to fall back silently, which meant a
+/// benchmark believed it was pinned to N threads while actually running at
+/// machine width — exactly the wrong failure mode for a perf-tracking
+/// harness, so it is now a hard error.
 pub fn workers() -> usize {
-    if let Some(n) = std::env::var("SDS_BENCH_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    match std::env::var("SDS_BENCH_THREADS") {
+        Ok(raw) => match parse_threads(&raw) {
+            Ok(n) => n,
+            Err(why) => panic!("invalid SDS_BENCH_THREADS={raw:?}: {why}"),
+        },
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Validates an `SDS_BENCH_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated). Split from [`workers`] so the rejection rules are
+/// unit-testable without mutating process environment.
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Err("empty value (unset the variable to use machine parallelism)".into());
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1".into()),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("not a thread count ({e})")),
+    }
 }
 
 /// Applies `f` to every item, fanning across up to [`workers`] threads, and
@@ -162,6 +184,21 @@ mod tests {
     #[test]
     fn workers_is_positive() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn thread_override_accepts_positive_integers() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads("16"), Ok(16));
+        assert_eq!(parse_threads("  4 "), Ok(4), "surrounding whitespace tolerated");
+    }
+
+    #[test]
+    fn thread_override_rejects_zero_and_garbage() {
+        for bad in ["0", "", "  ", "four", "-2", "1.5", "2x", "0x4"] {
+            let got = parse_threads(bad);
+            assert!(got.is_err(), "{bad:?} must be rejected, got {got:?}");
+        }
     }
 
     #[test]

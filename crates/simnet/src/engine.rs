@@ -1,27 +1,37 @@
-//! The discrete-event engine.
+//! The simulation coordinator.
 //!
-//! Performance model (DESIGN §11): the engine is allocation-lean on its hot
-//! paths. Queued payloads are reference-counted — a multicast enqueues *one*
-//! shared payload however many receivers it fans out to, and the inner
-//! payload is cloned only when a corruptor actually mutates a frame or an
-//! owning handler materializes a copy. The event queue is a calendar
-//! timing wheel (`WHEEL_SPAN` one-time-unit buckets plus a far-heap for
-//! beyond-horizon events), so push and pop are O(1) amortized while
-//! preserving the old heap's exact `(at, seq)` dispatch order. Timer slots
-//! are generation-stamped, so cancelled timers are reclaimed immediately
-//! instead of leaving tombstones; per-node RNG streams materialize lazily
-//! on first draw, so dead or never-drawing nodes cost nothing.
+//! Performance model (DESIGN §11, §14): the engine is allocation-lean on its
+//! hot paths and, since the parallel-engine work, partitionable. All event
+//! dispatch lives in [`crate::domain::Domain`] — a share-nothing partition
+//! holding a calendar timing wheel, struct-of-arrays node state, and its
+//! LANs' RNG/fault/busy state. [`Sim`] owns the domains plus the shared
+//! world (config, topology, global→local maps, WAN fault profiles) and
+//! coordinates execution:
+//!
+//! * **Legacy mode** (one domain — the default): bit-for-bit the historical
+//!   sequential engine, single `simnet.link`/`simnet.fault` RNG streams and
+//!   all. The chaos-soak golden digests pin this path.
+//! * **Partitioned mode** (≥2 domains, [`Sim::new_partitioned`]): domains
+//!   advance concurrently under a conservative-lookahead barrier. The
+//!   lookahead is the WAN latency floor: within a window `[T, T+L)` every
+//!   cross-domain message generated at `τ ≥ T` arrives at `τ + L ≥ T + L`,
+//!   i.e. beyond the window — so domains cannot affect each other inside a
+//!   window and each window is safe to run in parallel. Cross messages are
+//!   exchanged at barriers in fixed (source, destination, push) order, so
+//!   the result is a pure function of the seed: worker count has zero
+//!   observable effect.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::rc::Rc;
 
 use sds_rand::{Rng, Seed};
 
-use crate::handler::{Action, Ctx, NodeHandler};
-use crate::ids::{LanId, NodeId, TimerId};
-use crate::message::{Destination, MsgKind};
-use crate::stats::{NetStats, Scope};
+use crate::domain::{Domain, ExecMode, Queued, RunOutcome, World};
+use crate::handler::{Ctx, NodeHandler};
+use crate::ids::{LanId, NodeId};
+use crate::par::{run_domains, PartitionPlan};
+use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
 
@@ -33,7 +43,8 @@ pub struct SimConfig {
     pub lan_latency: SimTime,
     /// Uniform extra LAN jitter in `[0, lan_jitter]`.
     pub lan_jitter: SimTime,
-    /// Base one-way WAN latency.
+    /// Base one-way WAN latency. Also the parallel engine's lookahead
+    /// horizon: partitioned execution requires it to be ≥ 1.
     pub wan_latency: SimTime,
     /// Uniform extra WAN jitter in `[0, wan_jitter]`.
     pub wan_jitter: SimTime,
@@ -47,7 +58,9 @@ pub struct SimConfig {
     /// them — the paper's "wireless connections with low network capacity".
     pub lan_rate_kbps: u32,
     /// Shared WAN uplink capacity in kilobits per second (0 = unlimited).
-    /// Modeled as one shared pipe (a tactical reach-back link).
+    /// Modeled as one shared pipe (a tactical reach-back link) in legacy
+    /// mode; partitioned mode gives each LAN its own uplink of this rate
+    /// (a shared pipe would couple the domains).
     pub wan_rate_kbps: u32,
 }
 
@@ -134,207 +147,184 @@ pub enum ControlAction {
 /// payload, returns the corrupted payload to deliver, or `None` when the
 /// corruption rendered the frame undecodable (it is then dropped and
 /// counted). The discovery stack installs encode → byte-mutation → decode.
-pub type Corruptor<P> = Box<dyn FnMut(&mut Rng, &P) -> Option<P>>;
+/// `Send` because the hook lives inside a domain, and domains migrate
+/// across worker threads between lookahead windows.
+pub type Corruptor<P> = Box<dyn FnMut(&mut Rng, &P) -> Option<P> + Send>;
 
-/// Wheel span in time units (must be a power of two). Events scheduled
-/// within `WHEEL_SPAN` of `now` — every delivery under realistic latencies,
-/// and every short protocol timer — go straight into their time's bucket:
-/// O(1) push, no comparisons. Only beyond-horizon events (long leases,
-/// scripted scenario controls) pay for the far heap.
-const WHEEL_SPAN: u64 = 1 << 12;
-const WHEEL_MASK: usize = (WHEEL_SPAN - 1) as usize;
-
-/// One queued event, stored inline in its time bucket. Within a bucket,
-/// dispatch order is vector order, which by construction is push order —
-/// exactly the `(at, seq)` order the old comparison-based heap produced.
-enum Queued<P> {
-    /// Payloads are queued behind `Rc`: every receiver of a multicast (and
-    /// every duplicated copy) shares one allocation. Copy-on-write: only a
-    /// corruptor mutation materializes a divergent payload.
-    Deliver { to: NodeId, from: NodeId, payload: Rc<P> },
-    /// Timers are the only cancellable events, so only they pay for an
-    /// out-of-line, generation-stamped cell: cancelling bumps the cell's
-    /// stamp, and a mismatched stamp here means "already cancelled — skip".
-    /// No tombstone set, no memory held until the dead timer's fire time.
-    Timer { slot: u32, gen: u64 },
-    Control(ControlAction),
-    /// Placeholder left behind while a bucket entry is being dispatched
-    /// (buckets drain by index because a handler may append same-time
-    /// events to the bucket currently draining).
-    Consumed,
-}
-
-/// A beyond-horizon event, parked in the far heap until `now` comes within
-/// `WHEEL_SPAN` of it; ordered by `(at, seq)` so same-time far events
-/// migrate into their bucket in push order.
-struct FarEvent<P> {
+/// A scheduled control action, held coordinator-side in partitioned mode
+/// (controls mutate the shared world, so they can only apply at barriers).
+/// Ordered by `(at, seq)` — schedule order breaks same-time ties.
+struct CtlEvent {
     at: SimTime,
     seq: u64,
-    ev: Queued<P>,
+    action: ControlAction,
 }
 
-impl<P> PartialEq for FarEvent<P> {
+impl PartialEq for CtlEvent {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        (self.at, self.seq) == (other.at, other.seq)
     }
 }
-impl<P> Eq for FarEvent<P> {}
-impl<P> PartialOrd for FarEvent<P> {
+impl Eq for CtlEvent {}
+impl PartialOrd for CtlEvent {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P> Ord for FarEvent<P> {
+impl Ord for CtlEvent {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// The out-of-line cell for one pending timer. `gen` stamps the current
-/// occupancy: firing and cancelling both bump it, so a queued
-/// `Queued::Timer` referencing an old stamp is dead. The payload fields are
-/// simply left behind on vacate (no `Option` dance).
-struct TimerSlot {
-    gen: u64,
-    node: NodeId,
-    epoch: u32,
-    id: TimerId,
-    tag: u64,
+/// Borrows the coordinator's shared, read-only world for a domain run.
+/// A macro (not a method) so the borrow is split per field: the domains
+/// stay mutably borrowable alongside it.
+macro_rules! world {
+    ($s:expr) => {
+        World {
+            cfg: &$s.cfg,
+            topo: &$s.topo,
+            node_local: &$s.node_local,
+            lan_domain: &$s.lan_domain,
+            lan_local: &$s.lan_local,
+            wan_faults: $s.wan_faults,
+            wan_pair_faults: &$s.wan_pair_faults,
+        }
+    };
 }
 
 /// The simulator: topology + node handlers + event queue + accounting.
 ///
 /// `P` is the payload type carried by every message (the discovery stack
 /// instantiates it with its wire message type). In-flight payloads are
-/// shared (`Rc<P>`); `P: Clone` is needed only to materialize owned copies
-/// for handlers that take delivery by value and for corruptor mutations.
+/// shared (`Rc<P>`) *within a domain*; `P: Clone` is needed only to
+/// materialize owned copies for handlers that take delivery by value, for
+/// corruptor mutations, and for duplicated cross-domain copies. `P: Send`
+/// because payloads (inside their domain) migrate across worker threads
+/// between lookahead windows.
 pub struct Sim<P> {
     cfg: SimConfig,
     topo: Topology,
-    now: SimTime,
-    /// The calendar queue: one bucket per time unit, indexed `at mod
-    /// WHEEL_SPAN`. Invariant: every bucketed event satisfies
-    /// `at - now < WHEEL_SPAN`, so a bucket never mixes two times.
-    buckets: Vec<Vec<Queued<P>>>,
-    /// One bit per bucket, so finding the next occupied time skips empty
-    /// stretches a word (64 buckets) at a stride.
-    occupied: Vec<u64>,
-    /// How far into `now`'s bucket dispatch has progressed (buckets drain
-    /// by index so same-time appends during dispatch are picked up).
-    drain_pos: usize,
-    /// Beyond-horizon events, ordered `(at, seq)`; they migrate into
-    /// buckets as `now` approaches (see [`Sim::migrate_until`]).
-    far: BinaryHeap<Reverse<FarEvent<P>>>,
-    far_seq: u64,
-    /// Live queued events (deliveries + pending timers + controls):
-    /// incremented on push, decremented on dispatch and on cancel.
-    live_events: usize,
-    handlers: Vec<Option<Box<dyn NodeHandler<P>>>>,
-    alive: Vec<bool>,
-    epoch: Vec<u32>,
-    /// Lazily materialized per-node RNG streams: `None` until the node's
-    /// first draw. The stream state is a pure function of the node's derived
-    /// seed, so laziness is invisible to handlers — but a million-node sim
-    /// whose nodes never draw seeds nothing.
-    rngs: Vec<Option<Rng>>,
-    /// Per-node derived seeds, handed to handlers through `Ctx` so they can
-    /// derive private labelled sub-streams (retry jitter etc.) that never
-    /// perturb the main per-node stream.
-    node_seeds: Vec<Seed>,
-    link_rng: Rng,
-    /// Dedicated stream for fault injection so enabling faults never
-    /// perturbs the link RNG draws of fault-free traffic.
-    fault_rng: Rng,
-    next_timer: u64,
-    /// The timer cells (see [`TimerSlot`]) plus their free list.
-    timer_table: Vec<TimerSlot>,
-    timer_free: Vec<u32>,
-    /// Pending (not yet fired, not cancelled) timers → the cell+generation
-    /// of their queued event. Entries leave on fire *and* on cancel, so the
-    /// map is bounded by the number of outstanding timers — cancelling an
-    /// already-fired timer is a map miss, never a leak.
-    timer_slots: HashMap<TimerId, (u32, u64)>,
-    stats: NetStats,
-    events_processed: u64,
     seed: u64,
-    /// Per-LAN medium busy-until time (bandwidth model).
-    lan_busy_until: Vec<SimTime>,
-    /// Shared WAN pipe busy-until time.
-    wan_busy_until: SimTime,
-    /// Per-LAN fault profiles (indexed by LAN id).
-    lan_faults: Vec<FaultProfile>,
-    /// WAN fault profile.
+    mode: ExecMode,
+    /// Worker-thread budget for partitioned windows (1 = run inline).
+    workers: usize,
+    pub(crate) domains: Vec<Domain<P>>,
+    /// Global node id → owning domain / slot within it.
+    node_domain: Vec<u16>,
+    node_local: Vec<u32>,
+    /// Global LAN id → owning domain / slot within it.
+    lan_domain: Vec<u16>,
+    lan_local: Vec<u32>,
+    /// WAN fault profile (part of the shared world: every domain reads it).
     wan_faults: FaultProfile,
     /// Per-direction WAN overrides, keyed by `(from_lan, to_lan)`. A
     /// present entry replaces `wan_faults` for deliveries in that direction.
     wan_pair_faults: BTreeMap<(LanId, LanId), FaultProfile>,
-    corruptor: Option<Corruptor<P>>,
-    /// Reused membership buffer for multicast dispatch — no per-multicast
-    /// `Vec` allocation.
-    multicast_scratch: Vec<NodeId>,
-    /// Reused action buffer handed to `Ctx` — no per-invoke allocation.
-    actions_scratch: Vec<Action<P>>,
+    /// Partitioned mode: scheduled controls, applied at window barriers.
+    /// (Legacy mode keeps controls in the wheel for historical dispatch
+    /// interleaving.)
+    controls: BinaryHeap<Reverse<CtlEvent>>,
+    control_seq: u64,
+    ctl_processed: u64,
+    /// Run-wide traffic counters, merged from the per-domain books after
+    /// every mutating call (see [`Sim::refresh_stats`]).
+    stats_cache: NetStats,
 }
 
-impl<P: Clone + 'static> Sim<P> {
+impl<P: Clone + Send + 'static> Sim<P> {
     /// Creates a simulator over `topo`. `seed` fixes every random choice in
-    /// the run (link loss, jitter, each node's private RNG).
+    /// the run (link loss, jitter, each node's private RNG). Single-domain
+    /// legacy execution: bit-for-bit the historical sequential engine.
     pub fn new(cfg: SimConfig, topo: Topology, seed: u64) -> Self {
+        Self::new_partitioned(cfg, topo, seed, PartitionPlan::Single)
+    }
+
+    /// Creates a simulator whose LANs are grouped into share-nothing
+    /// domains per `plan`. With one resulting domain this is exactly
+    /// [`Sim::new`]; with more, execution is partitioned (its own
+    /// deterministic semantics — per-sender-LAN RNG streams, node-scoped
+    /// timer ids, per-LAN WAN uplinks; see DESIGN §14) and
+    /// [`Sim::set_workers`] controls how many threads run the windows.
+    pub fn new_partitioned(cfg: SimConfig, topo: Topology, seed: u64, plan: PartitionPlan) -> Self {
         let lan_count = topo.lan_count();
+        // Outbox storage is D² vectors and every barrier scans them, so
+        // more domains than worker threads could ever use is pure overhead.
+        let max_domains = lan_count.max(1).min(1024);
+        let n = match plan {
+            PartitionPlan::Single => 1,
+            PartitionPlan::PerLan => max_domains,
+            PartitionPlan::Domains(n) => n.clamp(1, max_domains),
+        };
+        let mode = if n == 1 { ExecMode::Legacy } else { ExecMode::Partitioned };
+        if mode == ExecMode::Partitioned {
+            assert!(
+                cfg.wan_latency >= 1,
+                "partitioned execution needs a nonzero WAN latency floor: it is the lookahead horizon"
+            );
+        }
+        let mut lan_domain = Vec::with_capacity(lan_count);
+        let mut lan_local = Vec::with_capacity(lan_count);
+        let mut domain_lans: Vec<Vec<LanId>> = (0..n).map(|_| Vec::new()).collect();
+        for l in 0..lan_count {
+            let di = l % n;
+            lan_domain.push(di as u16);
+            lan_local.push(domain_lans[di].len() as u32);
+            domain_lans[di].push(LanId(l as u16));
+        }
+        let domains = domain_lans
+            .into_iter()
+            .enumerate()
+            .map(|(i, lans)| Domain::new(i as u16, mode, seed, lans, n))
+            .collect();
         Self {
             cfg,
             topo,
-            now: 0,
-            buckets: (0..WHEEL_SPAN).map(|_| Vec::new()).collect(),
-            occupied: vec![0u64; WHEEL_SPAN as usize / 64],
-            drain_pos: 0,
-            far: BinaryHeap::new(),
-            far_seq: 0,
-            live_events: 0,
-            handlers: Vec::new(),
-            alive: Vec::new(),
-            epoch: Vec::new(),
-            rngs: Vec::new(),
-            node_seeds: Vec::new(),
-            link_rng: Seed(seed).derive("simnet.link").rng(),
-            fault_rng: Seed(seed).derive("simnet.fault").rng(),
-            next_timer: 0,
-            timer_table: Vec::new(),
-            timer_free: Vec::new(),
-            timer_slots: HashMap::new(),
-            stats: NetStats::default(),
-            events_processed: 0,
-            lan_busy_until: vec![0; lan_count],
-            wan_busy_until: 0,
-            lan_faults: vec![FaultProfile::default(); lan_count],
+            seed,
+            mode,
+            workers: 1,
+            domains,
+            node_domain: Vec::new(),
+            node_local: Vec::new(),
+            lan_domain,
+            lan_local,
             wan_faults: FaultProfile::default(),
             wan_pair_faults: BTreeMap::new(),
-            corruptor: None,
-            multicast_scratch: Vec::new(),
-            actions_scratch: Vec::new(),
-            // Folded into each node's private RNG in `add_node`.
-            seed,
+            controls: BinaryHeap::new(),
+            control_seq: 0,
+            ctl_processed: 0,
+            stats_cache: NetStats::default(),
         }
+    }
+
+    /// Sets the worker-thread budget for partitioned windows (clamped to at
+    /// least 1; capped at the domain count when running). No observable
+    /// effect on simulation results — only on wall-clock time.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// Adds a node on `lan` with the given behaviour; `on_start` runs at the
     /// current simulated time (time 0 for setup-phase adds).
     pub fn add_node(&mut self, lan: LanId, handler: Box<dyn NodeHandler<P>>) -> NodeId {
-        let id = NodeId(self.handlers.len() as u32);
+        let id = NodeId(self.node_domain.len() as u32);
         self.topo.attach_node(id, lan);
-        self.handlers.push(Some(handler));
-        self.alive.push(true);
-        self.epoch.push(0);
+        let di = self.lan_domain[lan.index()];
         let node_seed = Seed(self.seed).derive_idx("simnet.node", u64::from(id.0));
-        self.rngs.push(None);
-        self.node_seeds.push(node_seed);
-        self.invoke(id, |h, ctx| h.on_start(ctx));
+        let li = self.domains[di as usize].nodes.push(id, handler, node_seed);
+        self.node_domain.push(di);
+        self.node_local.push(li);
+        self.invoke_node(id, |h, ctx| h.on_start(ctx));
+        self.flush_outboxes();
+        self.refresh_stats();
         id
     }
 
-    /// Current simulated time.
+    /// Current simulated time. Domains share a clock at every public entry
+    /// point (runs uniformize before returning), so the max is *the* time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.domains.iter().map(|d| d.core.now).max().unwrap_or(0)
     }
 
     /// Read access to the topology.
@@ -342,22 +332,33 @@ impl<P: Clone + 'static> Sim<P> {
         &self.topo
     }
 
-    /// Traffic counters accumulated so far.
+    /// Traffic counters accumulated so far (run-wide: merged across
+    /// domains).
     pub fn stats(&self) -> &NetStats {
-        &self.stats
+        &self.stats_cache
     }
 
     /// Resets the traffic counters (useful to measure only the steady state
     /// after a warm-up phase).
     pub fn reset_stats(&mut self) {
-        self.stats = NetStats::default();
+        for d in &mut self.domains {
+            d.stats = NetStats::default();
+        }
+        self.stats_cache = NetStats::default();
+    }
+
+    /// Deliveries handed to one node's handler so far (the per-node column
+    /// of the struct-of-arrays stats).
+    pub fn node_deliveries(&self, node: NodeId) -> u64 {
+        let di = self.node_domain[node.index()] as usize;
+        self.domains[di].nodes.delivered[self.node_local[node.index()] as usize]
     }
 
     /// Events dispatched so far (deliveries, timer fires, control actions;
     /// cancelled timers are reclaimed without dispatching and do not
     /// count). The engine-throughput denominator for scaling benches.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.domains.iter().map(|d| d.events_processed).sum::<u64>() + self.ctl_processed
     }
 
     /// Timers set but not yet fired or cancelled. Bounded by construction:
@@ -365,48 +366,69 @@ impl<P: Clone + 'static> Sim<P> {
     /// tombstone design grew without bound when timers were cancelled after
     /// firing).
     pub fn pending_timer_count(&self) -> usize {
-        self.timer_slots.len()
+        self.domains.iter().map(|d| d.timer_slots.len()).sum()
     }
 
     /// Events currently queued (deliveries in flight, pending timers,
     /// scheduled controls). Cancelled timers leave the count immediately,
     /// so this tracks live events only.
     pub fn queued_event_count(&self) -> usize {
-        self.live_events
+        self.domains.iter().map(|d| d.core.live_events).sum::<usize>() + self.controls.len()
     }
 
     /// Whether a node is currently up.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.alive[node.index()]
+        let di = self.node_domain[node.index()] as usize;
+        self.domains[di].nodes.alive[self.node_local[node.index()] as usize]
     }
 
     /// Immediately crashes a node (see [`ControlAction::Crash`]).
     pub fn crash_node(&mut self, node: NodeId) {
-        if self.alive[node.index()] {
-            self.alive[node.index()] = false;
-            self.epoch[node.index()] += 1;
+        let di = self.node_domain[node.index()] as usize;
+        let li = self.node_local[node.index()] as usize;
+        let d = &mut self.domains[di];
+        if d.nodes.alive[li] {
+            d.nodes.alive[li] = false;
+            d.nodes.epoch[li] += 1;
         }
     }
 
     /// Immediately revives a crashed node and reruns its `on_start`.
     pub fn revive_node(&mut self, node: NodeId) {
-        if !self.alive[node.index()] {
-            self.alive[node.index()] = true;
-            self.epoch[node.index()] += 1;
-            self.invoke(node, |h, ctx| h.on_start(ctx));
+        let di = self.node_domain[node.index()] as usize;
+        let li = self.node_local[node.index()] as usize;
+        if !self.domains[di].nodes.alive[li] {
+            self.domains[di].nodes.alive[li] = true;
+            self.domains[di].nodes.epoch[li] += 1;
+            self.invoke_node(node, |h, ctx| h.on_start(ctx));
+            self.flush_outboxes();
+            self.refresh_stats();
         }
     }
 
-    /// Schedules a control action at an absolute simulated time.
+    /// Schedules a control action at an absolute simulated time. Legacy
+    /// mode queues it in the wheel (historical dispatch interleaving with
+    /// same-time traffic, pinned by the golden digests); partitioned mode
+    /// holds it coordinator-side and applies it at a window barrier,
+    /// *before* same-time events.
     pub fn schedule(&mut self, at: SimTime, action: ControlAction) {
-        assert!(at >= self.now, "cannot schedule in the past");
-        self.push_event(at, Queued::Control(action));
+        assert!(at >= self.now(), "cannot schedule in the past");
+        match self.mode {
+            ExecMode::Legacy => self.domains[0].core.push_event(at, Queued::Control(action)),
+            ExecMode::Partitioned => {
+                let seq = self.control_seq;
+                self.control_seq += 1;
+                self.controls.push(Reverse(CtlEvent { at, seq, action }));
+            }
+        }
     }
 
     /// Replaces one LAN's fault profile, effective immediately.
     pub fn set_lan_faults(&mut self, lan: LanId, faults: FaultProfile) {
-        assert!(lan.index() < self.lan_faults.len(), "unknown LAN {lan:?}");
-        self.lan_faults[lan.index()] = faults;
+        assert!(lan.index() < self.lan_domain.len(), "unknown LAN {lan:?}");
+        let di = self.lan_domain[lan.index()] as usize;
+        let ll = self.lan_local[lan.index()] as usize;
+        self.domains[di].lan_faults[ll] = faults;
     }
 
     /// Replaces the WAN fault profile, effective immediately.
@@ -419,8 +441,8 @@ impl<P: Clone + 'static> Sim<P> {
     /// WAN profile for that direction (use [`Sim::clear_faults`] or re-set
     /// the override to drop it).
     pub fn set_wan_pair_faults(&mut self, from: LanId, to: LanId, faults: FaultProfile) {
-        assert!(from.index() < self.lan_faults.len(), "unknown LAN {from:?}");
-        assert!(to.index() < self.lan_faults.len(), "unknown LAN {to:?}");
+        assert!(from.index() < self.lan_domain.len(), "unknown LAN {from:?}");
+        assert!(to.index() < self.lan_domain.len(), "unknown LAN {to:?}");
         self.wan_pair_faults.insert((from, to), faults);
     }
 
@@ -443,14 +465,17 @@ impl<P: Clone + 'static> Sim<P> {
     /// Resets every fault profile (including per-direction overrides) to
     /// the fault-free default. Partitions and pair cuts are left alone.
     pub fn clear_faults(&mut self) {
-        self.lan_faults.fill(FaultProfile::default());
+        for d in &mut self.domains {
+            d.lan_faults.fill(FaultProfile::default());
+        }
         self.wan_faults = FaultProfile::default();
         self.wan_pair_faults.clear();
     }
 
     /// The fault profile currently applied to a LAN.
     pub fn lan_faults(&self, lan: LanId) -> FaultProfile {
-        self.lan_faults[lan.index()]
+        let di = self.lan_domain[lan.index()] as usize;
+        self.domains[di].lan_faults[self.lan_local[lan.index()] as usize]
     }
 
     /// The fault profile currently applied to the WAN.
@@ -463,15 +488,34 @@ impl<P: Clone + 'static> Sim<P> {
     /// encode → seeded byte-mutation → decode here, so corruption exercises
     /// the real wire decoder; `None` means the frame no longer decodes and
     /// is dropped (counted in [`NetStats::corrupt_dropped_messages`]).
-    pub fn set_corruptor(&mut self, hook: impl FnMut(&mut Rng, &P) -> Option<P> + 'static) {
-        self.corruptor = Some(Box::new(hook));
+    ///
+    /// Single-domain only: a multi-domain sim needs one hook instance per
+    /// domain — use [`Sim::set_corruptor_factory`].
+    pub fn set_corruptor(&mut self, hook: impl FnMut(&mut Rng, &P) -> Option<P> + Send + 'static) {
+        assert!(
+            self.domains.len() == 1,
+            "set_corruptor on a multi-domain sim: use set_corruptor_factory \
+             (each share-nothing domain needs its own hook instance)"
+        );
+        self.domains[0].corruptor = Some(Box::new(hook));
+    }
+
+    /// Installs one corruption-hook instance *per domain*, built by
+    /// `factory`. Equivalent to [`Sim::set_corruptor`] on a single-domain
+    /// sim; required for partitioned sims (domains run concurrently, so the
+    /// hook cannot be shared).
+    pub fn set_corruptor_factory(&mut self, factory: impl Fn() -> Corruptor<P>) {
+        for d in &mut self.domains {
+            d.corruptor = Some(factory());
+        }
     }
 
     /// Borrows a handler downcast to its concrete type, for inspection.
     /// Returns `None` for a wrong type or unknown node.
     pub fn handler<T: 'static>(&self, node: NodeId) -> Option<&T> {
-        self.handlers
-            .get(node.index())?
+        let di = *self.node_domain.get(node.index())? as usize;
+        let li = *self.node_local.get(node.index())? as usize;
+        self.domains[di].nodes.handlers[li]
             .as_deref()?
             .as_any()
             .downcast_ref::<T>()
@@ -479,8 +523,9 @@ impl<P: Clone + 'static> Sim<P> {
 
     /// Mutable variant of [`Sim::handler`], for test instrumentation.
     pub fn handler_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
-        self.handlers
-            .get_mut(node.index())?
+        let di = *self.node_domain.get(node.index())? as usize;
+        let li = *self.node_local.get(node.index())? as usize;
+        self.domains[di].nodes.handlers[li]
             .as_deref_mut()?
             .as_any_mut()
             .downcast_mut::<T>()
@@ -490,417 +535,194 @@ impl<P: Clone + 'static> Sim<P> {
     /// queued actions. This is how experiments inject work ("client 3 issues
     /// a query at t=10s") without going through the network.
     pub fn with_node<T: 'static>(&mut self, node: NodeId, f: impl FnOnce(&mut T, &mut Ctx<'_, P>)) {
-        if !self.alive[node.index()] {
+        if !self.is_alive(node) {
             return;
         }
-        self.invoke(node, move |h, ctx| {
+        self.invoke_node(node, move |h, ctx| {
             if let Some(t) = h.as_any_mut().downcast_mut::<T>() {
                 f(t, ctx);
             } else {
                 panic!("with_node: node {:?} is not the requested handler type", ctx.node());
             }
         });
-    }
-
-    /// Dispatches every event with `at <= limit`, in `(at, push-order)`
-    /// order. Buckets drain front-to-back by index so a handler appending a
-    /// same-time event (zero-delay timer, zero-latency link) sees it
-    /// dispatched within the same time step, after everything already
-    /// queued — exactly the old comparison-heap order. A bucket whose only
-    /// entries were cancelled timers still advances the clock to its time,
-    /// matching the old engine's handling of dead heap keys.
-    fn run_events(&mut self, limit: SimTime) {
-        loop {
-            let bi = (self.now as usize) & WHEEL_MASK;
-            if self.drain_pos < self.buckets[bi].len() {
-                let pos = self.drain_pos;
-                self.drain_pos += 1;
-                let ev = std::mem::replace(&mut self.buckets[bi][pos], Queued::Consumed);
-                if self.dispatch(ev) {
-                    self.events_processed += 1;
-                    self.live_events -= 1;
-                }
-                continue;
-            }
-            self.buckets[bi].clear();
-            self.occupied[bi >> 6] &= !(1u64 << (bi & 63));
-            self.drain_pos = 0;
-            let Some(next) = self.next_event_time() else { return };
-            if next > limit {
-                return;
-            }
-            self.migrate_until(next);
-            self.now = next;
-        }
-    }
-
-    /// The earliest queued event time after `now`, if any. Bucketed events
-    /// always precede far ones (the far heap holds only beyond-horizon
-    /// times), so the wheel is scanned first.
-    fn next_event_time(&self) -> Option<SimTime> {
-        let span = WHEEL_SPAN as usize;
-        let start = ((self.now + 1) as usize) & WHEEL_MASK;
-        let mut o = 0usize;
-        while o < span - 1 {
-            let idx = (start + o) & WHEEL_MASK;
-            if idx & 63 == 0 && span - 1 - o >= 64 && self.occupied[idx >> 6] == 0 {
-                o += 64;
-                continue;
-            }
-            if self.occupied[idx >> 6] & (1u64 << (idx & 63)) != 0 {
-                return Some(self.now + 1 + o as u64);
-            }
-            o += 1;
-        }
-        self.far.peek().map(|Reverse(f)| f.at)
-    }
-
-    /// Pulls every far event that `new_now`'s horizon now covers into its
-    /// bucket. Far events migrate in `(at, seq)` heap order, and always
-    /// before any same-time near push can happen (near pushes at time `t`
-    /// only occur once `now > t - WHEEL_SPAN`, and every advance of `now`
-    /// migrates first) — so bucket order remains global push order.
-    fn migrate_until(&mut self, new_now: SimTime) {
-        while let Some(Reverse(top)) = self.far.peek() {
-            if top.at - new_now >= WHEEL_SPAN {
-                break;
-            }
-            let Reverse(fe) = self.far.pop().expect("peeked");
-            self.bucket_insert(fe.at, fe.ev);
-        }
+        self.flush_outboxes();
+        self.refresh_stats();
     }
 
     /// Processes all events up to and including `until`, then advances the
     /// clock to `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        self.run_events(until);
-        if until > self.now {
-            self.migrate_until(until);
-            self.now = until;
+        match self.mode {
+            ExecMode::Legacy => self.run_events_legacy(until),
+            ExecMode::Partitioned => self.run_partitioned(until),
         }
+        for d in &mut self.domains {
+            d.core.advance_to(until);
+        }
+        self.refresh_stats();
     }
 
     /// Runs until the event queue drains or `max` is reached; returns the
     /// final simulated time.
     pub fn run_to_quiescence(&mut self, max: SimTime) -> SimTime {
-        self.run_events(max);
-        self.now
-    }
-
-    /// Dispatches one queued event; returns `false` for stale entries
-    /// (cancelled timers) that dispatch nothing.
-    fn dispatch(&mut self, ev: Queued<P>) -> bool {
-        match ev {
-            Queued::Deliver { to, from, payload } => {
-                if self.alive[to.index()] {
-                    self.stats.record_delivery();
-                    self.invoke(to, move |h, ctx| h.on_shared_message(ctx, from, payload));
-                } else {
-                    self.stats.record_drop();
-                }
-                true
-            }
-            Queued::Timer { slot, gen } => {
-                let cell = &mut self.timer_table[slot as usize];
-                if cell.gen != gen {
-                    // Cancelled: its cell was vacated (and possibly reused)
-                    // at cancel time.
-                    return false;
-                }
-                cell.gen += 1;
-                let (node, epoch, id, tag) = (cell.node, cell.epoch, cell.id, cell.tag);
-                self.timer_free.push(slot);
-                self.timer_slots.remove(&id);
-                if self.alive[node.index()] && self.epoch[node.index()] == epoch {
-                    self.invoke(node, move |h, ctx| h.on_timer(ctx, id, tag));
-                }
-                true
-            }
-            Queued::Consumed => unreachable!("consumed entries are never revisited"),
-            Queued::Control(action) => {
-                match action {
-                ControlAction::Crash(n) => self.crash_node(n),
-                ControlAction::Revive(n) => self.revive_node(n),
-                ControlAction::Partition(groups) => {
-                    let refs: Vec<&[LanId]> = groups.iter().map(|g| g.as_slice()).collect();
-                    self.topo.partition(&refs);
-                }
-                ControlAction::HealPartition => self.topo.heal_partition(),
-                ControlAction::SetLanFaults(lan, f) => self.set_lan_faults(lan, f),
-                ControlAction::SetWanFaults(f) => self.set_wan_faults(f),
-                ControlAction::SetWanPairFaults(from, to, f) => self.set_wan_pair_faults(from, to, f),
-                ControlAction::CutWanPair(a, b) => self.cut_wan_pair(a, b),
-                ControlAction::HealWanPair(a, b) => self.heal_wan_pair(a, b),
-                ControlAction::ClearFaults => self.clear_faults(),
-                }
-                true
-            }
+        match self.mode {
+            ExecMode::Legacy => self.run_events_legacy(max),
+            ExecMode::Partitioned => self.run_partitioned(max),
         }
-    }
-
-    fn invoke(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NodeHandler<P>, &mut Ctx<'_, P>)) {
-        let mut handler = self.handlers[node.index()].take().expect("handler present");
-        let mut actions = std::mem::take(&mut self.actions_scratch);
-        actions.clear();
-        let mut ctx = Ctx {
-            now: self.now,
-            node,
-            lan: self.topo.lan_of(node),
-            seed: self.node_seeds[node.index()],
-            rng: &mut self.rngs[node.index()],
-            next_timer: &mut self.next_timer,
-            actions,
-        };
-        f(handler.as_mut(), &mut ctx);
-        let actions = std::mem::take(&mut ctx.actions);
-        self.handlers[node.index()] = Some(handler);
-        self.apply_actions(node, actions);
-    }
-
-    fn apply_actions(&mut self, node: NodeId, mut actions: Vec<Action<P>>) {
-        for action in actions.drain(..) {
-            match action {
-                Action::Send { dest, payload, bytes, kind } => self.transmit(node, dest, payload, bytes, kind),
-                Action::SetTimer { id, fire_at, tag } => {
-                    let epoch = self.epoch[node.index()];
-                    let slot = match self.timer_free.pop() {
-                        Some(s) => {
-                            let cell = &mut self.timer_table[s as usize];
-                            cell.node = node;
-                            cell.epoch = epoch;
-                            cell.id = id;
-                            cell.tag = tag;
-                            s
-                        }
-                        None => {
-                            self.timer_table.push(TimerSlot { gen: 0, node, epoch, id, tag });
-                            (self.timer_table.len() - 1) as u32
-                        }
-                    };
-                    let gen = self.timer_table[slot as usize].gen;
-                    self.timer_slots.insert(id, (slot, gen));
-                    self.push_event(fire_at, Queued::Timer { slot, gen });
-                }
-                Action::CancelTimer(id) => {
-                    if let Some((slot, gen)) = self.timer_slots.remove(&id) {
-                        // The map only holds timers whose event is still
-                        // queued, so the stamp always matches; the check
-                        // guards the invariant rather than trusting it.
-                        let cell = &mut self.timer_table[slot as usize];
-                        if cell.gen == gen {
-                            cell.gen += 1;
-                            self.timer_free.push(slot);
-                            self.live_events -= 1;
-                        }
-                    }
-                }
-            }
+        // Partitioned domains can drain at different times; uniformize so
+        // the next injection (add_node, with_node) sees one clock.
+        let end = self.now();
+        for d in &mut self.domains {
+            d.core.advance_to(end);
         }
-        // Hand the (now empty) buffer back for the next invoke, keeping its
-        // capacity. A nested invoke (none today) would merely allocate anew.
-        if actions.capacity() > self.actions_scratch.capacity() {
-            self.actions_scratch = actions;
-        }
+        self.refresh_stats();
+        end
     }
 
-    fn transmit(&mut self, from: NodeId, dest: Destination, payload: P, bytes: u32, kind: MsgKind) {
-        match dest {
-            Destination::Unicast(to) => {
-                if to.index() >= self.handlers.len() {
-                    // Corrupted frames can carry node ids that name nobody
-                    // (e.g. a mutated RegistryList). Address a black hole
-                    // instead of indexing the topology out of bounds.
-                    self.stats.record_drop();
-                    return;
-                }
-                if to == from {
-                    // Loopback: free and instantaneous-ish.
-                    let at = self.now + 1;
-                    self.push_event(at, Queued::Deliver { to, from, payload: Rc::new(payload) });
-                    return;
-                }
-                let from_lan = self.topo.lan_of(from);
-                let to_lan = self.topo.lan_of(to);
-                let scope = if from_lan == to_lan { Scope::Lan } else { Scope::Wan };
-                // The sender transmits regardless of the receiver's fate, so
-                // the bytes are always charged.
-                self.stats.record(scope, kind, u64::from(bytes));
-                if scope == Scope::Wan && !self.topo.wan_reachable(from_lan, to_lan) {
-                    if self.topo.wan_pair_cut(from_lan, to_lan) {
-                        self.stats.record_wan_cut_drop();
-                    }
-                    self.stats.record_drop();
-                    return;
-                }
-                let faults = self.faults_for(scope, from_lan, to_lan);
-                if self.sample_loss(scope) || self.sample_fault_loss(faults) {
-                    self.stats.record_drop();
-                    return;
-                }
-                let serialization = self.reserve_medium(scope, from_lan, bytes);
-                self.deliver_faulty(faults, scope, serialization, to, from, Rc::new(payload));
-            }
-            Destination::Multicast(lan) => {
-                assert_eq!(lan, self.topo.lan_of(from), "multicast is link-local: sender must be on the LAN");
-                // One transmission on the broadcast medium.
-                self.stats.record(Scope::Lan, kind, u64::from(bytes));
-                self.stats.record_multicast();
-                let serialization = self.reserve_medium(Scope::Lan, lan, bytes);
-                let faults = self.lan_faults[lan.index()];
-                // One shared payload for the whole fan-out; one reused
-                // membership buffer instead of a fresh Vec per multicast.
-                let payload = Rc::new(payload);
-                let mut members = std::mem::take(&mut self.multicast_scratch);
-                members.clear();
-                members.extend(self.topo.members(lan).iter().copied().filter(|&m| m != from));
-                for &to in &members {
-                    if self.sample_loss(Scope::Lan) || self.sample_fault_loss(faults) {
-                        self.stats.record_drop();
-                        continue;
-                    }
-                    self.deliver_faulty(faults, Scope::Lan, serialization, to, from, Rc::clone(&payload));
-                }
-                members.clear();
-                self.multicast_scratch = members;
-            }
-        }
-    }
-
-    /// Schedules one logical delivery, applying duplication, reordering and
-    /// corruption from `faults`. A quiet profile draws nothing from the
-    /// fault RNG, keeping fault-free runs bit-identical. The shared payload
-    /// is copy-on-write: every scheduled copy holds a reference to the same
-    /// allocation unless a corruptor mutation materializes a divergent one —
-    /// receivers of the other copies still see the original bytes.
-    fn deliver_faulty(
-        &mut self,
-        faults: FaultProfile,
-        scope: Scope,
-        serialization: SimTime,
-        to: NodeId,
-        from: NodeId,
-        payload: Rc<P>,
-    ) {
-        let copies = if faults.duplicate > 0.0 && self.fault_rng.gen_bool(faults.duplicate) {
-            self.stats.record_duplicate();
-            2
-        } else {
-            1
-        };
-        for _copy in 0..copies {
-            // Each copy samples its own latency and reorder delay, so a
-            // duplicate can overtake the original.
-            let reorder = if faults.reorder_jitter > 0 {
-                let extra = self.fault_rng.gen_range(0..=faults.reorder_jitter);
-                if extra > 0 {
-                    self.stats.record_reorder_delay();
-                }
-                extra
-            } else {
-                0
+    /// Legacy single-domain run: the domain dispatches everything itself
+    /// and *yields* each control event (controls mutate the shared world,
+    /// which domains only read); the drain position survives the yield, so
+    /// dispatch order is exactly the historical engine's.
+    fn run_events_legacy(&mut self, limit: SimTime) {
+        loop {
+            let outcome = {
+                let world = world!(self);
+                self.domains[0].run_events(limit, &world)
             };
-            let p = if faults.corrupt > 0.0 && self.fault_rng.gen_bool(faults.corrupt) {
-                self.stats.record_corrupted();
-                let mutated = match self.corruptor.as_mut() {
-                    Some(hook) => hook(&mut self.fault_rng, &payload),
-                    None => None,
-                };
-                match mutated {
-                    Some(m) => Rc::new(m),
-                    None => {
-                        // The mutation destroyed the frame: the receiver's
-                        // decoder would reject it, so it never reaches the
-                        // handler.
-                        self.stats.record_corrupt_drop();
-                        continue;
-                    }
-                }
-            } else {
-                Rc::clone(&payload)
+            match outcome {
+                RunOutcome::Done => return,
+                RunOutcome::Control(action) => self.apply_control(action),
+            }
+        }
+    }
+
+    /// Partitioned run: conservative-lookahead windows. Each iteration
+    /// either applies due controls at a barrier (all domains advanced to
+    /// the control time first) or runs one window `[T, end)` where
+    /// `end = min(T + wan_latency, next control, limit + 1)` across all
+    /// domains — concurrently when workers and domains allow. Safety: every
+    /// cross-domain message generated in the window arrives at
+    /// `≥ T + wan_latency ≥ end`, so no domain can observe another's
+    /// window-work mid-window; outboxes are exchanged at the barrier in
+    /// fixed (source, destination, push) order.
+    fn run_partitioned(&mut self, limit: SimTime) {
+        loop {
+            let te = self.domains.iter().filter_map(|d| d.core.next_pending_time()).min();
+            let tc = self.controls.peek().map(|Reverse(c)| c.at);
+            let next = match (te, tc) {
+                (None, None) => return,
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (Some(a), Some(b)) => a.min(b),
             };
-            let at = self.now + serialization + self.sample_latency(scope) + reorder;
-            self.push_event(at, Queued::Deliver { to, from, payload: p });
+            if next > limit {
+                return;
+            }
+            if tc == Some(next) {
+                // Control barrier: advance every domain to the control
+                // time (legal: no event is pending earlier) and apply all
+                // controls due at it, in schedule order, before any
+                // same-time event runs.
+                for d in &mut self.domains {
+                    d.core.advance_to(next);
+                }
+                while self.controls.peek().is_some_and(|Reverse(c)| c.at == next) {
+                    let Reverse(ctl) = self.controls.pop().expect("peeked");
+                    self.apply_control(ctl.action);
+                    self.ctl_processed += 1;
+                }
+                // A revive's on_start may have queued cross-domain sends.
+                self.flush_outboxes();
+                continue;
+            }
+            let mut end = next.saturating_add(self.cfg.wan_latency);
+            if let Some(tc) = tc {
+                end = end.min(tc);
+            }
+            end = end.min(limit.saturating_add(1));
+            let window_limit = end - 1;
+            let workers = self.workers.min(self.domains.len());
+            {
+                let world = world!(self);
+                run_domains(&mut self.domains, &world, window_limit, workers);
+            }
+            self.flush_outboxes();
         }
     }
 
-    fn faults_for(&self, scope: Scope, from_lan: LanId, to_lan: LanId) -> FaultProfile {
-        match scope {
-            Scope::Lan => self.lan_faults[from_lan.index()],
-            Scope::Wan => self
-                .wan_pair_faults
-                .get(&(from_lan, to_lan))
-                .copied()
-                .unwrap_or(self.wan_faults),
+    /// Applies one control action against the shared world (and, for
+    /// crash/revive/faults, the owning domain).
+    fn apply_control(&mut self, action: ControlAction) {
+        match action {
+            ControlAction::Crash(n) => self.crash_node(n),
+            ControlAction::Revive(n) => self.revive_node(n),
+            ControlAction::Partition(groups) => {
+                let refs: Vec<&[LanId]> = groups.iter().map(|g| g.as_slice()).collect();
+                self.topo.partition(&refs);
+            }
+            ControlAction::HealPartition => self.topo.heal_partition(),
+            ControlAction::SetLanFaults(lan, f) => self.set_lan_faults(lan, f),
+            ControlAction::SetWanFaults(f) => self.set_wan_faults(f),
+            ControlAction::SetWanPairFaults(from, to, f) => self.set_wan_pair_faults(from, to, f),
+            ControlAction::CutWanPair(a, b) => self.cut_wan_pair(a, b),
+            ControlAction::HealWanPair(a, b) => self.heal_wan_pair(a, b),
+            ControlAction::ClearFaults => self.clear_faults(),
         }
     }
 
-    fn sample_fault_loss(&mut self, faults: FaultProfile) -> bool {
-        faults.loss > 0.0 && self.fault_rng.gen_bool(faults.loss)
+    /// Runs a handler callback through the node's owning domain.
+    fn invoke_node(&mut self, node: NodeId, f: impl FnOnce(&mut dyn NodeHandler<P>, &mut Ctx<'_, P>)) {
+        let di = self.node_domain[node.index()] as usize;
+        let world = world!(self);
+        self.domains[di].invoke(node, &world, f);
     }
 
-    /// Reserves the shared medium for `bytes` and returns the serialization
-    /// delay from `now` until the transmission has fully left the sender
-    /// (queueing behind earlier transmissions included). Zero-rate = ideal.
-    fn reserve_medium(&mut self, scope: Scope, lan: LanId, bytes: u32) -> SimTime {
-        let rate_kbps = match scope {
-            Scope::Lan => self.cfg.lan_rate_kbps,
-            Scope::Wan => self.cfg.wan_rate_kbps,
-        };
-        if rate_kbps == 0 {
-            return 0;
+    /// Drains every domain's cross-domain outbox into the destination
+    /// domains' wheels, in fixed (source, destination, push) order — the
+    /// total order that makes partitioned results independent of worker
+    /// scheduling. Payload ownership converts to a fresh `Rc` here, so `Rc`
+    /// clones never span domains.
+    fn flush_outboxes(&mut self) {
+        if self.mode != ExecMode::Partitioned {
+            return;
         }
-        // ms = bits / (kbits/s) = bytes*8 / rate_kbps
-        let tx_ms = (u64::from(bytes) * 8).div_ceil(u64::from(rate_kbps)).max(1);
-        let busy = match scope {
-            Scope::Lan => &mut self.lan_busy_until[lan.index()],
-            Scope::Wan => &mut self.wan_busy_until,
-        };
-        let start = (*busy).max(self.now);
-        *busy = start + tx_ms;
-        *busy - self.now
-    }
-
-    fn sample_loss(&mut self, scope: Scope) -> bool {
-        let p = match scope {
-            Scope::Lan => self.cfg.lan_loss,
-            Scope::Wan => self.cfg.wan_loss,
-        };
-        p > 0.0 && self.link_rng.gen_bool(p)
-    }
-
-    fn sample_latency(&mut self, scope: Scope) -> SimTime {
-        let (base, jitter) = match scope {
-            Scope::Lan => (self.cfg.lan_latency, self.cfg.lan_jitter),
-            Scope::Wan => (self.cfg.wan_latency, self.cfg.wan_jitter),
-        };
-        base + if jitter > 0 { self.link_rng.gen_range(0..=jitter) } else { 0 }
-    }
-
-    /// Queues an event at `at` (≥ `now`): O(1) into its wheel bucket when
-    /// within the horizon, else into the far heap with a sequence stamp
-    /// that preserves push order among same-time far events.
-    fn push_event(&mut self, at: SimTime, ev: Queued<P>) {
-        debug_assert!(at >= self.now, "events are never scheduled in the past");
-        self.live_events += 1;
-        if at - self.now < WHEEL_SPAN {
-            self.bucket_insert(at, ev);
-        } else {
-            let seq = self.far_seq;
-            self.far_seq += 1;
-            self.far.push(Reverse(FarEvent { at, seq, ev }));
+        let nd = self.domains.len();
+        for s in 0..nd {
+            for t in 0..nd {
+                if self.domains[s].outboxes[t].is_empty() {
+                    continue;
+                }
+                let mut msgs = std::mem::take(&mut self.domains[s].outboxes[t]);
+                for m in msgs.drain(..) {
+                    self.domains[t]
+                        .core
+                        .push_event(m.at, Queued::Deliver { to: m.to, from: m.from, payload: Rc::new(m.payload) });
+                }
+                // Hand the emptied buffer back, keeping its capacity.
+                let slot = &mut self.domains[s].outboxes[t];
+                if msgs.capacity() > slot.capacity() {
+                    *slot = msgs;
+                }
+            }
         }
     }
 
-    fn bucket_insert(&mut self, at: SimTime, ev: Queued<P>) {
-        let bi = (at as usize) & WHEEL_MASK;
-        self.buckets[bi].push(ev);
-        self.occupied[bi >> 6] |= 1u64 << (bi & 63);
+    /// Rebuilds the run-wide counter view from the per-domain books.
+    fn refresh_stats(&mut self) {
+        let mut s = NetStats::default();
+        for d in &self.domains {
+            s.merge(&d.stats);
+        }
+        self.stats_cache = s;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::domain::WHEEL_SPAN;
+    use crate::message::Destination;
+    use crate::ids::TimerId;
 
     #[derive(Default)]
     struct Recorder {
@@ -943,6 +765,8 @@ mod tests {
         assert_eq!(sim.stats().wan_bytes, 0);
         assert_eq!(sim.stats().delivered_messages, 1);
         assert_eq!(sim.events_processed(), 1);
+        assert_eq!(sim.node_deliveries(b), 1);
+        assert_eq!(sim.node_deliveries(a), 0);
     }
 
     #[test]
@@ -1444,8 +1268,9 @@ mod tests {
             (0..4).map(|_| r.next_u64()).collect()
         };
         assert_eq!(drawn, expected, "lazy stream == eagerly seeded stream");
-        assert!(sim.rngs[drawer.index()].is_some(), "drawing node materialized");
-        assert!(sim.rngs[idle.index()].is_none(), "idle node never materialized");
+        // Single-domain sim: local slot == global index.
+        assert!(sim.domains[0].nodes.rngs[drawer.index()].is_some(), "drawing node materialized");
+        assert!(sim.domains[0].nodes.rngs[idle.index()].is_none(), "idle node never materialized");
     }
 
     #[test]
@@ -1533,5 +1358,181 @@ mod tests {
         let s = &sim.handler::<SharedReader>(shared).unwrap().seen;
         assert_eq!(o, &vec![(sender, "announce".to_string())]);
         assert_eq!(s, &vec!["announce".to_string()]);
+    }
+
+    // ------------------------------------------------------------------
+    // Partitioned-mode tests. The partitioned engine has its own
+    // deterministic semantics (per-sender-LAN RNG streams, per-LAN WAN
+    // uplinks, node-scoped timer ids); these tests pin behaviour and the
+    // worker-count-invariance contract at the unit level — integration
+    // digests live in tests/tests/engine_equivalence.rs.
+    // ------------------------------------------------------------------
+
+    fn partitioned_sim(lans: usize, plan: PartitionPlan, seed: u64) -> (Sim<String>, Vec<LanId>) {
+        let mut topo = Topology::new();
+        let ids: Vec<LanId> = (0..lans).map(|_| topo.add_lan()).collect();
+        (Sim::new_partitioned(SimConfig::default(), topo, seed, plan), ids)
+    }
+
+    #[test]
+    fn single_domain_plans_run_the_legacy_engine() {
+        // PartitionPlan::Single (and any plan collapsing to one domain) is
+        // the legacy engine — byte-identical regardless of worker count.
+        let run = |plan: PartitionPlan, workers: usize| {
+            let (mut sim, lans) = partitioned_sim(2, plan, 11);
+            sim.set_workers(workers);
+            let a = sim.add_node(lans[0], Box::<Recorder>::default());
+            let b = sim.add_node(lans[1], Box::<Recorder>::default());
+            for i in 0..30 {
+                sim.with_node::<Recorder>(a, |_, ctx| {
+                    ctx.send(Destination::Unicast(b), format!("m{i}"), 16, "test");
+                });
+                sim.run_until(sim.now() + 7);
+            }
+            sim.run_until(5_000);
+            sim.handler::<Recorder>(b).unwrap().messages.clone()
+        };
+        let base = run(PartitionPlan::Single, 1);
+        assert_eq!(run(PartitionPlan::Single, 8), base);
+        assert_eq!(run(PartitionPlan::Domains(1), 4), base);
+    }
+
+    #[test]
+    fn partitioned_cross_lan_delivery_and_merged_stats() {
+        let (mut sim, lans) = partitioned_sim(3, PartitionPlan::PerLan, 13);
+        let a = sim.add_node(lans[0], Box::<Recorder>::default());
+        let b = sim.add_node(lans[1], Box::<Recorder>::default());
+        let c = sim.add_node(lans[2], Box::<Recorder>::default());
+        let peer = sim.add_node(lans[0], Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "one".into(), 10, "test");
+            ctx.send(Destination::Unicast(c), "two".into(), 10, "test");
+            ctx.send(Destination::Unicast(peer), "local".into(), 5, "test");
+        });
+        sim.run_until(1_000);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages, vec![(a, "one".to_string())]);
+        assert_eq!(sim.handler::<Recorder>(c).unwrap().messages, vec![(a, "two".to_string())]);
+        assert_eq!(sim.handler::<Recorder>(peer).unwrap().messages.len(), 1);
+        assert_eq!(sim.stats().wan_bytes, 20, "stats merged across domains");
+        assert_eq!(sim.stats().lan_bytes, 5);
+        assert_eq!(sim.stats().delivered_messages, 3);
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn partitioned_worker_count_has_zero_observable_effect() {
+        // Ping-pong traffic + faults + a scheduled partition across 4 LANs:
+        // every observable (messages with arrival order, stats, clock) must
+        // be identical at 1, 2, and 5 workers.
+        let run = |workers: usize| {
+            let (mut sim, lans) = partitioned_sim(4, PartitionPlan::PerLan, 17);
+            sim.set_workers(workers);
+            let nodes: Vec<NodeId> =
+                lans.iter().map(|&l| sim.add_node(l, Box::<Recorder>::default())).collect();
+            sim.set_wan_faults(FaultProfile {
+                loss: 0.1,
+                duplicate: 0.2,
+                reorder_jitter: 9,
+                ..Default::default()
+            });
+            sim.schedule(200, ControlAction::Partition(vec![vec![lans[0], lans[1]], vec![lans[2], lans[3]]]));
+            sim.schedule(400, ControlAction::HealPartition);
+            for round in 0..20u64 {
+                for (i, &n) in nodes.iter().enumerate() {
+                    let to = nodes[(i + 1) % nodes.len()];
+                    sim.with_node::<Recorder>(n, |_, ctx| {
+                        ctx.send(Destination::Unicast(to), format!("r{round}"), 32, "test");
+                    });
+                }
+                sim.run_until(sim.now() + 30);
+            }
+            sim.run_until(3_000);
+            let transcripts: Vec<Vec<(NodeId, String)>> = nodes
+                .iter()
+                .map(|&n| sim.handler::<Recorder>(n).unwrap().messages.clone())
+                .collect();
+            (
+                transcripts,
+                sim.stats().total_bytes(),
+                sim.stats().delivered_messages,
+                sim.stats().dropped_messages,
+                sim.stats().fault_injections(),
+                sim.events_processed(),
+                sim.now(),
+            )
+        };
+        let base = run(1);
+        assert!(base.4 > 0, "faults must actually fire for this to prove anything");
+        assert_eq!(run(2), base, "workers=2 diverged");
+        assert_eq!(run(5), base, "workers=5 diverged");
+    }
+
+    #[test]
+    fn partitioned_controls_apply_at_barriers_before_same_time_events() {
+        // A loss window scheduled at t must affect a message whose send is
+        // injected at t via a control (controls apply before events).
+        let (mut sim, lans) = partitioned_sim(2, PartitionPlan::PerLan, 19);
+        let a = sim.add_node(lans[0], Box::<Recorder>::default());
+        let b = sim.add_node(lans[1], Box::<Recorder>::default());
+        sim.schedule(50, ControlAction::SetWanFaults(FaultProfile { loss: 1.0, ..Default::default() }));
+        sim.run_until(50);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "lost".into(), 8, "test");
+        });
+        sim.run_until(500);
+        assert!(sim.handler::<Recorder>(b).unwrap().messages.is_empty());
+        assert_eq!(sim.stats().dropped_messages, 1);
+        sim.schedule(600, ControlAction::ClearFaults);
+        sim.run_until(700);
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "through".into(), 8, "test");
+        });
+        sim.run_until(1_000);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1);
+    }
+
+    #[test]
+    fn partitioned_crash_revive_and_timers_work_across_domains() {
+        let (mut sim, lans) = partitioned_sim(2, PartitionPlan::PerLan, 23);
+        let a = sim.add_node(lans[0], Box::<Recorder>::default());
+        let b = sim.add_node(lans[1], Box::<Recorder>::default());
+        sim.with_node::<Recorder>(b, |_, ctx| {
+            ctx.set_timer(40, 7);
+        });
+        sim.schedule(10, ControlAction::Crash(b));
+        sim.schedule(100, ControlAction::Revive(b));
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            ctx.send(Destination::Unicast(b), "while-down".into(), 8, "test");
+        });
+        sim.run_until(1_000);
+        let rec = sim.handler::<Recorder>(b).unwrap();
+        assert_eq!(rec.starts, 2, "revive reran on_start");
+        assert!(rec.timers.is_empty(), "pre-crash timer discarded");
+        assert!(rec.messages.is_empty(), "delivery while down dropped");
+        assert_eq!(sim.stats().dropped_messages, 1);
+        assert_eq!(sim.pending_timer_count(), 0);
+    }
+
+    #[test]
+    fn partitioned_determinism_across_runs() {
+        let run = || {
+            let (mut sim, lans) = partitioned_sim(5, PartitionPlan::Domains(3), 29);
+            sim.set_workers(3);
+            let nodes: Vec<NodeId> =
+                lans.iter().map(|&l| sim.add_node(l, Box::<Recorder>::default())).collect();
+            sim.set_wan_faults(FaultProfile { duplicate: 0.3, reorder_jitter: 5, ..Default::default() });
+            for i in 0..15u64 {
+                let from = nodes[(i % 5) as usize];
+                let to = nodes[((i + 2) % 5) as usize];
+                sim.with_node::<Recorder>(from, |_, ctx| {
+                    ctx.send(Destination::Unicast(to), format!("x{i}"), 24, "test");
+                });
+                sim.run_until(sim.now() + 11);
+            }
+            sim.run_until(2_000);
+            let t: Vec<_> = nodes.iter().map(|&n| sim.handler::<Recorder>(n).unwrap().messages.clone()).collect();
+            (t, sim.stats().total_bytes(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -48,7 +48,12 @@ pub fn take_payload<P: Clone>(msg: Rc<P>) -> P {
 /// [`NodeHandler::on_message`], which the default `on_shared_message`
 /// forwards to after materializing an owned copy (free when this was the
 /// last in-flight copy).
-pub trait NodeHandler<P>: AsAny + 'static {
+///
+/// Handlers must be `Send`: the parallel engine moves whole LAN domains —
+/// handlers included — across worker threads between lookahead windows.
+/// (Within a window a handler is only ever touched by the one thread
+/// running its domain, so `Sync` is not required.)
+pub trait NodeHandler<P>: AsAny + Send + 'static {
     /// Called once when the node is added, and again each time it is revived
     /// after a crash. A revived node keeps its Rust state; handlers that
     /// should lose soft state on crash must reset themselves here.
@@ -97,6 +102,16 @@ pub(crate) enum Action<P> {
     CancelTimer(TimerId),
 }
 
+/// How [`Ctx::set_timer`] allocates timer ids. The legacy engine hands out
+/// ids from one global counter (pinned by the golden digests); the
+/// partitioned engine scopes the counter to the node — `(node << 32) | ctr`
+/// — so allocation is domain-local (no shared counter to serialize on) yet
+/// ids stay globally unique.
+pub(crate) enum TimerAlloc<'a> {
+    Global(&'a mut u64),
+    PerNode { node: u32, ctr: &'a mut u32 },
+}
+
 /// Execution context handed to a handler callback. Collects the handler's
 /// outgoing messages and timer operations and exposes the node's identity,
 /// the simulated clock, and the node's private deterministic RNG.
@@ -105,10 +120,11 @@ pub struct Ctx<'a, P> {
     pub(crate) node: NodeId,
     pub(crate) lan: LanId,
     pub(crate) seed: Seed,
-    /// Lazily materialized: a node that never draws never seeds a stream
-    /// (see [`Ctx::rng`]).
-    pub(crate) rng: &'a mut Option<Rng>,
-    pub(crate) next_timer: &'a mut u64,
+    /// Lazily materialized *and boxed*: a node that never draws never seeds
+    /// a stream, and its slot in the struct-of-arrays node table costs one
+    /// pointer instead of an inline generator state (see [`Ctx::rng`]).
+    pub(crate) rng: &'a mut Option<Box<Rng>>,
+    pub(crate) timer_alloc: TimerAlloc<'a>,
     pub(crate) actions: Vec<Action<P>>,
 }
 
@@ -137,7 +153,7 @@ impl<P> Ctx<'_, P> {
     /// creation did, and nodes that never draw cost nothing.
     pub fn rng(&mut self) -> &mut Rng {
         let seed = self.seed;
-        self.rng.get_or_insert_with(|| seed.rng())
+        &mut *self.rng.get_or_insert_with(|| Box::new(seed.rng()))
     }
 
     /// Derives a fresh deterministic RNG stream for this node, keyed by
@@ -158,8 +174,18 @@ impl<P> Ctx<'_, P> {
     /// Schedules `on_timer` to fire after `delay` with the given tag and
     /// returns a handle that can cancel it.
     pub fn set_timer(&mut self, delay: SimTime, tag: u64) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
+        let id = match &mut self.timer_alloc {
+            TimerAlloc::Global(ctr) => {
+                let id = TimerId(**ctr);
+                **ctr += 1;
+                id
+            }
+            TimerAlloc::PerNode { node, ctr } => {
+                let id = TimerId((u64::from(*node) << 32) | u64::from(**ctr));
+                **ctr += 1;
+                id
+            }
+        };
         self.actions.push(Action::SetTimer { id, fire_at: self.now.saturating_add(delay), tag });
         id
     }

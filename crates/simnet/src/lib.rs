@@ -48,15 +48,18 @@
 //! assert!(sim.handler::<Pinger>(pinger).unwrap().got);
 //! ```
 
+mod domain;
 mod engine;
 mod handler;
 mod ids;
 mod message;
+mod par;
 mod stats;
 mod time;
 mod topology;
 
 pub use engine::{ControlAction, Corruptor, FaultProfile, Sim, SimConfig};
+pub use par::PartitionPlan;
 // Handlers receive a `&mut Rng` through `Ctx::rng`; re-exported so roles can
 // name the type without depending on sds-rand directly.
 pub use sds_rand::{Rng, Seed};

@@ -112,6 +112,29 @@ impl NetStats {
         self.wan_cut_drops += 1;
     }
 
+    /// Folds another counter set into this one. The parallel engine keeps
+    /// per-domain books (no shared counters across worker threads) and the
+    /// coordinator merges them into the run-wide view on demand.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.lan_messages += other.lan_messages;
+        self.lan_bytes += other.lan_bytes;
+        self.wan_messages += other.wan_messages;
+        self.wan_bytes += other.wan_bytes;
+        self.delivered_messages += other.delivered_messages;
+        self.dropped_messages += other.dropped_messages;
+        self.multicast_transmissions += other.multicast_transmissions;
+        self.duplicated_messages += other.duplicated_messages;
+        self.corrupted_messages += other.corrupted_messages;
+        self.corrupt_dropped_messages += other.corrupt_dropped_messages;
+        self.reorder_delayed_messages += other.reorder_delayed_messages;
+        self.wan_cut_drops += other.wan_cut_drops;
+        for (&kind, ks) in &other.by_kind {
+            let e = self.by_kind.entry(kind).or_default();
+            e.messages += ks.messages;
+            e.bytes += ks.bytes;
+        }
+    }
+
     /// Total fault-injection interventions (diagnostic: asserts a chaos run
     /// actually injected something).
     pub fn fault_injections(&self) -> u64 {

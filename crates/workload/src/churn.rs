@@ -76,7 +76,7 @@ impl ChurnPlan {
     }
 
     /// Schedules every event on the simulator.
-    pub fn apply<P: Clone + 'static>(&self, sim: &mut sds_simnet::Sim<P>) {
+    pub fn apply<P: Clone + Send + 'static>(&self, sim: &mut sds_simnet::Sim<P>) {
         for e in &self.events {
             let action =
                 if e.up { ControlAction::Revive(e.node) } else { ControlAction::Crash(e.node) };

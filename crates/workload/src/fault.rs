@@ -131,7 +131,7 @@ impl FaultPlan {
     /// Schedules every event on the simulator. Combine with
     /// [`corrupting_hook`] so corruption windows mutate real frames instead
     /// of black-holing them.
-    pub fn apply<P: Clone + 'static>(&self, sim: &mut sds_simnet::Sim<P>) {
+    pub fn apply<P: Clone + Send + 'static>(&self, sim: &mut sds_simnet::Sim<P>) {
         for e in &self.events {
             let action = match e.target {
                 FaultTarget::Lan(lan) => ControlAction::SetLanFaults(lan, e.profile),

@@ -12,7 +12,7 @@ use sds_core::{
 };
 use sds_protocol::{Description, DiscoveryMessage, QueryPayload};
 use sds_semantic::{Ontology, SubsumptionIndex};
-use sds_simnet::{LanId, NodeId, Sim, SimConfig, Topology};
+use sds_simnet::{LanId, NodeId, PartitionPlan, Sim, SimConfig, Topology};
 
 use crate::oracle::Oracle;
 use crate::population::{PopulationSpec, Workload};
@@ -46,6 +46,15 @@ pub struct ScenarioConfig {
     pub service: ServiceConfig,
     /// Template for client nodes (bootstrap overridden per deployment).
     pub client: ClientConfig,
+    /// How LANs are grouped into share-nothing execution domains.
+    /// [`PartitionPlan::Single`] selects the legacy sequential engine;
+    /// anything resolving to more than one domain runs the partitioned
+    /// engine, whose event interleaving (and thus digests) differs from
+    /// the sequential engine but is itself deterministic and independent
+    /// of `workers`.
+    pub partition: PartitionPlan,
+    /// Worker threads for partitioned execution (ignored by `Single`).
+    pub workers: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -60,6 +69,8 @@ impl Default for ScenarioConfig {
             registry: RegistryConfig::default(),
             service: ServiceConfig::default(),
             client: ClientConfig::default(),
+            partition: PartitionPlan::Single,
+            workers: 1,
         }
     }
 }
@@ -89,7 +100,9 @@ impl Scenario {
 
         let mut topo = Topology::new();
         let lans: Vec<LanId> = (0..cfg.lans).map(|_| topo.add_lan()).collect();
-        let mut sim: Sim<DiscoveryMessage> = Sim::new(cfg.net.clone(), topo, cfg.seed);
+        let mut sim: Sim<DiscoveryMessage> =
+            Sim::new_partitioned(cfg.net.clone(), topo, cfg.seed, cfg.partition);
+        sim.set_workers(cfg.workers);
 
         // Registries first, so their ids exist for static bootstrap.
         let mut registries = Vec::new();

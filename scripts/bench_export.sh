@@ -1,0 +1,104 @@
+#!/bin/sh
+# Distills target/bench-history.jsonl into per-revision BENCH_<rev>.json
+# summaries (mean and p95 of each benchmark's recorded median_s, plus sample
+# counts), so the perf trajectory is tracked in-repo alongside the code that
+# produced it.
+#
+#   scripts/bench_export.sh           # export the current revision
+#   scripts/bench_export.sh <rev>     # export one named revision
+#   scripts/bench_export.sh --all     # export every revision in the history
+#
+# The current revision is $SDS_BENCH_REV when set (what ci.sh exports), else
+# `git rev-parse --short HEAD`. Revisions named "test"/"unknown" (ad-hoc
+# local runs) are skipped by --all. POSIX sh + awk only — no dependencies.
+set -eu
+
+cd "$(dirname "$0")/.."
+HISTORY="${SDS_BENCH_HISTORY:-target/bench-history.jsonl}"
+
+if [ ! -s "$HISTORY" ]; then
+    echo "bench_export: no history at $HISTORY (run the benchmarks first)" >&2
+    exit 1
+fi
+
+export_rev() {
+    rev="$1"
+    out="BENCH_${rev}.json"
+    awk -v rev="$rev" '
+        # Each history line is one flat JSON object; pull the three fields
+        # this summary needs with string surgery (no JSON parser required).
+        function field(line, name,    rest) {
+            rest = line
+            if (!sub(".*\"" name "\":", "", rest)) return ""
+            sub("[,}].*", "", rest)
+            gsub("\"", "", rest)
+            return rest
+        }
+        field($0, "rev") != rev { next }
+        {
+            bench = field($0, "bench")
+            value = field($0, "median_s") + 0
+            if (bench == "") next
+            n[bench]++
+            sum[bench] += value
+            vals[bench, n[bench]] = value
+        }
+        END {
+            if (length(n) == 0) exit 3
+            # Sort bench names (insertion sort; group counts are small).
+            nb = 0
+            for (b in n) names[++nb] = b
+            for (i = 2; i <= nb; i++) {
+                key = names[i]
+                for (j = i - 1; j >= 1 && names[j] > key; j--) names[j+1] = names[j]
+                names[j+1] = key
+            }
+            printf "{\n  \"rev\": \"%s\",\n  \"benches\": {\n", rev
+            for (i = 1; i <= nb; i++) {
+                b = names[i]
+                # Sort this bench'\''s samples for the p95 (nearest-rank).
+                m = n[b]
+                for (j = 1; j <= m; j++) v[j] = vals[b, j]
+                for (j = 2; j <= m; j++) {
+                    key = v[j]
+                    for (k = j - 1; k >= 1 && v[k] > key; k--) v[k+1] = v[k]
+                    v[k+1] = key
+                }
+                rank = int((95 * m + 99) / 100); if (rank < 1) rank = 1
+                printf "    \"%s\": {\"mean_s\": %.9g, \"p95_s\": %.9g, \"samples\": %d}%s\n", \
+                    b, sum[b] / m, v[rank], m, (i < nb ? "," : "")
+            }
+            printf "  }\n}\n"
+        }
+    ' "$HISTORY" > "$out.tmp" || {
+        rc=$?
+        rm -f "$out.tmp"
+        if [ "$rc" = 3 ]; then
+            echo "bench_export: no history entries for rev '$rev'" >&2
+            return 1
+        fi
+        return "$rc"
+    }
+    mv "$out.tmp" "$out"
+    echo "bench_export: wrote $out ($(grep -c '"mean_s"' "$out") benches)"
+}
+
+case "${1:-}" in
+--all)
+    # Every real revision present in the history, in file order.
+    revs=$(awk '{
+        rest = $0
+        if (!sub(".*\"rev\":\"", "", rest)) next
+        sub("\".*", "", rest)
+        if (rest != "test" && rest != "unknown" && !seen[rest]++) print rest
+    }' "$HISTORY")
+    [ -n "$revs" ] || { echo "bench_export: no named revisions in $HISTORY" >&2; exit 1; }
+    for rev in $revs; do export_rev "$rev"; done
+    ;;
+"")
+    export_rev "${SDS_BENCH_REV:-$(git rev-parse --short HEAD)}"
+    ;;
+*)
+    export_rev "$1"
+    ;;
+esac

@@ -23,10 +23,16 @@ SDS_CHAOS_SEEDS=2 SDS_RECOVERY_BOUND=30000 \
   cargo test -q --offline -p sds-integration --test rolling_chaos
 
 # Engine equivalence: the shared-payload timing-wheel event core must
-# reproduce the pre-change engine bit-for-bit. The default-run tests cover
-# 2 golden seeds plus parallel-vs-sequential driver agreement; the ignored
-# test releases the full 8-seed chaos-soak digest sweep (release profile,
-# fanned across cores by the parallel driver itself).
+# reproduce the pre-change engine bit-for-bit, and the partitioned engine
+# must be worker-count invariant against its own pinned golden digests.
+# The quick 2-seed tests run once per worker count (1, 2, 4) so a
+# scheduling-dependent divergence is attributed to its worker count; the
+# ignored tests release the full 8-seed sweeps (release profile) over all
+# three counts at once.
+for eq_workers in 1 2 4; do
+  SDS_EQ_WORKERS="$eq_workers" \
+    cargo test -q --offline --release -p sds-integration --test engine_equivalence
+done
 cargo test -q --offline --release -p sds-integration --test engine_equivalence \
   -- --include-ignored
 
@@ -40,9 +46,12 @@ SDS_BENCH_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 export SDS_BENCH_REV
 SDS_BENCH_QUICK=1 cargo bench -q --offline -p sds-bench --bench microbench
 
-# Engine-scaling smoke (quick mode: 10^2 and 10^3 nodes, both delivery
-# modes): proves the S1 bin runs and keeps recording sec-per-event and
-# clones-per-delivery into the history file.
+# Engine-scaling smoke (quick mode: 10^2 and 10^3 nodes in both delivery
+# modes, the sequential-vs-partitioned engine sweep, and a shortened-horizon
+# million-node run): proves the S1 bin runs — including that 10^6 nodes
+# build, run, and fit in memory — and keeps recording sec-per-event,
+# clones-per-delivery, engine speedups, and rss-bytes-per-node into the
+# history file.
 SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin s1_engine_scaling
 
 # Shard-equivalence sweep: the sharded data plane (1/2/4/8 shards), batched
@@ -71,3 +80,7 @@ SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin f1_federat
 
 test -s "${CARGO_TARGET_DIR:-target}/bench-history.jsonl" \
   || { echo "ci: bench-history.jsonl missing or empty after bench run" >&2; exit 1; }
+
+# Distill this revision's history entries into BENCH_<rev>.json so the perf
+# trajectory is tracked in-repo (mean/p95 per benchmark).
+scripts/bench_export.sh

@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use sds_core::{ClientNode, QueryOptions, RegistryNode, SyncMode};
 use sds_metrics::{fingerprint, recall, InvariantReport};
 use sds_protocol::ModelId;
-use sds_simnet::{secs, NodeId};
+use sds_simnet::{secs, NodeId, PartitionPlan};
 use sds_workload::{
     corrupting_hook, ChurnPlan, Deployment, FaultPlan, FaultSeverity, PopulationSpec, Scenario,
     ScenarioConfig,
@@ -45,6 +45,25 @@ pub fn run_soak(seed: u64) -> SoakOutcome {
 /// reproduces the historical wire behaviour byte-for-byte, which is what the
 /// golden-fingerprint equivalence tests pin.
 pub fn run_soak_with(seed: u64, sync_mode: SyncMode) -> SoakOutcome {
+    run_soak_configured(seed, sync_mode, PartitionPlan::Single, 1)
+}
+
+/// Runs the soak on the partitioned engine (one domain per LAN) with the
+/// given worker-thread count. The partitioned engine's event interleaving
+/// differs from the sequential engine's, so its digests form their *own*
+/// golden family — but within that family the digest must be identical for
+/// every `workers` value, which is the worker-count-invariance guarantee
+/// `engine_equivalence.rs` pins.
+pub fn run_soak_partitioned(seed: u64, workers: usize) -> SoakOutcome {
+    run_soak_configured(seed, SyncMode::Legacy, PartitionPlan::PerLan, workers)
+}
+
+fn run_soak_configured(
+    seed: u64,
+    sync_mode: SyncMode,
+    partition: PartitionPlan,
+    workers: usize,
+) -> SoakOutcome {
     let mut cfg = ScenarioConfig {
         lans: 3,
         clients_per_lan: 1,
@@ -57,6 +76,8 @@ pub fn run_soak_with(seed: u64, sync_mode: SyncMode) -> SoakOutcome {
             seed,
         },
         seed,
+        partition,
+        workers,
         ..Default::default()
     };
     cfg.registry.sync_mode = sync_mode;
@@ -65,7 +86,10 @@ pub fn run_soak_with(seed: u64, sync_mode: SyncMode) -> SoakOutcome {
     // counted response is a fault-injection duplicate leaking through.
     cfg.client.fallback_query = false;
     let mut s = Scenario::build(cfg);
-    s.sim.set_corruptor(corrupting_hook());
+    // The partitioned engine needs one corruptor instance per domain (the
+    // hook captures nothing, so every instance draws identically from its
+    // domain's fault stream); the factory form covers both engines.
+    s.sim.set_corruptor_factory(|| Box::new(corrupting_hook()));
 
     let horizon = secs(60);
     // Churn services and the non-seed registries (the seed registry is the

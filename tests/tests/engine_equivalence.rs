@@ -17,7 +17,7 @@
 
 use sds_bench::parallel;
 use sds_core::SyncMode;
-use sds_integration::soak::{run_soak, run_soak_with};
+use sds_integration::soak::{run_soak, run_soak_partitioned, run_soak_with};
 
 /// Chaos-soak digests recorded from the engine *before* the shared-payload /
 /// generation-stamp / lazy-RNG rewrite (release build). The optimized engine
@@ -90,5 +90,77 @@ fn parallel_map_indexes_and_orders_by_input() {
     for (i, &(idx, v)) in out.iter().enumerate() {
         assert_eq!(idx, i);
         assert_eq!(v, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+}
+
+/// Chaos-soak digests for the *partitioned* engine (one share-nothing domain
+/// per LAN), recorded at `workers = 1`. Partitioned mode draws link/fault
+/// randomness from per-LAN streams (so domains can run concurrently without
+/// sharing an RNG) and serializes WAN sends per uplink rather than through
+/// one global pipe, so its transcripts are a distinct golden family from
+/// [`PRE_CHANGE_GOLDENS`] — but within the family the digest is a pure
+/// function of the seed: worker count, thread scheduling, and domain-to-
+/// worker assignment must have zero observable effect. Every entry was
+/// verified invariant-clean (full convergence report) when recorded.
+const PARTITIONED_GOLDENS: [(u64, u64); 8] = [
+    (0, 0x5E41BE48343340E3),
+    (1, 0x38AE9ADC996698AA),
+    (2, 0xBA4A216A138F1445),
+    (3, 0x1B5A0A63F4377301),
+    (4, 0xAB44ED9B5746647A),
+    (5, 0x9A1F401B674C6EC0),
+    (6, 0x9700AB2AAEC8DA9D),
+    (7, 0x9F19109B53F71382),
+];
+
+/// Worker counts to sweep, from `SDS_EQ_WORKERS` (comma-separated) or the
+/// default `1,2,4`. CI invokes the quick test once per worker count to get
+/// separate pass/fail signals; a bare `cargo test` sweeps all three.
+fn eq_workers() -> Vec<usize> {
+    match std::env::var("SDS_EQ_WORKERS") {
+        Ok(s) => s
+            .split(',')
+            .map(|w| {
+                w.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| panic!("SDS_EQ_WORKERS: bad worker count {w:?}"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// Worker-count invariance, quick tier: the partitioned engine must produce
+/// the pinned digest — and a clean convergence report — for every worker
+/// count, on the two cheap seeds. The expensive all-seed sweep is below.
+#[test]
+fn partitioned_chaos_digests_are_worker_count_invariant() {
+    for &(seed, want) in &PARTITIONED_GOLDENS[..2] {
+        for workers in eq_workers() {
+            let o = run_soak_partitioned(seed, workers);
+            o.report.assert_clean();
+            assert_eq!(
+                o.digest, want,
+                "seed {seed} workers {workers}: partitioned transcript diverged \
+                 (got 0x{:016X}, want 0x{want:016X})",
+                o.digest
+            );
+        }
+    }
+}
+
+/// Full eight-seed partitioned sweep across the worker counts. Release-tier
+/// like the eight-seed sequential sweep above.
+#[test]
+#[ignore = "eight release-profile soaks per worker count; run explicitly via ci.sh"]
+fn partitioned_chaos_digests_are_worker_count_invariant_all_seeds() {
+    for &(seed, want) in &PARTITIONED_GOLDENS {
+        for workers in eq_workers() {
+            let o = run_soak_partitioned(seed, workers);
+            o.report.assert_clean();
+            assert_eq!(o.digest, want, "seed {seed} workers {workers}");
+        }
     }
 }
