@@ -324,4 +324,15 @@ impl RegistryAttachment {
             .max_by_key(|&(id, &t)| (t, std::cmp::Reverse(*id)))
             .map(|(&id, _)| id)
     }
+
+    /// Most recently heard-from candidate other than `excluded` — the hedge
+    /// target under sustained home-registry overload (the overloaded home
+    /// must not be its own alternate).
+    pub fn best_candidate_excluding(&self, excluded: NodeId) -> Option<NodeId> {
+        self.candidates
+            .iter()
+            .filter(|&(&id, _)| id != excluded)
+            .max_by_key(|&(id, &t)| (t, std::cmp::Reverse(*id)))
+            .map(|(&id, _)| id)
+    }
 }

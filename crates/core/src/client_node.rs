@@ -36,6 +36,10 @@ pub struct CompletedQuery {
     /// When the first response arrived (None = never answered) — the
     /// meaningful latency metric, since completion waits for the deadline.
     pub first_response_at: Option<SimTime>,
+    /// `Busy` nacks that hit this query while it was unanswered.
+    pub busy_nacks: u32,
+    /// Re-sends performed (backoff checkpoints + failover + busy retries).
+    pub retries: u8,
 }
 
 struct OutstandingQuery {
@@ -55,6 +59,8 @@ struct OutstandingQuery {
     responders_seen: Vec<NodeId>,
     dispatched: bool,
     first_response_at: Option<SimTime>,
+    /// `Busy` nacks attributed to this query while unanswered.
+    busy_nacks: u32,
 }
 
 /// A notification delivered for a standing query.
@@ -97,6 +103,11 @@ pub struct ClientNode {
     /// Lazily derived jitter stream for query-retry backoff; never created
     /// while the retry policy is passive.
     retry_rng: Option<Rng>,
+    /// Consecutive `Busy` nacks from the current home with no counted
+    /// response in between; drives hedging to an alternate registry.
+    busy_streak: u32,
+    /// Total `Busy` nacks received (diagnostics).
+    pub busy_nacks_total: u64,
     /// Finished queries, in completion order. Experiments read these.
     pub completed: Vec<CompletedQuery>,
     /// Artifact fetches that completed.
@@ -119,6 +130,8 @@ impl ClientNode {
             outstanding: HashMap::new(),
             alias: HashMap::new(),
             retry_rng: None,
+            busy_streak: 0,
+            busy_nacks_total: 0,
             completed: Vec::new(),
             artifacts: Vec::new(),
             notifications: Vec::new(),
@@ -172,6 +185,7 @@ impl ClientNode {
                 responders_seen: Vec::new(),
                 dispatched,
                 first_response_at: None,
+                busy_nacks: 0,
             },
         );
         let delay = if retrying {
@@ -219,6 +233,17 @@ impl ClientNode {
     /// Re-sends an outstanding query under a fresh wire id (registries
     /// drop duplicate query ids, so the original id would be ignored).
     /// Charges one retry attempt. Returns whether anything was sent.
+    ///
+    /// A re-send aimed at a registry travels as `QueryRetry` carrying the
+    /// root attempt's seq, so the registry can dedup against the admitted
+    /// root instead of evaluating (and re-federating) the same query twice
+    /// when the original response is merely slow or queued. The multicast
+    /// fallback path keeps the plain `Query` shape — decentralized fallback
+    /// responders answer statelessly and only understand that op.
+    ///
+    /// Under a sustained `Busy` streak from the home registry the retry
+    /// hedges to the best alternate candidate instead (when
+    /// `hedge_after_busy` is enabled and an alternate is known).
     fn redispatch(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, root: u64) -> bool {
         let Some(o) = self.outstanding.get_mut(&root) else {
             return false;
@@ -240,7 +265,25 @@ impl ClientNode {
             ttl,
             reply_to: None,
         };
-        let sent = self.dispatch(ctx, DiscoveryMessage::querying(QueryOp::Query(query)), mode);
+        let sent = match (mode, self.attach.home()) {
+            (QueryMode::Unicast, Some(home)) => {
+                let hedge = self.cfg.hedge_after_busy > 0
+                    && self.busy_streak >= u32::from(self.cfg.hedge_after_busy);
+                let target = if hedge {
+                    self.attach.best_candidate_excluding(home).unwrap_or(home)
+                } else {
+                    home
+                };
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(target),
+                    DiscoveryMessage::querying(QueryOp::QueryRetry { query, root_seq: root }),
+                );
+                true
+            }
+            _ => self.dispatch(ctx, DiscoveryMessage::querying(QueryOp::Query(query)), mode),
+        };
         if sent {
             if let Some(o) = self.outstanding.get_mut(&root) {
                 o.dispatched = true;
@@ -282,6 +325,8 @@ impl ClientNode {
         let AttachEvent::Attached(_) = ev else {
             return;
         };
+        // A fresh home starts with a clean overload slate.
+        self.busy_streak = 0;
         if !self.cfg.retry.enabled() {
             return;
         }
@@ -378,6 +423,46 @@ impl ClientNode {
         true
     }
 
+    /// A `Busy` nack arrived: the registry shed one of our requests instead
+    /// of answering. The nack is per-sender backpressure (it names no query
+    /// id on the wire), so it is attributed to every outstanding unanswered
+    /// unicast query. With a retry policy enabled, each such query gets an
+    /// extra checkpoint at the hinted retry-after (jittered by the client's
+    /// own stream, clamped defensively); the normal checkpoint machinery
+    /// re-sends — and hedges — from there. Without a retry policy the nack
+    /// is only recorded and the deadline stands.
+    fn on_busy(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, retry_after_ms: u64) {
+        self.busy_streak = self.busy_streak.saturating_add(1);
+        self.busy_nacks_total += 1;
+        let now = ctx.now();
+        let mut affected: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| {
+                o.responses_received == 0
+                    && o.options.mode == QueryMode::Unicast
+                    && now < o.deadline
+            })
+            .map(|(&seq, _)| seq)
+            .collect();
+        affected.sort_unstable();
+        for &seq in &affected {
+            if let Some(o) = self.outstanding.get_mut(&seq) {
+                o.busy_nacks += 1;
+            }
+        }
+        if !self.cfg.retry.enabled() || affected.is_empty() {
+            return;
+        }
+        let hint = retry_after_ms.clamp(1, 30_000);
+        let jitter = self.cfg.retry.jitter;
+        let rng = self.retry_rng.get_or_insert_with(|| ctx.derive_rng("core.client.retry"));
+        for seq in affected {
+            let extra = if jitter > 0 { rng.gen_range(0..=jitter) } else { 0 };
+            ctx.set_timer(hint + extra, tags::tagged(tags::QUERY_TIMEOUT_BASE, seq));
+        }
+    }
+
     fn finalize(&mut self, ctx: &Ctx<'_, DiscoveryMessage>, seq: u64) {
         let Some(o) = self.outstanding.remove(&seq) else {
             return;
@@ -396,6 +481,8 @@ impl ClientNode {
             responses_received: o.responses_received,
             dispatched: o.dispatched,
             first_response_at: o.first_response_at,
+            busy_nacks: o.busy_nacks,
+            retries: o.attempt,
         });
     }
 }
@@ -415,6 +502,9 @@ impl NodeHandler<DiscoveryMessage> for ClientNode {
                         size: *size,
                         at: ctx.now(),
                     });
+                }
+                if let MaintenanceOp::Busy { retry_after_ms } = &op {
+                    self.on_busy(ctx, *retry_after_ms);
                 }
                 if let Some(ev) = self.attach.on_maintenance(ctx, from, &op) {
                     self.on_attach_event(ctx, ev);
@@ -446,6 +536,8 @@ impl NodeHandler<DiscoveryMessage> for ClientNode {
                     o.responders_seen.push(responder);
                     o.responses_received += 1;
                     o.first_response_at.get_or_insert(ctx.now());
+                    // A counted answer breaks the Busy streak.
+                    self.busy_streak = 0;
                     for h in hits {
                         match o.hits.get(&h.advert.id) {
                             Some(existing)

@@ -68,6 +68,94 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Registry overload control: admission, backpressure, and graceful
+/// degradation. All thresholds compare against a **utilization EWMA** in
+/// integer percent: each `tick`, the registry folds the number of operations
+/// it handled into the average relative to `ops_budget` (the modeled number
+/// of operations one tick window can absorb). As utilization climbs the
+/// registry degrades answer *quality* before answer *availability*:
+///
+/// 1. `degrade_pct` — cap query responses at `degraded_max_responses` hits;
+/// 2. `stale_pct` — additionally serve slightly-stale query-cache entries
+///    (within `stale_slack` of lapse) and stop forwarding to the federation;
+/// 3. `busy_pct` — shed fresh queries with an explicit
+///    [`sds_protocol::MaintenanceOp::Busy`] nack carrying a jittered
+///    `retry_after_ms` hint (never a silent drop);
+/// 4. `busy_renewal_pct` — only above this (deliberately higher) watermark
+///    are lease renewals and publishes nacked too: liveness traffic is the
+///    last thing shed.
+///
+/// The default is **disabled** (`tick == 0`): no timer runs, no counters are
+/// consulted, and runs are byte-identical to the pre-overload behaviour.
+/// Retry-after jitter comes from a dedicated derived RNG stream, so enabling
+/// the policy never perturbs other streams.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadPolicy {
+    /// EWMA/shedding evaluation period. 0 disables the whole machinery.
+    pub tick: SimTime,
+    /// Modeled operations one tick window can absorb at 100% utilization.
+    pub ops_budget: u32,
+    /// EWMA weight of the newest sample, in percent (1..=100).
+    pub ewma_alpha_pct: u8,
+    /// Utilization % at which responses are capped at
+    /// `degraded_max_responses`.
+    pub degrade_pct: u16,
+    /// Utilization % at which stale cache service starts and federation
+    /// forwarding stops.
+    pub stale_pct: u16,
+    /// Utilization % at which fresh queries are nacked with `Busy`.
+    pub busy_pct: u16,
+    /// Utilization % at which even renewals/publishes are nacked. Keep this
+    /// well above `busy_pct` so liveness traffic survives ordinary storms.
+    pub busy_renewal_pct: u16,
+    /// Base retry hint carried by `Busy` nacks.
+    pub retry_after: SimTime,
+    /// Uniform extra jitter in `[0, retry_jitter]` added to every hint, so a
+    /// shed flash crowd does not re-arrive in phase.
+    pub retry_jitter: SimTime,
+    /// Response cap applied in the degraded band.
+    pub degraded_max_responses: u16,
+    /// How far past lapse a query-cache entry may still be served while in
+    /// the stale band.
+    pub stale_slack: SimTime,
+}
+
+impl OverloadPolicy {
+    /// Overload control off: the pre-overload behaviour, byte-for-byte.
+    pub fn disabled() -> Self {
+        Self {
+            tick: 0,
+            ops_budget: 0,
+            ewma_alpha_pct: 30,
+            degrade_pct: 70,
+            stale_pct: 85,
+            busy_pct: 95,
+            busy_renewal_pct: 130,
+            retry_after: 400,
+            retry_jitter: 200,
+            degraded_max_responses: 4,
+            stale_slack: secs(2),
+        }
+    }
+
+    /// Recommended enabled policy for a registry that can absorb
+    /// `ops_budget` operations per 200 ms window.
+    pub fn standard(ops_budget: u32) -> Self {
+        Self { tick: 200, ops_budget, ..Self::disabled() }
+    }
+
+    /// Whether the overload machinery runs at all.
+    pub fn enabled(&self) -> bool {
+        self.tick > 0 && self.ops_budget > 0
+    }
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// How queries travel between federated registries (paper §4.9: "increasing
 /// the reach of a query gradually in several rounds, random walks, or
 /// broadcasting in the registry network").
@@ -239,6 +327,9 @@ pub struct RegistryConfig {
     /// How often the query cache sweeps out entries whose validity lapsed
     /// (0 disables the sweep; lapsed entries then die lazily on lookup).
     pub cache_sweep_interval: SimTime,
+    /// Overload control: admission, backpressure, and graceful degradation.
+    /// Disabled by default; see [`OverloadPolicy`].
+    pub overload: OverloadPolicy,
     /// Which description models this registry can evaluate.
     pub models: Vec<ModelId>,
     /// Requested advertisement lease period granted to publishers is decided
@@ -272,6 +363,7 @@ impl Default for RegistryConfig {
             shard_count: 1,
             query_cache_capacity: 128,
             cache_sweep_interval: secs(5),
+            overload: OverloadPolicy::disabled(),
             models: vec![ModelId::Uri, ModelId::Template, ModelId::Semantic],
             lease_policy: sds_registry::LeasePolicy::default(),
             codec: Codec::default(),
@@ -353,6 +445,11 @@ pub struct ClientConfig {
     /// is re-dispatched to the new home registry after a failover re-attach
     /// instead of being abandoned.
     pub retry: RetryPolicy,
+    /// After this many consecutive `Busy` nacks from the home registry, a
+    /// retried query is *hedged*: dispatched to the best known alternate
+    /// registry instead of the overloaded home. 0 disables hedging (the
+    /// client keeps backing off against its home forever).
+    pub hedge_after_busy: u8,
     pub codec: Codec,
 }
 
@@ -362,6 +459,7 @@ impl Default for ClientConfig {
             attach: AttachConfig::default(),
             fallback_query: true,
             retry: RetryPolicy::passive(),
+            hedge_after_busy: 0,
             codec: Codec::default(),
         }
     }
@@ -392,6 +490,17 @@ mod tests {
         assert!(!ServiceConfig::default().retry.enabled());
         assert!(!RegistryConfig::default().probation.enabled());
         assert!(!AttachConfig::default().retry.enabled());
+        // Overload control defaults off, and its thresholds form a ladder:
+        // degrade before stale, stale before busy, renewals shed last.
+        let o = RegistryConfig::default().overload;
+        assert!(!o.enabled());
+        assert!(o.degrade_pct < o.stale_pct);
+        assert!(o.stale_pct < o.busy_pct);
+        assert!(o.busy_pct < o.busy_renewal_pct, "liveness traffic must shed last");
+        assert!((1..=100).contains(&o.ewma_alpha_pct));
+        let std = OverloadPolicy::standard(500);
+        assert!(std.enabled());
+        assert_eq!(ClientConfig::default().hedge_after_busy, 0);
     }
 
     #[test]

@@ -38,8 +38,8 @@ mod util;
 pub use attach::{AttachEvent, RegistryAttachment};
 pub use client_node::{ClientNode, CompletedQuery, CompositionResult, FetchedArtifact, Notification};
 pub use config::{
-    AttachConfig, Bootstrap, ClientConfig, ForwardStrategy, QueryMode, QueryOptions,
-    RegistryConfig, RetryPolicy, ServiceConfig, SyncMode,
+    AttachConfig, Bootstrap, ClientConfig, ForwardStrategy, OverloadPolicy, QueryMode,
+    QueryOptions, RegistryConfig, RetryPolicy, ServiceConfig, SyncMode,
 };
 pub use registry_node::{RegistryNode, RegistryNodeStats};
 pub use service_node::{ServiceNode, ServiceNodeStats};

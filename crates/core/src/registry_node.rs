@@ -77,6 +77,22 @@ struct PeerSync {
     acked: BTreeMap<Uuid, u32>,
 }
 
+/// Overload-control runtime state. Only mutated while
+/// [`crate::OverloadPolicy::enabled`] holds; a disabled policy leaves it
+/// untouched (and the jitter stream underived), so default runs stay
+/// byte-identical to the pre-overload behaviour.
+#[derive(Default)]
+struct OverloadState {
+    /// Operations handled since the last overload tick.
+    ops_in_window: u64,
+    /// Utilization EWMA in integer percent of `ops_budget` (exceeds 100
+    /// under overload).
+    util_pct: u32,
+    /// Lazily derived jitter stream for `retry_after_ms` hints; never
+    /// created while the policy is disabled.
+    rng: Option<Rng>,
+}
+
 /// A standing query registered by a client.
 #[derive(Debug)]
 struct Subscription {
@@ -128,6 +144,24 @@ pub struct RegistryNodeStats {
     /// Wire bytes avoided by delta-encoding adverts against the version the
     /// peer last acknowledged (full entry size minus the fixed delta size).
     pub bytes_saved: u64,
+    /// Fresh client queries refused with a `Busy` nack above `busy_pct`.
+    pub busy_nacks: u64,
+    /// Publishes/renewals refused with a `Busy` nack above
+    /// `busy_renewal_pct` — nonzero only in the deepest overload band.
+    pub renewal_busy_nacks: u64,
+    /// Adopted queries whose response budget was tightened to
+    /// `degraded_max_responses` in the degraded band.
+    pub responses_capped: u64,
+    /// Queries answered from a lapsed-but-within-slack cache entry.
+    pub stale_served: u64,
+    /// Adoptions whose federation forwarding was suppressed in the stale
+    /// band (answered from local knowledge only).
+    pub forwards_suppressed: u64,
+    /// Inbound federation-forwarded queries silently shed above `busy_pct`
+    /// (the origin's own registry still answers from local knowledge).
+    pub federation_shed: u64,
+    /// `QueryRetry` attempts whose root query had already been admitted.
+    pub retries_deduped: u64,
 }
 
 /// The registry role node handler.
@@ -152,6 +186,9 @@ pub struct RegistryNode {
     /// Lazily derived jitter stream for probation backoff; never created
     /// while the probation policy is passive.
     probation_rng: Option<Rng>,
+    /// Overload-control state (ops counter, utilization EWMA, jitter
+    /// stream); inert while `cfg.overload` is disabled.
+    overload: OverloadState,
     /// Co-located registries, by last beacon/probe time.
     local_registries: BTreeMap<NodeId, SimTime>,
     seen: SeenQueries,
@@ -185,6 +222,7 @@ impl RegistryNode {
             sync: BTreeMap::new(),
             probation: BTreeMap::new(),
             probation_rng: None,
+            overload: OverloadState::default(),
             local_registries: BTreeMap::new(),
             seen: SeenQueries::new(seen_retention),
             attached: HashMap::new(),
@@ -250,6 +288,36 @@ impl RegistryNode {
     /// Peers currently on probation (diagnostics).
     pub fn probation_count(&self) -> usize {
         self.probation.len()
+    }
+
+    /// Current utilization EWMA, integer percent (diagnostics/experiments).
+    pub fn utilization_pct(&self) -> u32 {
+        self.overload.util_pct
+    }
+
+    /// Whether the utilization EWMA sits at or above `threshold_pct`; always
+    /// false while the overload policy is disabled.
+    fn above(&self, threshold_pct: u16) -> bool {
+        self.cfg.overload.enabled() && self.overload.util_pct >= u32::from(threshold_pct)
+    }
+
+    /// Refuses `to`'s request with an explicit `Busy` nack carrying a
+    /// jittered retry hint — backpressure, never a silent drop. Jitter
+    /// de-phases the shed crowd's re-arrival.
+    fn send_busy(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, to: NodeId) {
+        let pol = self.cfg.overload;
+        let rng = self
+            .overload
+            .rng
+            .get_or_insert_with(|| ctx.derive_rng("core.registry.overload"));
+        let jitter = if pol.retry_jitter > 0 { rng.gen_range(0..=pol.retry_jitter) } else { 0 };
+        let retry_after_ms = pol.retry_after.saturating_add(jitter);
+        send_msg(
+            ctx,
+            self.cfg.codec,
+            Destination::Unicast(to),
+            DiscoveryMessage::maintenance(MaintenanceOp::Busy { retry_after_ms }),
+        );
     }
 
     /// Gateway election (paper §4.7): among the registries recently heard on
@@ -587,9 +655,55 @@ impl RegistryNode {
     }
 
     /// Adopts a client query: evaluate locally, then either answer at once
-    /// or aggregate federation responses within the response window.
-    fn adopt_query(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, query: QueryMessage) {
+    /// or aggregate federation responses within the response window. Under
+    /// overload the answer degrades before availability does: the response
+    /// budget is capped in the degraded band, and in the stale band a
+    /// lapsed-but-within-slack cached answer short-circuits evaluation and
+    /// federation entirely.
+    fn adopt_query(
+        &mut self,
+        ctx: &mut Ctx<'_, DiscoveryMessage>,
+        from: NodeId,
+        mut query: QueryMessage,
+    ) {
         self.stats.queries_adopted += 1;
+        let pol = self.cfg.overload;
+        // Degraded band: tighten the budget before evaluation, so the cache
+        // key, ranking truncation, and any federation forwards all see it.
+        if self.above(pol.degrade_pct) {
+            let capped = query.max_responses.map_or(pol.degraded_max_responses, |m| {
+                m.min(pol.degraded_max_responses)
+            });
+            if query.max_responses != Some(capped) {
+                query.max_responses = Some(capped);
+                self.stats.responses_capped += 1;
+            }
+        }
+        // Stale band: serve a slightly-lapsed cached answer as is — no
+        // evaluation, no federation — while this close to saturation.
+        if self.above(pol.stale_pct) && self.cfg.query_cache_capacity > 0 {
+            let key = cache_key(&query.payload, query.max_responses);
+            let stale =
+                self.query_cache.get_stale(&key, ctx.now(), pol.stale_slack).map(<[_]>::to_vec);
+            if let Some(mut hits) = stale {
+                if let Some(k) = query.max_responses {
+                    hits.truncate(k as usize);
+                }
+                self.stats.stale_served += 1;
+                self.stats.responses_to_clients += 1;
+                send_msg(
+                    ctx,
+                    self.cfg.codec,
+                    Destination::Unicast(from),
+                    DiscoveryMessage::querying(QueryOp::QueryResponse {
+                        query_id: query.id,
+                        hits,
+                        responder: ctx.node(),
+                    }),
+                );
+                return;
+            }
+        }
         let local_hits = self.cached_evaluate(&query, ctx.now());
 
         let i_am_gateway = self.is_gateway(ctx);
@@ -603,6 +717,14 @@ impl RegistryNode {
                 Some(gw) if gw != ctx.node() && ttl > 0 => vec![(gw, ttl)],
                 _ => Vec::new(),
             }
+        };
+        // Stale band: keep the query off the federation even on a cache
+        // miss; local knowledge is the whole answer.
+        let targets = if self.above(pol.stale_pct) && !targets.is_empty() {
+            self.stats.forwards_suppressed += 1;
+            Vec::new()
+        } else {
+            targets
         };
 
         if targets.is_empty() {
@@ -1170,7 +1292,12 @@ impl RegistryNode {
                     }),
                 );
             }
-            MaintenanceOp::RegistryProbeReply { .. } | MaintenanceOp::ArtifactResponse { .. } => {}
+            // A registry never backs off on `Busy` itself: overloaded peers
+            // shed federation traffic silently, so an arriving nack is for
+            // a client/provider role and carries nothing for us.
+            MaintenanceOp::RegistryProbeReply { .. }
+            | MaintenanceOp::ArtifactResponse { .. }
+            | MaintenanceOp::Busy { .. } => {}
         }
     }
 
@@ -1192,6 +1319,20 @@ impl RegistryNode {
     }
 
     fn on_publishing(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, op: PublishOp) {
+        // The publishing surface (lease renewals included) is liveness-class
+        // traffic: it sheds only above `busy_renewal_pct`, a deliberately
+        // higher watermark than the query threshold, so degradation consumes
+        // answer quality first and provider liveness last.
+        if self.above(self.cfg.overload.busy_renewal_pct)
+            && matches!(
+                op,
+                PublishOp::Publish { .. } | PublishOp::Update { .. } | PublishOp::RenewLease { .. }
+            )
+        {
+            self.stats.renewal_busy_nacks += 1;
+            self.send_busy(ctx, from);
+            return;
+        }
         match op {
             PublishOp::Publish { advert, lease_ms } | PublishOp::Update { advert, lease_ms } => {
                 let id = advert.id;
@@ -1288,10 +1429,83 @@ impl RegistryNode {
         match op {
             QueryOp::Query(query) => {
                 self.stats.queries_received += 1;
+                // Overload admission runs before duplicate tracking: a shed
+                // query must not be marked seen, or its later `QueryRetry`
+                // would dedup against an attempt that was never processed.
+                if self.above(self.cfg.overload.busy_pct) {
+                    match query.reply_to {
+                        Some(aggregator) if aggregator != ctx.node() => {
+                            // A federation forward: the origin's registry
+                            // still answers from local knowledge, so shed
+                            // silently instead of backpressuring a peer
+                            // mid-aggregation.
+                            self.stats.federation_shed += 1;
+                        }
+                        _ => {
+                            self.stats.busy_nacks += 1;
+                            self.send_busy(ctx, from);
+                        }
+                    }
+                    return;
+                }
                 if !self.seen.first_sighting(query.id, ctx.now()) {
                     self.stats.duplicate_queries_dropped += 1;
                     return;
                 }
+                match query.reply_to {
+                    Some(aggregator) if aggregator != ctx.node() => {
+                        self.relay_query(ctx, from, query, aggregator);
+                    }
+                    _ => self.adopt_query(ctx, from, query),
+                }
+            }
+            QueryOp::QueryRetry { query, root_seq } => {
+                self.stats.queries_received += 1;
+                if self.above(self.cfg.overload.busy_pct) {
+                    self.stats.busy_nacks += 1;
+                    self.send_busy(ctx, from);
+                    return;
+                }
+                let root = QueryId { origin: query.id.origin, seq: root_seq };
+                let root_fresh = self.seen.first_sighting(root, ctx.now());
+                // Track the retry's own wire id too, so duplicates of the
+                // retry itself dedup normally.
+                let _ = self.seen.first_sighting(query.id, ctx.now());
+                if !root_fresh {
+                    // The root attempt was admitted, so re-adopting it would
+                    // double the evaluation (and federation) work exactly
+                    // when the client suspects the registry is slow.
+                    self.stats.retries_deduped += 1;
+                    if self.pending_by_alias.contains_key(&root) {
+                        // Aggregation still in flight: the root's answer is
+                        // coming under an id the client accepts.
+                        return;
+                    }
+                    // The root already completed — the retry means its
+                    // *response* was lost or shed in transit. Re-answer
+                    // cheaply from local knowledge (cache-hot for a recent
+                    // query) without re-federating.
+                    let mut hits = self.cached_evaluate(&query, ctx.now());
+                    rank_hits(&mut hits);
+                    if let Some(k) = query.max_responses {
+                        hits.truncate(k as usize);
+                    }
+                    self.stats.responses_to_clients += 1;
+                    send_msg(
+                        ctx,
+                        self.cfg.codec,
+                        Destination::Unicast(from),
+                        DiscoveryMessage::querying(QueryOp::QueryResponse {
+                            query_id: query.id,
+                            hits,
+                            responder: ctx.node(),
+                        }),
+                    );
+                    return;
+                }
+                // The root was shed or lost before admission: process the
+                // retry as a fresh adoption under its own wire id — the
+                // client's alias map credits responses to the root attempt.
                 match query.reply_to {
                     Some(aggregator) if aggregator != ctx.node() => {
                         self.relay_query(ctx, from, query, aggregator);
@@ -1407,9 +1621,21 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
         if self.cfg.query_cache_capacity > 0 && self.cfg.cache_sweep_interval > 0 {
             ctx.set_timer(self.cfg.cache_sweep_interval, tags::CACHE_SWEEP);
         }
+        // A restart clears overload history (the EWMA is soft state); the
+        // jitter stream, like `probation_rng`, persists across restarts.
+        self.overload.ops_in_window = 0;
+        self.overload.util_pct = 0;
+        if self.cfg.overload.enabled() {
+            ctx.set_timer(self.cfg.overload.tick, tags::OVERLOAD_TICK);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, msg: DiscoveryMessage) {
+        if self.cfg.overload.enabled() {
+            // Every handled message is one unit of modeled work; the
+            // overload tick folds this into the utilization EWMA.
+            self.overload.ops_in_window += 1;
+        }
         match msg.op {
             sds_protocol::Operation::Maintenance(op) => self.on_maintenance(ctx, from, op),
             sds_protocol::Operation::Publishing(op) => self.on_publishing(ctx, from, op),
@@ -1542,6 +1768,20 @@ impl NodeHandler<DiscoveryMessage> for RegistryNode {
             tags::CACHE_SWEEP => {
                 self.query_cache.sweep(ctx.now());
                 ctx.set_timer(self.cfg.cache_sweep_interval, tags::CACHE_SWEEP);
+            }
+            tags::OVERLOAD_TICK => {
+                // Fold the window's ops count into the utilization EWMA
+                // (integer percent of the modeled per-window budget).
+                let pol = self.cfg.overload;
+                let sample = (self.overload.ops_in_window.saturating_mul(100)
+                    / u64::from(pol.ops_budget.max(1)))
+                .min(u64::from(u32::MAX)) as u32;
+                self.overload.ops_in_window = 0;
+                let alpha = u64::from(pol.ewma_alpha_pct.min(100));
+                self.overload.util_pct = ((alpha * u64::from(sample)
+                    + (100 - alpha) * u64::from(self.overload.util_pct))
+                    / 100) as u32;
+                ctx.set_timer(pol.tick, tags::OVERLOAD_TICK);
             }
             tags::SEED_RETRY => {
                 if self.peers.is_empty() {

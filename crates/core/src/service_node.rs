@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use sds_protocol::{
-    Advertisement, AdvertId, Description, DiscoveryMessage, Operation, PublishOp, QueryOp,
-    ResponseHit, Uuid,
+    Advertisement, AdvertId, Description, DiscoveryMessage, MaintenanceOp, Operation, PublishOp,
+    QueryOp, ResponseHit, Uuid,
 };
 use sds_registry::{ModelEvaluator, SemanticEvaluator, TemplateEvaluator, UriEvaluator};
 use sds_semantic::SubsumptionIndex;
@@ -55,6 +55,8 @@ pub struct ServiceNodeStats {
     /// Backoff resends of publishes/renewals whose ack never arrived
     /// (always 0 with the passive default policy).
     pub retry_publishes: u64,
+    /// `Busy` nacks received from an overloaded home registry.
+    pub busy_nacks: u64,
 }
 
 /// The service-provider role node handler.
@@ -66,6 +68,12 @@ pub struct ServiceNode {
     /// Lazily derived jitter stream for ack-retry backoff; never created
     /// while the retry policy is passive.
     retry_rng: Option<Rng>,
+    /// Renewal-cadence stretch under registry backpressure: doubled on every
+    /// `Busy` nack, halved back toward 1 on every ack, and capped so the
+    /// stretched interval never exceeds half the lease (liveness traffic
+    /// slows down under overload but can never slow enough to lose the
+    /// lease on its own).
+    renew_stretch: u32,
     pub stats: ServiceNodeStats,
 }
 
@@ -102,8 +110,25 @@ impl ServiceNode {
                 .collect(),
             evaluators,
             retry_rng: None,
+            renew_stretch: 1,
             stats: ServiceNodeStats::default(),
         }
+    }
+
+    /// Renewal interval with the current backpressure stretch applied.
+    /// Stretch 1 is the exact identity; any stretch is clamped so the
+    /// interval never exceeds half the lease (never slower than the
+    /// configured cadence already was).
+    fn stretched_renew_interval(&self) -> u64 {
+        let base = self.cfg.renew_interval;
+        if self.renew_stretch <= 1 {
+            return base;
+        }
+        let mut interval = base.saturating_mul(u64::from(self.renew_stretch));
+        if self.cfg.lease_ms > 0 {
+            interval = interval.min((self.cfg.lease_ms / 2).max(base));
+        }
+        interval
     }
 
     /// The registry this node currently publishes to.
@@ -213,8 +238,11 @@ impl ServiceNode {
         }
     }
 
-    /// Clears the awaiting-ack state for the service with advert `id`.
+    /// Clears the awaiting-ack state for the service with advert `id`. Any
+    /// ack is also evidence the registry is keeping up again, so the
+    /// backpressure stretch decays back toward normal cadence.
     fn ack_received(&mut self, id: AdvertId) {
+        self.renew_stretch = (self.renew_stretch / 2).max(1);
         if let Some(s) = self.services.iter_mut().find(|s| s.id == Some(id)) {
             s.awaiting_ack = false;
             s.attempts = 0;
@@ -316,6 +344,8 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
             // Pre-crash timers died with the old epoch.
             s.retry_timer_pending = false;
         }
+        // Backpressure history is soft state; a restart forgets it.
+        self.renew_stretch = 1;
         if let Some(ev) = self.attach.start(ctx) {
             self.on_attach_event(ctx, ev);
         }
@@ -325,6 +355,14 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, DiscoveryMessage>, from: NodeId, msg: DiscoveryMessage) {
         match msg.op {
             Operation::Maintenance(op) => {
+                if matches!(op, MaintenanceOp::Busy { .. }) {
+                    // The registry shed our publish/renewal. Stretch the
+                    // renewal cadence (capped at half the lease) instead of
+                    // hammering it; the next RENEW round retries at the
+                    // slower pace and acks shrink the stretch back.
+                    self.stats.busy_nacks += 1;
+                    self.renew_stretch = self.renew_stretch.saturating_mul(2).min(8);
+                }
                 if let Some(ev) = self.attach.on_maintenance(ctx, from, &op) {
                     self.on_attach_event(ctx, ev);
                 }
@@ -414,7 +452,7 @@ impl NodeHandler<DiscoveryMessage> for ServiceNode {
                         }
                     }
                 }
-                ctx.set_timer(self.cfg.renew_interval, tags::RENEW);
+                ctx.set_timer(self.stretched_renew_interval(), tags::RENEW);
             }
             t => {
                 if let Some(i) = tags::seq_of(t, tags::PUBLISH_RETRY_BASE) {

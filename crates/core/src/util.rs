@@ -39,6 +39,9 @@ pub(crate) mod tags {
     pub const CACHE_SWEEP: u64 = 12;
     /// Registry: anti-entropy round — exchange sync digests with peers.
     pub const SYNC: u64 = 13;
+    /// Registry: overload-control tick — fold the ops counter into the
+    /// utilization EWMA and re-evaluate the shedding ladder.
+    pub const OVERLOAD_TICK: u64 = 14;
 
     /// Width of every sequenced tag family's range. Wide enough that no
     /// in-simulation counter (query seq, service index, node id) can
@@ -104,8 +107,9 @@ mod tests {
             tags::PROBATION_BASE,
         ];
         for (i, &a) in bases.iter().enumerate() {
-            // Fixed tags sit below every family window (SYNC is the highest).
-            assert!(tags::SYNC < a);
+            // Fixed tags sit below every family window (OVERLOAD_TICK is the
+            // highest).
+            assert!(tags::OVERLOAD_TICK < a);
             // The largest in-window tag of one family never reaches the next.
             let top = tags::tagged(a, tags::WINDOW - 1);
             for &b in bases.iter().skip(i + 1) {

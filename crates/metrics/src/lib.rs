@@ -12,6 +12,8 @@
 //!   experiments;
 //! * [`StalenessTracker`] — how long any replica's view stays divergent
 //!   from its origin, for the federation-sync bounded-staleness claims;
+//! * [`OverloadLedger`] — goodput, shed, and latency-percentile accounting
+//!   for the admission-control/backpressure experiments;
 //! * [`Graph`] and the generators in [`topologies`] — registry-network
 //!   survivability analysis for the paper's topology discussion, following
 //!   its references to complex-network robustness work (Albert/Jeong/Barabási
@@ -21,12 +23,14 @@
 
 mod graph;
 mod invariants;
+mod overload;
 mod recovery;
 mod staleness;
 mod stats;
 
 pub use graph::{topologies, Graph, RemovalReport};
 pub use invariants::{fingerprint, InvariantReport};
+pub use overload::OverloadLedger;
 pub use recovery::{time_to_recovery, RecoverySample};
 pub use staleness::StalenessTracker;
 pub use stats::{ratio, recall, Summary};

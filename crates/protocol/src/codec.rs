@@ -451,6 +451,10 @@ fn write_maintenance(w: &mut Writer, m: &MaintenanceOp) {
                 w.u128(id.0);
             }
         }
+        MaintenanceOp::Busy { retry_after_ms } => {
+            w.u8(16);
+            w.u64(*retry_after_ms);
+        }
     }
 }
 
@@ -538,6 +542,7 @@ fn read_maintenance(r: &mut Reader<'_>) -> R<MaintenanceOp> {
             }
             MaintenanceOp::SyncAck { missing }
         }
+        16 => MaintenanceOp::Busy { retry_after_ms: r.u64()? },
         t => return Err(DecodeError::InvalidTag { what: "maintenance op", tag: t }),
     })
 }
@@ -620,6 +625,11 @@ fn write_queryop(w: &mut Writer, q: &QueryOp) {
         QueryOp::Query(qm) => {
             w.u8(0);
             write_query(w, qm);
+        }
+        QueryOp::QueryRetry { query, root_seq } => {
+            w.u8(8);
+            w.u64(*root_seq);
+            write_query(w, query);
         }
         QueryOp::Subscribe { id, payload, lease_ms } => {
             w.u8(2);
@@ -741,6 +751,10 @@ fn read_queryop(r: &mut Reader<'_>) -> R<QueryOp> {
                 chain.push(read_advert(r)?);
             }
             QueryOp::ComposeResponse { id: QueryId { origin, seq }, found, chain }
+        }
+        8 => {
+            let root_seq = r.u64()?;
+            QueryOp::QueryRetry { query: read_query(r)?, root_seq }
         }
         t => return Err(DecodeError::InvalidTag { what: "query op", tag: t }),
     })
@@ -922,6 +936,37 @@ mod tests {
         rt(DiscoveryMessage::maintenance(MaintenanceOp::SyncAck {
             missing: vec![Uuid(1), Uuid(u128::MAX)],
         }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::Busy { retry_after_ms: 0 }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::Busy { retry_after_ms: 1_500 }));
+        rt(DiscoveryMessage::maintenance(MaintenanceOp::Busy { retry_after_ms: u64::MAX }));
+    }
+
+    #[test]
+    fn truncated_busy_retry_after_is_rejected_not_misread() {
+        // Busy is envelope + one u64; every strict prefix must fail cleanly
+        // (a truncated retry_after_ms must never decode as a shorter value).
+        let bytes = encode(&DiscoveryMessage::maintenance(MaintenanceOp::Busy {
+            retry_after_ms: 0x0102_0304_0506_0708,
+        }));
+        assert_eq!(bytes.len(), ENVELOPE_LEN + 8);
+        for keep in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..keep]),
+                Err(DecodeError::UnexpectedEof),
+                "prefix of {keep} bytes must not decode"
+            );
+        }
+        // And corrupting any single payload byte still decodes as Busy (the
+        // field is a plain u64 — no interior structure to invalidate), with
+        // a different retry_after value, never a panic or a wrong op.
+        for i in ENVELOPE_LEN..bytes.len() {
+            let mut m = bytes.clone();
+            m[i] ^= 0xFF;
+            match decode(&m) {
+                Ok(msg) => assert_eq!(msg.kind(), "busy"),
+                Err(e) => panic!("byte {i} corruption must still frame-decode, got {e}"),
+            }
+        }
     }
 
     #[test]
@@ -976,6 +1021,16 @@ mod tests {
             ttl: 0,
             reply_to: None,
         })));
+        rt(DiscoveryMessage::querying(QueryOp::QueryRetry {
+            query: QueryMessage {
+                id: QueryId { origin: NodeId(5), seq: 78 },
+                payload: QueryPayload::Uri("urn:svc:chat".into()),
+                max_responses: Some(3),
+                ttl: 2,
+                reply_to: None,
+            },
+            root_seq: 77,
+        }));
         rt(DiscoveryMessage::querying(QueryOp::QueryResponse {
             query_id: QueryId { origin: NodeId(5), seq: 77 },
             hits: vec![ResponseHit {

@@ -216,6 +216,12 @@ pub enum MaintenanceOp {
     /// these adverts were already known ([`SyncEntry::Delta`]) but the
     /// requester has never seen them — resend them in full.
     SyncAck { missing: Vec<AdvertId> },
+    /// Overload backpressure: the registry is shedding this sender's
+    /// request and asks it to retry after `retry_after_ms` (clients add
+    /// their own jitter). An explicit nack instead of a silent drop, so the
+    /// sender backs off deliberately rather than timing out and amplifying
+    /// the load.
+    Busy { retry_after_ms: u64 },
 }
 
 /// One advert inside a [`MaintenanceOp::SyncDelta`], either in full or
@@ -263,6 +269,12 @@ pub enum QueryOp {
     /// A query: client → registry, registry → registry (forwarding), or
     /// client → LAN multicast in decentralized fallback mode.
     Query(QueryMessage),
+    /// A timeout re-issue of an earlier query. Carries a fresh wire id in
+    /// `query.id` (responses and loop suppression key off it as usual) plus
+    /// the root attempt's sequence number, so a registry that already saw —
+    /// and may still be answering — the original can dedup instead of
+    /// evaluating the same query twice (retry amplification).
+    QueryRetry { query: QueryMessage, root_seq: u64 },
     /// Hits travelling back: remote registry → aggregating registry, or
     /// registry/service node → client.
     QueryResponse { query_id: QueryId, hits: Vec<ResponseHit>, responder: NodeId },
@@ -339,6 +351,7 @@ impl DiscoveryMessage {
                 MaintenanceOp::SyncDigest { .. } => "sync-digest",
                 MaintenanceOp::SyncDelta { .. } => "sync-delta",
                 MaintenanceOp::SyncAck { .. } => "sync-ack",
+                MaintenanceOp::Busy { .. } => "busy",
             },
             Operation::Publishing(p) => match p {
                 PublishOp::Publish { .. } => "publish",
@@ -352,6 +365,7 @@ impl DiscoveryMessage {
             },
             Operation::Querying(q) => match q {
                 QueryOp::Query(_) => "query",
+                QueryOp::QueryRetry { .. } => "query-retry",
                 QueryOp::QueryResponse { .. } => "query-response",
                 QueryOp::Subscribe { .. } => "subscribe",
                 QueryOp::SubscribeAck { .. } => "subscribe-ack",

@@ -37,7 +37,10 @@ pub fn minimum_profile(msg: &DiscoveryMessage) -> ProtocolProfile {
             | MaintenanceOp::RegistryListRequest { .. }
             | MaintenanceOp::RegistryList { .. }
             | MaintenanceOp::ArtifactRequest { .. }
-            | MaintenanceOp::ArtifactResponse { .. } => ProtocolProfile::Client,
+            | MaintenanceOp::ArtifactResponse { .. }
+            // Overload backpressure lands on whoever sent the shed request —
+            // clients and services included — so everyone must understand it.
+            | MaintenanceOp::Busy { .. } => ProtocolProfile::Client,
             // Federation machinery is registry-only.
             MaintenanceOp::FederationJoin { .. }
             | MaintenanceOp::FederationAck { .. }
@@ -59,6 +62,7 @@ pub fn minimum_profile(msg: &DiscoveryMessage) -> ProtocolProfile {
         },
         Operation::Querying(q) => match q {
             QueryOp::Query(_)
+            | QueryOp::QueryRetry { .. }
             | QueryOp::QueryResponse { .. }
             | QueryOp::Subscribe { .. }
             | QueryOp::SubscribeAck { .. }

@@ -141,6 +141,8 @@ impl WireSize for MaintenanceOp {
                     + entries.iter().map(WireSize::body_size).sum::<u32>()
             }
             MaintenanceOp::SyncAck { missing } => 32 + 40 * missing.len() as u32,
+            // A deliberately tiny nack: envelope plus one retry-after hint.
+            MaintenanceOp::Busy { .. } => 32,
         }
     }
 }
@@ -180,6 +182,8 @@ impl WireSize for QueryOp {
     fn body_size(&self) -> u32 {
         match self {
             QueryOp::Query(q) => q.body_size(),
+            // The original query body plus the root-attempt correlation id.
+            QueryOp::QueryRetry { query, .. } => 12 + query.body_size(),
             QueryOp::QueryResponse { hits, .. } => {
                 40 + hits.iter().map(WireSize::body_size).sum::<u32>()
             }

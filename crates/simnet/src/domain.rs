@@ -27,7 +27,7 @@ use std::rc::Rc;
 
 use sds_rand::{Rng, Seed};
 
-use crate::engine::{ControlAction, Corruptor, FaultProfile, SimConfig};
+use crate::engine::{ControlAction, Corruptor, FaultProfile, NodeCapacity, SimConfig};
 use crate::handler::{Action, Ctx, NodeHandler, TimerAlloc};
 use crate::ids::{LanId, NodeId, TimerId};
 use crate::message::{Destination, MsgKind};
@@ -49,8 +49,11 @@ pub(crate) const WHEEL_MASK: usize = (WHEEL_SPAN - 1) as usize;
 pub(crate) enum Queued<P> {
     /// Payloads are queued behind `Rc`: every receiver of a multicast (and
     /// every duplicated copy) shares one allocation. Copy-on-write: only a
-    /// corruptor mutation materializes a divergent payload.
-    Deliver { to: NodeId, from: NodeId, payload: Rc<P> },
+    /// corruptor mutation materializes a divergent payload. `kind` rides
+    /// along for capacity accounting; `admitted` marks a delivery that
+    /// already consumed a slot of the receiver's processing budget (a
+    /// deferred delivery must not be re-billed when it surfaces again).
+    Deliver { to: NodeId, from: NodeId, payload: Rc<P>, kind: MsgKind, admitted: bool },
     /// Timers are the only cancellable events, so only they pay for an
     /// out-of-line, generation-stamped cell: cancelling bumps the cell's
     /// stamp, and a mismatched stamp here means "already cancelled — skip".
@@ -230,6 +233,17 @@ impl<P> EventCore<P> {
 /// of a struct-per-node heap graph — at 10⁶ nodes the fixed cost is a few
 /// words per node, and the lazily *boxed* RNG slot keeps the never-drawing
 /// common case at 8 bytes instead of an inline 40-byte generator state.
+/// Per-node processing-budget state for one capacity-limited node: the
+/// configured budget plus the rolling admission clock. `next_tick` is the
+/// earliest tick with spare budget and `used` how many of its
+/// `ops_per_tick` slots are already claimed — together they encode the
+/// whole ingress queue in two words, with no per-message queue storage.
+pub(crate) struct CapCell {
+    pub(crate) cap: NodeCapacity,
+    pub(crate) next_tick: SimTime,
+    pub(crate) used: u32,
+}
+
 pub(crate) struct NodeTable<P> {
     pub(crate) handlers: Vec<Option<Box<dyn NodeHandler<P>>>>,
     pub(crate) alive: Vec<bool>,
@@ -250,6 +264,10 @@ pub(crate) struct NodeTable<P> {
     /// Deliveries handed to each node's handler — the per-node stats column
     /// of the SoA table (cheap enough to keep always-on at 10⁶ nodes).
     pub(crate) delivered: Vec<u64>,
+    /// Lazily boxed capacity cells: `None` (the default) means unbounded
+    /// processing — the historical model, zero cost per idle slot. Boxed so
+    /// a million uncapped nodes pay one pointer each, like the RNG slots.
+    pub(crate) caps: Vec<Option<Box<CapCell>>>,
     /// Local slot → global node id.
     pub(crate) global: Vec<NodeId>,
 }
@@ -264,6 +282,7 @@ impl<P> NodeTable<P> {
             seeds: Vec::new(),
             timer_ctrs: Vec::new(),
             delivered: Vec::new(),
+            caps: Vec::new(),
             global: Vec::new(),
         }
     }
@@ -277,6 +296,7 @@ impl<P> NodeTable<P> {
         self.seeds.push(seed);
         self.timer_ctrs.push(0);
         self.delivered.push(0);
+        self.caps.push(None);
         self.global.push(id);
         li
     }
@@ -329,6 +349,7 @@ pub(crate) struct CrossMsg<P> {
     pub(crate) to: NodeId,
     pub(crate) from: NodeId,
     pub(crate) payload: P,
+    pub(crate) kind: MsgKind,
 }
 
 /// How the engine executes: see the module docs.
@@ -496,15 +517,54 @@ impl<P: Clone + Send + 'static> Domain<P> {
     /// (cancelled timers) that dispatch nothing.
     fn dispatch(&mut self, ev: Queued<P>, world: &World<'_>) -> bool {
         match ev {
-            Queued::Deliver { to, from, payload } => {
+            Queued::Deliver { to, from, payload, kind, admitted } => {
                 let li = world.node_local[to.index()] as usize;
-                if self.nodes.alive[li] {
-                    self.stats.record_delivery();
-                    self.nodes.delivered[li] += 1;
-                    self.invoke(to, world, move |h, ctx| h.on_shared_message(ctx, from, payload));
-                } else {
+                if !self.nodes.alive[li] {
                     self.stats.record_drop();
+                    return true;
                 }
+                // Modeled processing budget: a capacity-limited node admits
+                // at most `ops_per_tick` deliveries per tick; excess arrivals
+                // queue (are re-scheduled to the first tick with spare
+                // budget) up to `queue_limit` pending ops, beyond which they
+                // are dropped at the door. Purely arithmetic — no RNG draws —
+                // so capped runs stay deterministic, and a deferral only ever
+                // *delays* a delivery, which keeps the conservative-lookahead
+                // barrier sound. `None` (the default) skips all of this.
+                if !admitted {
+                    if let Some(cell) = self.nodes.caps[li].as_deref_mut() {
+                        let t = self.core.now;
+                        if cell.next_tick < t {
+                            cell.next_tick = t;
+                            cell.used = 0;
+                        }
+                        let ops = u64::from(cell.cap.ops_per_tick.max(1));
+                        let backlog = (cell.next_tick - t)
+                            .saturating_mul(ops)
+                            .saturating_add(u64::from(cell.used));
+                        if backlog >= u64::from(cell.cap.queue_limit) {
+                            self.stats.record_capacity_drop(kind);
+                            return true;
+                        }
+                        let slot = cell.next_tick;
+                        cell.used += 1;
+                        if u64::from(cell.used) >= ops {
+                            cell.next_tick += 1;
+                            cell.used = 0;
+                        }
+                        if slot > t {
+                            self.stats.record_capacity_deferral();
+                            self.core.push_event(
+                                slot,
+                                Queued::Deliver { to, from, payload, kind, admitted: true },
+                            );
+                            return true;
+                        }
+                    }
+                }
+                self.stats.record_delivery();
+                self.nodes.delivered[li] += 1;
+                self.invoke(to, world, move |h, ctx| h.on_shared_message(ctx, from, payload));
                 true
             }
             Queued::Timer { slot, gen } => {
@@ -629,7 +689,10 @@ impl<P: Clone + Send + 'static> Domain<P> {
                 if to == from {
                     // Loopback: free and instantaneous-ish.
                     let at = self.core.now + 1;
-                    self.core.push_event(at, Queued::Deliver { to, from, payload: Rc::new(payload) });
+                    self.core.push_event(
+                        at,
+                        Queued::Deliver { to, from, payload: Rc::new(payload), kind, admitted: false },
+                    );
                     return;
                 }
                 let from_lan = world.topo.lan_of(from);
@@ -657,9 +720,9 @@ impl<P: Clone + Send + 'static> Domain<P> {
                     && world.lan_domain[to_lan.index()] != self.index
                 {
                     let dst = world.lan_domain[to_lan.index()] as usize;
-                    self.deliver_faulty_cross(faults, serialization, to, from, payload, fl, dst, world);
+                    self.deliver_faulty_cross(faults, serialization, to, from, payload, kind, fl, dst, world);
                 } else {
-                    self.deliver_faulty(faults, scope, serialization, to, from, Rc::new(payload), fl, world);
+                    self.deliver_faulty(faults, scope, serialization, to, from, Rc::new(payload), kind, fl, world);
                 }
             }
             Destination::Multicast(lan) => {
@@ -685,7 +748,7 @@ impl<P: Clone + Send + 'static> Domain<P> {
                         self.stats.record_drop();
                         continue;
                     }
-                    self.deliver_faulty(faults, Scope::Lan, serialization, to, from, Rc::clone(&payload), fl, world);
+                    self.deliver_faulty(faults, Scope::Lan, serialization, to, from, Rc::clone(&payload), kind, fl, world);
                 }
                 members.clear();
                 self.multicast_scratch = members;
@@ -708,6 +771,7 @@ impl<P: Clone + Send + 'static> Domain<P> {
         to: NodeId,
         from: NodeId,
         payload: Rc<P>,
+        kind: MsgKind,
         fl: usize,
         world: &World<'_>,
     ) {
@@ -750,7 +814,7 @@ impl<P: Clone + Send + 'static> Domain<P> {
                 Rc::clone(&payload)
             };
             let at = self.core.now + serialization + self.sample_latency(scope, fl, world) + reorder;
-            self.core.push_event(at, Queued::Deliver { to, from, payload: p });
+            self.core.push_event(at, Queued::Deliver { to, from, payload: p, kind, admitted: false });
         }
     }
 
@@ -767,6 +831,7 @@ impl<P: Clone + Send + 'static> Domain<P> {
         to: NodeId,
         from: NodeId,
         payload: P,
+        kind: MsgKind,
         fl: usize,
         dst: usize,
         world: &World<'_>,
@@ -813,7 +878,7 @@ impl<P: Clone + Send + 'static> Domain<P> {
                 at >= self.core.now + world.cfg.wan_latency,
                 "cross-domain arrival inside the lookahead horizon"
             );
-            self.outboxes[dst].push(CrossMsg { at, to, from, payload: p });
+            self.outboxes[dst].push(CrossMsg { at, to, from, payload: p, kind });
         }
     }
 

@@ -27,13 +27,32 @@ use std::rc::Rc;
 
 use sds_rand::{Rng, Seed};
 
-use crate::domain::{Domain, ExecMode, Queued, RunOutcome, World};
+use crate::domain::{CapCell, Domain, ExecMode, Queued, RunOutcome, World};
 use crate::handler::{Ctx, NodeHandler};
 use crate::ids::{LanId, NodeId};
 use crate::par::{run_domains, PartitionPlan};
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::topology::Topology;
+
+/// A modeled per-node processing budget: how many deliveries the node can
+/// absorb per simulated tick, and how many may wait in its bounded ingress
+/// queue before further arrivals are dropped at the door. Attached per node
+/// (see [`Sim::set_node_capacity`]) or as a world default
+/// ([`SimConfig::node_capacity`]); `None` — the default everywhere — is the
+/// historical unbounded model. Admission is pure arithmetic off the arrival
+/// schedule (no RNG draws), so capped runs are exactly as deterministic as
+/// uncapped ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeCapacity {
+    /// Deliveries the node processes per simulated tick (≥ 1 is assumed;
+    /// 0 is treated as 1).
+    pub ops_per_tick: u32,
+    /// Bound on deliveries waiting for a processing slot (queued work,
+    /// including the current tick's in-progress ops). Arrivals beyond it
+    /// are counted in [`crate::NetStats::capacity_dropped_messages`].
+    pub queue_limit: u32,
+}
 
 /// Link-layer parameters. Defaults model a fast wired LAN and a slow WAN;
 /// experiments override them to model wireless/tactical links.
@@ -62,6 +81,11 @@ pub struct SimConfig {
     /// mode; partitioned mode gives each LAN its own uplink of this rate
     /// (a shared pipe would couple the domains).
     pub wan_rate_kbps: u32,
+    /// Default processing budget applied to every node added after
+    /// construction (`None` = unbounded, the historical model — the golden
+    /// digests pin this default). Override per node with
+    /// [`Sim::set_node_capacity`].
+    pub node_capacity: Option<NodeCapacity>,
 }
 
 impl Default for SimConfig {
@@ -75,6 +99,7 @@ impl Default for SimConfig {
             wan_loss: 0.0,
             lan_rate_kbps: 0,
             wan_rate_kbps: 0,
+            node_capacity: None,
         }
     }
 }
@@ -315,10 +340,25 @@ impl<P: Clone + Send + 'static> Sim<P> {
         let li = self.domains[di as usize].nodes.push(id, handler, node_seed);
         self.node_domain.push(di);
         self.node_local.push(li);
+        if let Some(cap) = self.cfg.node_capacity {
+            self.domains[di as usize].nodes.caps[li as usize] =
+                Some(Box::new(CapCell { cap, next_tick: 0, used: 0 }));
+        }
         self.invoke_node(id, |h, ctx| h.on_start(ctx));
         self.flush_outboxes();
         self.refresh_stats();
         id
+    }
+
+    /// Replaces one node's processing budget (see [`NodeCapacity`]);
+    /// `None` restores the unbounded model. Takes effect for deliveries
+    /// dispatched after the call; already-admitted (deferred) deliveries
+    /// keep their slots.
+    pub fn set_node_capacity(&mut self, node: NodeId, cap: Option<NodeCapacity>) {
+        let di = self.node_domain[node.index()] as usize;
+        let li = self.node_local[node.index()] as usize;
+        self.domains[di].nodes.caps[li] =
+            cap.map(|cap| Box::new(CapCell { cap, next_tick: 0, used: 0 }));
     }
 
     /// Current simulated time. Domains share a clock at every public entry
@@ -694,9 +734,16 @@ impl<P: Clone + Send + 'static> Sim<P> {
                 }
                 let mut msgs = std::mem::take(&mut self.domains[s].outboxes[t]);
                 for m in msgs.drain(..) {
-                    self.domains[t]
-                        .core
-                        .push_event(m.at, Queued::Deliver { to: m.to, from: m.from, payload: Rc::new(m.payload) });
+                    self.domains[t].core.push_event(
+                        m.at,
+                        Queued::Deliver {
+                            to: m.to,
+                            from: m.from,
+                            payload: Rc::new(m.payload),
+                            kind: m.kind,
+                            admitted: false,
+                        },
+                    );
                 }
                 // Hand the emptied buffer back, keeping its capacity.
                 let slot = &mut self.domains[s].outboxes[t];
@@ -1511,6 +1558,152 @@ mod tests {
         assert!(rec.messages.is_empty(), "delivery while down dropped");
         assert_eq!(sim.stats().dropped_messages, 1);
         assert_eq!(sim.pending_timer_count(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // NodeCapacity: the modeled per-node processing budget.
+    // ------------------------------------------------------------------
+
+    fn quiet_lan_sim() -> (Sim<String>, LanId) {
+        let mut topo = Topology::new();
+        let l0 = topo.add_lan();
+        let cfg = SimConfig { lan_jitter: 0, ..Default::default() };
+        (Sim::new(cfg, topo, 7), l0)
+    }
+
+    #[test]
+    fn capacity_defers_deliveries_past_the_per_tick_budget() {
+        let (mut sim, l0) = quiet_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.set_node_capacity(b, Some(NodeCapacity { ops_per_tick: 1, queue_limit: 100 }));
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            for i in 0..3 {
+                ctx.send(Destination::Unicast(b), format!("m{i}"), 8, "test");
+            }
+        });
+        sim.run_until(1_000);
+        // All three arrive at the same tick; the budget admits one per tick,
+        // so two are deferred but nothing is lost.
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 3);
+        assert_eq!(sim.stats().capacity_deferred_messages, 2);
+        assert_eq!(sim.stats().capacity_dropped_messages, 0);
+        assert_eq!(sim.stats().delivered_messages, 3);
+    }
+
+    #[test]
+    fn capacity_queue_limit_drops_overflow_and_counts_by_kind() {
+        let (mut sim, l0) = quiet_lan_sim();
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.set_node_capacity(b, Some(NodeCapacity { ops_per_tick: 1, queue_limit: 2 }));
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            for i in 0..5 {
+                ctx.send(Destination::Unicast(b), format!("m{i}"), 8, "query");
+            }
+        });
+        sim.run_until(1_000);
+        // Budget 1/tick with 2 queueable ops: of 5 simultaneous arrivals,
+        // two make it through and three bounce off the full ingress queue.
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 2);
+        assert_eq!(sim.stats().capacity_dropped_messages, 3);
+        assert_eq!(sim.stats().capacity_dropped("query"), 3);
+        assert_eq!(sim.stats().capacity_dropped("renew"), 0);
+        // Capacity drops are a separate ledger from link-level losses.
+        assert_eq!(sim.stats().dropped_messages, 0);
+    }
+
+    #[test]
+    fn capacity_with_headroom_matches_the_uncapped_run() {
+        let run = |cap: Option<NodeCapacity>| {
+            let (mut sim, l0) = quiet_lan_sim();
+            let a = sim.add_node(l0, Box::<Recorder>::default());
+            let b = sim.add_node(l0, Box::<Recorder>::default());
+            sim.set_node_capacity(b, cap);
+            for i in 0..20 {
+                sim.with_node::<Recorder>(a, |_, ctx| {
+                    ctx.send(Destination::Unicast(b), format!("m{i}"), 8, "test");
+                });
+                sim.run_until(sim.now() + 5);
+            }
+            sim.run_until(5_000);
+            (
+                sim.handler::<Recorder>(b).unwrap().messages.clone(),
+                sim.stats().delivered_messages,
+                sim.stats().capacity_deferred_messages,
+            )
+        };
+        let uncapped = run(None);
+        let roomy = run(Some(NodeCapacity { ops_per_tick: 1_000, queue_limit: 1_000_000 }));
+        assert_eq!(roomy, uncapped, "an unsaturated budget must be invisible");
+        assert_eq!(uncapped.2, 0);
+    }
+
+    #[test]
+    fn capacity_config_default_applies_to_every_node() {
+        let mut topo = Topology::new();
+        let l0 = topo.add_lan();
+        let cfg = SimConfig {
+            lan_jitter: 0,
+            node_capacity: Some(NodeCapacity { ops_per_tick: 1, queue_limit: 1 }),
+            ..Default::default()
+        };
+        let mut sim: Sim<String> = Sim::new(cfg, topo, 7);
+        let a = sim.add_node(l0, Box::<Recorder>::default());
+        let b = sim.add_node(l0, Box::<Recorder>::default());
+        sim.with_node::<Recorder>(a, |_, ctx| {
+            for i in 0..4 {
+                ctx.send(Destination::Unicast(b), format!("m{i}"), 8, "test");
+            }
+        });
+        sim.run_until(1_000);
+        assert_eq!(sim.handler::<Recorder>(b).unwrap().messages.len(), 1);
+        assert_eq!(sim.stats().capacity_dropped_messages, 3);
+    }
+
+    #[test]
+    fn capacity_is_worker_count_invariant_in_partitioned_mode() {
+        let run = |workers: usize| {
+            let (mut sim, lans) = partitioned_sim(4, PartitionPlan::PerLan, 31);
+            sim.set_workers(workers);
+            let nodes: Vec<NodeId> =
+                lans.iter().map(|&l| sim.add_node(l, Box::<Recorder>::default())).collect();
+            // Every node capacity-limited; cross-domain storms must defer
+            // and drop identically at any worker count.
+            for &n in &nodes {
+                sim.set_node_capacity(n, Some(NodeCapacity { ops_per_tick: 1, queue_limit: 3 }));
+            }
+            for round in 0..15u64 {
+                for (i, &n) in nodes.iter().enumerate() {
+                    sim.with_node::<Recorder>(n, |_, ctx| {
+                        for o in 1..nodes.len() {
+                            let to = NodeId(((i + o) % 4) as u32);
+                            for c in 0..4 {
+                                ctx.send(Destination::Unicast(to), format!("r{round}c{c}"), 16, "test");
+                            }
+                        }
+                    });
+                }
+                sim.run_until(sim.now() + 25);
+            }
+            sim.run_until(3_000);
+            let transcripts: Vec<Vec<(NodeId, String)>> = nodes
+                .iter()
+                .map(|&n| sim.handler::<Recorder>(n).unwrap().messages.clone())
+                .collect();
+            (
+                transcripts,
+                sim.stats().capacity_deferred_messages,
+                sim.stats().capacity_dropped_messages,
+                sim.stats().delivered_messages,
+                sim.events_processed(),
+            )
+        };
+        let base = run(1);
+        assert!(base.1 > 0, "storm must actually defer for this to prove anything");
+        assert!(base.2 > 0, "storm must actually drop for this to prove anything");
+        assert_eq!(run(2), base, "workers=2 diverged");
+        assert_eq!(run(4), base, "workers=4 diverged");
     }
 
     #[test]

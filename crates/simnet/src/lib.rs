@@ -58,7 +58,7 @@ mod stats;
 mod time;
 mod topology;
 
-pub use engine::{ControlAction, Corruptor, FaultProfile, Sim, SimConfig};
+pub use engine::{ControlAction, Corruptor, FaultProfile, NodeCapacity, Sim, SimConfig};
 pub use par::PartitionPlan;
 // Handlers receive a `&mut Rng` through `Ctx::rng`; re-exported so roles can
 // name the type without depending on sds-rand directly.

@@ -60,7 +60,19 @@ pub struct NetStats {
     /// Unicasts dropped because their specific WAN pair was cut (partial
     /// partition; also counted in `dropped_messages`).
     pub wan_cut_drops: u64,
+    /// Deliveries that arrived at a capacity-limited node with its
+    /// processing budget for the current tick exhausted and were re-queued
+    /// to a later tick (modeled ingress queueing, not a loss).
+    pub capacity_deferred_messages: u64,
+    /// Deliveries discarded at a capacity-limited node because its bounded
+    /// ingress queue was full (*not* counted in `dropped_messages`, which
+    /// tracks link-level losses).
+    pub capacity_dropped_messages: u64,
     by_kind: BTreeMap<MsgKind, KindStats>,
+    /// Per-kind breakdown of `capacity_dropped_messages` — the counter the
+    /// priority-shedding invariants read ("zero renewal-class drops while
+    /// query-class shedding is active").
+    capacity_dropped_by_kind: BTreeMap<MsgKind, u64>,
 }
 
 impl NetStats {
@@ -112,6 +124,15 @@ impl NetStats {
         self.wan_cut_drops += 1;
     }
 
+    pub fn record_capacity_deferral(&mut self) {
+        self.capacity_deferred_messages += 1;
+    }
+
+    pub fn record_capacity_drop(&mut self, kind: MsgKind) {
+        self.capacity_dropped_messages += 1;
+        *self.capacity_dropped_by_kind.entry(kind).or_default() += 1;
+    }
+
     /// Folds another counter set into this one. The parallel engine keeps
     /// per-domain books (no shared counters across worker threads) and the
     /// coordinator merges them into the run-wide view on demand.
@@ -128,10 +149,15 @@ impl NetStats {
         self.corrupt_dropped_messages += other.corrupt_dropped_messages;
         self.reorder_delayed_messages += other.reorder_delayed_messages;
         self.wan_cut_drops += other.wan_cut_drops;
+        self.capacity_deferred_messages += other.capacity_deferred_messages;
+        self.capacity_dropped_messages += other.capacity_dropped_messages;
         for (&kind, ks) in &other.by_kind {
             let e = self.by_kind.entry(kind).or_default();
             e.messages += ks.messages;
             e.bytes += ks.bytes;
+        }
+        for (&kind, &n) in &other.capacity_dropped_by_kind {
+            *self.capacity_dropped_by_kind.entry(kind).or_default() += n;
         }
     }
 
@@ -159,6 +185,16 @@ impl NetStats {
     /// All kinds seen, in label order.
     pub fn kinds(&self) -> impl Iterator<Item = (MsgKind, KindStats)> + '_ {
         self.by_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Capacity drops charged to one message kind (zero if never seen).
+    pub fn capacity_dropped(&self, kind: MsgKind) -> u64 {
+        self.capacity_dropped_by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Per-kind capacity drops, in label order.
+    pub fn capacity_drops_by_kind(&self) -> impl Iterator<Item = (MsgKind, u64)> + '_ {
+        self.capacity_dropped_by_kind.iter().map(|(k, v)| (*k, *v))
     }
 }
 

@@ -99,6 +99,7 @@ fn quiet_net() -> SimConfig {
         wan_loss: 0.0,
         lan_rate_kbps: 0,
         wan_rate_kbps: 0,
+        node_capacity: None,
     }
 }
 

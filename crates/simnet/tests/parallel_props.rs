@@ -67,6 +67,7 @@ fn arb_world(rng: &mut Rng, faulty: bool) -> ArbWorld {
             wan_loss: if faulty { 0.05 } else { 0.0 },
             lan_rate_kbps: if faulty { 256 } else { 0 },
             wan_rate_kbps: if faulty { 64 } else { 0 },
+            node_capacity: None,
         },
         lans,
         nodes_per_lan: rng.gen_range(1..4usize),

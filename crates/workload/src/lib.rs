@@ -19,12 +19,16 @@
 //! * [`rolling`] — rolling chaos: repeated fault windows with per-window
 //!   time-to-recovery sampling, comparing the self-healing layer against a
 //!   passive baseline;
+//! * [`overload`] — offered-load schedules (flash crowds, diurnal waves,
+//!   hot-registry storms) that push capacity-limited registries past their
+//!   processing budget;
 //! * [`scenario`] — assembles `sds-core` deployments (centralized /
 //!   decentralized / federated) into ready-to-run simulations.
 
 pub mod churn;
 pub mod fault;
 pub mod oracle;
+pub mod overload;
 pub mod population;
 pub mod rolling;
 pub mod scenario;
@@ -34,6 +38,7 @@ pub use churn::ChurnPlan;
 pub use fault::{corrupting_hook, FaultPlan, FaultSeverity, FaultTarget};
 pub use rolling::{run_rolling, RollingChaosConfig, RollingReport, WindowReport};
 pub use oracle::Oracle;
+pub use overload::{DemandEvent, OverloadPlan};
 pub use population::{PopulationSpec, QuerySpec, Workload};
 pub use scenario::{Deployment, Scenario, ScenarioConfig};
 pub use taxonomy::{battlefield, crisis, parametric, BattlefieldClasses, CrisisClasses};

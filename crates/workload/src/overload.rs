@@ -1,0 +1,237 @@
+//! Overload plans: deterministic demand schedules that push registries past
+//! their modeled processing budget.
+//!
+//! Where [`crate::ChurnPlan`] flips node liveness and [`crate::FaultPlan`]
+//! degrades links, an overload plan shapes *offered load*: how many queries
+//! the client population issues per interval, and where. Three canonical
+//! shapes cover the overload experiments:
+//!
+//! * **flash crowd** — steady baseline demand with a storm window at an
+//!   N× rate (everyone asks for the same thing at once);
+//! * **diurnal wave** — a triangular swell between a trough and a peak rate,
+//!   repeating with a fixed period (the slow tide that sizing must survive);
+//! * **hot registry** — baseline demand everywhere plus a storm aimed at one
+//!   LAN's clients, concentrating the surge on a single registry while the
+//!   rest of the federation idles.
+//!
+//! Plans are pure data derived from a seed (stream `workload.overload`), so
+//! the same seed always produces the same schedule; the scenario driver maps
+//! each event to [`crate::Scenario::issue`] calls.
+
+use sds_rand::Seed;
+use sds_simnet::SimTime;
+
+/// One burst of client demand: issue `queries` queries at `at`, spread over
+/// the whole client population (`lan: None`) or pinned to the clients of one
+/// LAN (`lan: Some(i)`, an index into [`crate::Scenario::lans`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DemandEvent {
+    pub at: SimTime,
+    pub lan: Option<usize>,
+    pub queries: u32,
+}
+
+/// A deterministic offered-load schedule.
+///
+/// ```
+/// use sds_workload::overload::OverloadPlan;
+///
+/// let plan = OverloadPlan::flash_crowd(4, 10, 1_000, 20_000, 30_000, 60_000, 42);
+/// let same = OverloadPlan::flash_crowd(4, 10, 1_000, 20_000, 30_000, 60_000, 42);
+/// assert_eq!(plan.events, same.events, "deterministic for a seed");
+/// assert!(plan.offered_between(20_000, 30_000) > plan.offered_between(0, 10_000));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct OverloadPlan {
+    /// Demand bursts in time order.
+    pub events: Vec<DemandEvent>,
+    /// When the storm window opens (0 when the plan has no storm).
+    pub storm_start: SimTime,
+    /// When the storm window closes (0 when the plan has no storm).
+    pub storm_end: SimTime,
+}
+
+impl OverloadPlan {
+    /// Steady demand of ~`baseline` queries per `interval`, multiplied by
+    /// `surge` inside `[storm_start, storm_end)`. Each interval's count is
+    /// jittered ±25% so bursts do not phase-lock with protocol timers.
+    pub fn flash_crowd(
+        baseline: u32,
+        surge: u32,
+        interval: SimTime,
+        storm_start: SimTime,
+        storm_end: SimTime,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Seed(seed).derive("workload.overload").rng();
+        let interval = interval.max(1);
+        let mut events = Vec::new();
+        let mut t = interval;
+        while t < horizon {
+            let in_storm = t >= storm_start && t < storm_end;
+            let rate = if in_storm { baseline.saturating_mul(surge.max(1)) } else { baseline };
+            let queries = jitter_quarter(&mut rng, rate);
+            if queries > 0 {
+                events.push(DemandEvent { at: t, lan: None, queries });
+            }
+            t += interval;
+        }
+        Self { events, storm_start, storm_end }
+    }
+
+    /// A triangular wave between `trough` and `peak` queries per `interval`,
+    /// repeating every `period` (rising for the first half, falling for the
+    /// second). No storm window: `storm_start == storm_end == 0`.
+    pub fn diurnal(
+        trough: u32,
+        peak: u32,
+        period: SimTime,
+        interval: SimTime,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Seed(seed).derive("workload.overload").rng();
+        let interval = interval.max(1);
+        let period = period.max(2);
+        let (lo, hi) = (trough.min(peak), trough.max(peak));
+        let mut events = Vec::new();
+        let mut t = interval;
+        while t < horizon {
+            // Position in the wave: 0 at the trough, `period/2` at the peak.
+            let phase = t % period;
+            let half = period / 2;
+            let toward_peak = if phase <= half { phase } else { period - phase };
+            let span = u64::from(hi - lo);
+            let rate = lo + (span * toward_peak / half.max(1)) as u32;
+            let queries = jitter_quarter(&mut rng, rate);
+            if queries > 0 {
+                events.push(DemandEvent { at: t, lan: None, queries });
+            }
+            t += interval;
+        }
+        Self { events, storm_start: 0, storm_end: 0 }
+    }
+
+    /// Baseline demand across the whole population, plus a storm of
+    /// `baseline × surge` extra queries per interval issued only by the
+    /// clients of LAN index `hot_lan` inside `[storm_start, storm_end)` —
+    /// the surge lands on one registry while its peers stay lightly loaded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn hot_registry(
+        baseline: u32,
+        surge: u32,
+        hot_lan: usize,
+        interval: SimTime,
+        storm_start: SimTime,
+        storm_end: SimTime,
+        horizon: SimTime,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Seed(seed).derive("workload.overload").rng();
+        let interval = interval.max(1);
+        let mut events = Vec::new();
+        let mut t = interval;
+        while t < horizon {
+            let queries = jitter_quarter(&mut rng, baseline);
+            if queries > 0 {
+                events.push(DemandEvent { at: t, lan: None, queries });
+            }
+            if t >= storm_start && t < storm_end {
+                let extra = jitter_quarter(&mut rng, baseline.saturating_mul(surge.max(1)));
+                if extra > 0 {
+                    events.push(DemandEvent { at: t, lan: Some(hot_lan), queries: extra });
+                }
+            }
+            t += interval;
+        }
+        Self { events, storm_start, storm_end }
+    }
+
+    /// Total queries the plan offers over its lifetime.
+    pub fn total_queries(&self) -> u64 {
+        self.events.iter().map(|e| u64::from(e.queries)).sum()
+    }
+
+    /// Queries offered in `[from, to)`.
+    pub fn offered_between(&self, from: SimTime, to: SimTime) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.at >= from && e.at < to)
+            .map(|e| u64::from(e.queries))
+            .sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// `rate` jittered uniformly into `[0.75 × rate, 1.25 × rate]` (exact at
+/// rate 0; integer arithmetic, so deterministic across platforms).
+fn jitter_quarter(rng: &mut sds_rand::Rng, rate: u32) -> u32 {
+    if rate == 0 {
+        return 0;
+    }
+    let spread = (rate / 2).max(1);
+    let lo = rate.saturating_sub(spread / 2);
+    rng.gen_range(u64::from(lo)..=u64::from(lo) + u64::from(spread)) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_crowd_is_deterministic_and_surges() {
+        let plan = |seed| OverloadPlan::flash_crowd(4, 10, 1_000, 20_000, 30_000, 60_000, seed);
+        assert_eq!(plan(3).events, plan(3).events);
+        assert_ne!(plan(3).events, plan(4).events);
+        let p = plan(3);
+        let calm = p.offered_between(0, 10_000);
+        let storm = p.offered_between(20_000, 30_000);
+        assert!(
+            storm >= calm * 5,
+            "10x surge must dominate jitter: calm={calm} storm={storm}"
+        );
+        assert!(p.events.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+    }
+
+    #[test]
+    fn diurnal_wave_rises_and_falls() {
+        let p = OverloadPlan::diurnal(2, 40, 40_000, 1_000, 80_000, 7);
+        // The quarter-period around each peak carries clearly more load than
+        // the quarter-period around each trough.
+        let peak_load = p.offered_between(15_000, 25_000);
+        let trough_load = p.offered_between(35_000, 45_000);
+        assert!(
+            peak_load > trough_load * 3,
+            "peak {peak_load} must dwarf trough {trough_load}"
+        );
+    }
+
+    #[test]
+    fn hot_registry_storm_targets_one_lan() {
+        let p = OverloadPlan::hot_registry(4, 10, 2, 1_000, 20_000, 30_000, 60_000, 11);
+        assert!(p.events.iter().all(|e| e.lan.is_none() || e.lan == Some(2)));
+        let targeted: u64 = p
+            .events
+            .iter()
+            .filter(|e| e.lan == Some(2))
+            .map(|e| u64::from(e.queries))
+            .sum();
+        let broad: u64 =
+            p.events.iter().filter(|e| e.lan.is_none()).map(|e| u64::from(e.queries)).sum();
+        assert!(targeted > broad, "the surge concentrates on the hot LAN");
+        // Targeted demand exists only inside the storm window.
+        assert!(p
+            .events
+            .iter()
+            .filter(|e| e.lan.is_some())
+            .all(|e| e.at >= p.storm_start && e.at < p.storm_end));
+    }
+}

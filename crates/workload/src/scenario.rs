@@ -8,11 +8,11 @@ use std::sync::Arc;
 
 use sds_core::{
     AttachConfig, Bootstrap, ClientConfig, ClientNode, QueryOptions, RegistryConfig, RegistryNode,
-    ServiceConfig, ServiceNode,
+    RetryPolicy, ServiceConfig, ServiceNode,
 };
 use sds_protocol::{Description, DiscoveryMessage, QueryPayload};
 use sds_semantic::{Ontology, SubsumptionIndex};
-use sds_simnet::{LanId, NodeId, PartitionPlan, Sim, SimConfig, Topology};
+use sds_simnet::{LanId, NodeCapacity, NodeId, PartitionPlan, Sim, SimConfig, Topology};
 
 use crate::oracle::Oracle;
 use crate::population::{PopulationSpec, Workload};
@@ -55,6 +55,15 @@ pub struct ScenarioConfig {
     pub partition: PartitionPlan,
     /// Worker threads for partitioned execution (ignored by `Single`).
     pub workers: usize,
+    /// Retry-policy selection as data: `Some(policy)` applies it to every
+    /// client and service role (query retries, ack retries, and attachment
+    /// probing alike); `None` — the default — leaves the role templates
+    /// exactly as given, so passive deployments stay passive.
+    pub retry: Option<RetryPolicy>,
+    /// Modeled processing budget installed on every registry node
+    /// ([`Sim::set_node_capacity`]). `None` — the default — keeps the
+    /// historical unbounded model.
+    pub registry_capacity: Option<NodeCapacity>,
 }
 
 impl Default for ScenarioConfig {
@@ -71,6 +80,8 @@ impl Default for ScenarioConfig {
             client: ClientConfig::default(),
             partition: PartitionPlan::Single,
             workers: 1,
+            retry: None,
+            registry_capacity: None,
         }
     }
 }
@@ -131,6 +142,12 @@ impl Scenario {
                         ));
                     }
                 }
+            }
+        }
+
+        if let Some(cap) = cfg.registry_capacity {
+            for &r in &registries {
+                sim.set_node_capacity(r, Some(cap));
             }
         }
 
@@ -198,6 +215,12 @@ impl ScenarioConfig {
     fn role_configs(&self, first_registry: Option<NodeId>) -> (ServiceConfig, ClientConfig) {
         let mut service = self.service.clone();
         let mut client = self.client.clone();
+        if let Some(policy) = self.retry {
+            service.retry = policy;
+            service.attach.retry = policy;
+            client.retry = policy;
+            client.attach.retry = policy;
+        }
         match &self.deployment {
             Deployment::Centralized => {
                 let r = first_registry.expect("centralized deployment has a registry");
@@ -298,6 +321,24 @@ mod tests {
             s.completed(0)[1].hits.is_empty(),
             "single point of failure: no discovery after registry crash"
         );
+    }
+
+    #[test]
+    fn retry_selection_defaults_to_passive_roles() {
+        let c = ScenarioConfig::default();
+        assert!(c.retry.is_none() && c.registry_capacity.is_none());
+        let (service, client) = c.role_configs(None);
+        assert!(!service.retry.enabled(), "default scenario keeps services passive");
+        assert!(!client.retry.enabled(), "default scenario keeps clients passive");
+        assert!(!service.attach.retry.enabled() && !client.attach.retry.enabled());
+
+        let enabled = ScenarioConfig {
+            retry: Some(RetryPolicy::standard()),
+            ..ScenarioConfig::default()
+        };
+        let (s2, c2) = enabled.role_configs(None);
+        assert!(s2.retry.enabled() && c2.retry.enabled());
+        assert!(s2.attach.retry.enabled() && c2.attach.retry.enabled());
     }
 
     #[test]

@@ -9,8 +9,9 @@
 #   scripts/bench_export.sh --all     # export every revision in the history
 #
 # The current revision is $SDS_BENCH_REV when set (what ci.sh exports), else
-# `git rev-parse --short HEAD`. Revisions named "test"/"unknown" (ad-hoc
-# local runs) are skipped by --all. POSIX sh + awk only — no dependencies.
+# `git rev-parse --short HEAD`. Revisions named "test"/"unknown"/"pre-commit"
+# (ad-hoc local runs) are skipped by --all. POSIX sh + awk only — no
+# dependencies.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -90,7 +91,7 @@ case "${1:-}" in
         rest = $0
         if (!sub(".*\"rev\":\"", "", rest)) next
         sub("\".*", "", rest)
-        if (rest != "test" && rest != "unknown" && !seen[rest]++) print rest
+        if (rest != "test" && rest != "unknown" && rest != "pre-commit" && !seen[rest]++) print rest
     }' "$HISTORY")
     [ -n "$revs" ] || { echo "bench_export: no named revisions in $HISTORY" >&2; exit 1; }
     for rev in $revs; do export_rev "$rev"; done

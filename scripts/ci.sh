@@ -66,6 +66,21 @@ cargo test -q --offline -p sds-registry --test shard_props
 # into the history file.
 SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin q2_mixed_workload
 
+# Overload soak (quick mode): 2-seed flash-crowd sweep against
+# capacity-bounded registries with the full admission/backpressure layer
+# on. Per seed: every Busy-nacked query is eventually answered, renewals
+# are never shed, no lease expires, and the metrics fingerprint is
+# byte-identical across reruns. Deterministic per seed.
+SDS_CHAOS_SEEDS=2 cargo test -q --offline -p sds-integration --test overload_soak
+
+# Overload-resilience smoke (quick mode: 12 LANs / ~600 nodes): proves the
+# O1 bin runs a 10x flash crowd against both the layer-disabled baseline
+# and the full overload ladder, asserts the >=2x storm-goodput win, the
+# renewal-class no-shed guarantee, and post-storm recall 1.0, and records
+# goodput/p95/recall into the history file. The metro-scale (10^5-node)
+# run is the non-quick mode.
+SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin o1_overload
+
 # Federation convergence property: 8 seeds of loss + duplication + reorder
 # plus a 20 s partial partition; every registry must end with the exact
 # same live (advert id -> version) map within the documented bound, via

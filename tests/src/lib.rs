@@ -27,4 +27,5 @@ pub fn query_and_collect(
         .collect()
 }
 
+pub mod overload;
 pub mod soak;

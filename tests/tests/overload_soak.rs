@@ -1,0 +1,133 @@
+//! Multi-seed overload soak plus the retry-amplification regression.
+//!
+//! The per-seed runner lives in `sds_integration::overload`: a deterministic
+//! flash crowd against capacity-bounded registries with the full overload
+//! layer on. Invariants per seed: every `Busy`-nacked query is eventually
+//! answered by a retry, no lease ever expires under shedding, the busy band
+//! actually engaged, and the metrics fingerprint is byte-identical across
+//! runs of the same seed. Seed count comes from `SDS_CHAOS_SEEDS` (default
+//! 8), fanned across cores via `sds_bench::parallel`.
+
+use sds_core::{ClientNode, QueryMode, QueryOptions, RegistryNode, RetryPolicy};
+use sds_integration::overload::run_overload_soak;
+use sds_simnet::{secs, NodeCapacity};
+use sds_workload::{Deployment, Scenario, ScenarioConfig};
+
+fn seed_count() -> u64 {
+    std::env::var("SDS_CHAOS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+}
+
+#[test]
+fn overload_soak_upholds_backpressure_invariants_across_seeds() {
+    let seeds: Vec<u64> = (0..seed_count()).collect();
+    let outcomes = sds_bench::parallel::map(&seeds, |_, &seed| run_overload_soak(seed));
+    for (seed, outcome) in seeds.iter().zip(&outcomes) {
+        assert!(
+            outcome.report.check_count() > 0,
+            "seed {seed}: the soak evaluated no invariants"
+        );
+        assert!(
+            outcome.report.is_clean(),
+            "seed {seed} violated invariants:\n{}",
+            outcome.report.summary()
+        );
+    }
+}
+
+#[test]
+fn overload_soak_is_deterministic_per_seed() {
+    for seed in [2_000u64, 2_001] {
+        let a = run_overload_soak(seed);
+        let b = run_overload_soak(seed);
+        assert_eq!(a.fingerprint, b.fingerprint, "seed {seed}: runs diverged");
+    }
+    assert_ne!(
+        run_overload_soak(2_000).fingerprint,
+        run_overload_soak(2_001).fingerprint,
+        "different seeds produce different storms"
+    );
+}
+
+/// Regression: a client whose original query is merely *queued* (not lost)
+/// behind a backlog re-sends at its backoff checkpoint. Before admission
+/// dedup by root sequence, the registry treated the re-send as a brand-new
+/// query — double evaluation, double adoption, and a second federation
+/// fan-out per retry (retry amplification: the storm's own medicine made
+/// the overload worse). Now the retry is recognized, counted in
+/// `retries_deduped`, and answered cheaply from the already-admitted root.
+#[test]
+fn queued_retry_is_deduplicated_not_readopted() {
+    let mut cfg = ScenarioConfig {
+        lans: 1,
+        clients_per_lan: 2,
+        deployment: Deployment::Federated { registries_per_lan: 1 },
+        seed: 7,
+        // A modeled budget of 1 op/ms with a deep queue: backlog delays
+        // processing without dropping anything.
+        registry_capacity: Some(NodeCapacity { ops_per_tick: 1, queue_limit: 800 }),
+        // Fast checkpoints: the client re-sends ~100-150 ms in, well before
+        // the queued original drains.
+        retry: Some(RetryPolicy {
+            max_retries: 3,
+            base_backoff: 100,
+            max_backoff: 400,
+            jitter: 50,
+        }),
+        ..Default::default()
+    };
+    cfg.client.attach.ping_interval = 0;
+    cfg.service.attach.ping_interval = 0;
+    let mut s = Scenario::build(cfg);
+    s.sim.run_until(secs(3));
+
+    // Pick a query with live matches so the answer is observable.
+    let qi = (0..s.queries.len())
+        .find(|&qi| !s.expected_now(&s.queries[qi].clone()).is_empty())
+        .expect("workload has matchable queries");
+    let opts = QueryOptions {
+        max_responses: Some(4),
+        ttl: 0,
+        timeout: secs(2),
+        mode: QueryMode::Unicast,
+    };
+
+    // Flood from client 0: ~300 ms of backlog in front of the registry.
+    for _ in 0..300 {
+        s.issue(0, qi, opts.clone());
+    }
+    // Let the flood land (per-message latency jitter must not let the
+    // measured query overtake it), then queue the measured query behind it:
+    // it drains ~250 ms later, past the client's first backoff checkpoint.
+    s.sim.run_until(secs(3) + 50);
+    s.issue(1, qi, opts.clone());
+    s.sim.run_until(secs(8));
+
+    let registry = s.sim.handler::<RegistryNode>(s.registries[0]).unwrap();
+    assert_eq!(
+        s.sim.stats().capacity_dropped_messages,
+        0,
+        "backlog must delay, not drop — otherwise this tests loss recovery"
+    );
+    assert!(
+        registry.stats.retries_deduped > 0,
+        "no backoff re-send was recognized as a duplicate root"
+    );
+    // Dedup must not regress answering: every query completes answered.
+    let measured = &s.sim.handler::<ClientNode>(s.clients[1]).unwrap().completed;
+    assert_eq!(measured.len(), 1, "one issue, one completion");
+    assert!(measured[0].retries > 0, "the backlog forced a re-send");
+    assert!(measured[0].first_response_at.is_some(), "the queued original answered");
+    assert!(!measured[0].hits.is_empty(), "the answer carries the matches");
+    // The crux: re-sends never inflate admission. Adoptions are bounded by
+    // the number of *distinct* queries, however many retries were sent.
+    let retried_total: u64 = (0..s.clients.len())
+        .flat_map(|ci| s.completed(ci))
+        .map(|cq| u64::from(cq.retries))
+        .sum();
+    assert!(retried_total > 0, "the flood itself must have retried");
+    assert!(
+        registry.stats.queries_adopted <= 301,
+        "admission exceeded distinct queries: {} adopted, retry amplification is back",
+        registry.stats.queries_adopted
+    );
+}

@@ -206,7 +206,7 @@ fn arb_wire_message(rng: &mut Rng, n: u32) -> sds_protocol::DiscoveryMessage {
         origin: NodeId(rng.gen_range(0..10u32)),
         seq: rng.next_u64(),
     };
-    match rng.gen_range(0..15u32) {
+    match rng.gen_range(0..17u32) {
         0 => DiscoveryMessage::maintenance(MaintenanceOp::RegistryProbe),
         1 => DiscoveryMessage::maintenance(MaintenanceOp::RegistryProbeReply {
             advert_count: rng.next_u32(),
@@ -279,8 +279,24 @@ fn arb_wire_message(rng: &mut Rng, n: u32) -> sds_protocol::DiscoveryMessage {
                 }
             }),
         }),
-        _ => DiscoveryMessage::maintenance(MaintenanceOp::SyncAck {
+        14 => DiscoveryMessage::maintenance(MaintenanceOp::SyncAck {
             missing: gen::vec_of(rng, 0, 4, |r| Uuid(r.gen_u128())),
+        }),
+        // Overload ops: backpressure nacks (with absurd retry hints) and
+        // admission-deduplicated retries (with root sequences unrelated to
+        // the carried query id).
+        15 => DiscoveryMessage::maintenance(MaintenanceOp::Busy {
+            retry_after_ms: rng.next_u64(),
+        }),
+        _ => DiscoveryMessage::querying(QueryOp::QueryRetry {
+            query: QueryMessage {
+                id: qid(rng),
+                payload: arb_payload(rng, n),
+                max_responses: gen::option_of(rng, |r| r.next_u64() as u16),
+                ttl: rng.gen_range(0..=8u8),
+                reply_to: gen::option_of(rng, |r| NodeId(r.gen_range(0..10u32))),
+            },
+            root_seq: rng.next_u64(),
         }),
     }
 }
