@@ -12,14 +12,20 @@
 //!   in-flight queries coalesce to one evaluation and semantic taxonomy
 //!   walks are memoized per shard;
 //! * `shard+cache`  — a [`QueryCache`] in front of the sharded engine, with
-//!   lease-driven validity and publish invalidation, as `RegistryNode` runs.
+//!   lease-driven validity and publish invalidation, as `RegistryNode` runs;
+//! * `batch/s{S}w{W}` — the workers × shards matrix: the batch path at
+//!   `S ∈ {4, 16}` shards with `data_plane_workers ∈ {1, 2, 4}` scoped
+//!   worker threads fanning each burst's per-shard queues in parallel.
 //!
 //! Reported per configuration: sustained queries/s plus p50/p99 per-query
 //! latency; mean and p99 seconds go to `target/bench-history.jsonl` via the
 //! shared harness, arming its order-of-magnitude regression flag. The binary
 //! also asserts the coalescing claim outright: a burst with N copies of a
 //! query costs exactly one evaluation per distinct (payload, cap) pair, and
-//! every configuration returns byte-identical hits for a probe query.
+//! every configuration returns byte-identical hits for a probe query. In
+//! full mode on ≥4-core machines, it further asserts the parallel win: ≥2×
+//! queries/s at 4 workers vs 1 at 10⁵ adverts (never checked on narrower
+//! machines — there is nothing to win there).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -40,6 +46,9 @@ use sds_workload::parametric;
 
 const TEMPLATE_TYPES: u32 = 64;
 const SHARDS: usize = 4;
+/// The parallel-batch matrix: shard counts × data-plane worker counts.
+const SHARD_MATRIX: [usize; 2] = [4, 16];
+const WORKER_MATRIX: [usize; 3] = [1, 2, 4];
 /// Queries per burst; every burst draws from `DISTINCT_QUERIES` payloads, so
 /// the average duplication factor is their ratio.
 const BURST_QUERIES: usize = 256;
@@ -153,7 +162,17 @@ fn unsharded_engine(adverts: &[Advertisement], idx: &Arc<SubsumptionIndex>) -> R
 }
 
 fn sharded(adverts: &[Advertisement], idx: &Arc<SubsumptionIndex>) -> ShardedEngine {
-    let mut e = ShardedEngine::new(LeasePolicy::default(), SHARDS, Some(idx));
+    sharded_with(adverts, idx, SHARDS, 1)
+}
+
+fn sharded_with(
+    adverts: &[Advertisement],
+    idx: &Arc<SubsumptionIndex>,
+    shards: usize,
+    workers: usize,
+) -> ShardedEngine {
+    let mut e = ShardedEngine::new(LeasePolicy::default(), shards, Some(idx));
+    e.set_workers(workers);
     e.register_evaluator(Box::new(UriEvaluator));
     e.register_evaluator(Box::new(TemplateEvaluator));
     e.register_evaluator(Box::new(SemanticEvaluator::new(idx.clone())));
@@ -220,10 +239,10 @@ fn run_sharded(engine: &mut ShardedEngine, bursts: &[Burst], batch: bool) -> Run
             let out = engine.evaluate_batch(&burst.queries, now);
             let dt = t.elapsed().as_secs_f64();
             assert!(
-                out.unique_evaluations <= DISTINCT_QUERIES,
+                out.unique_evaluations() <= DISTINCT_QUERIES,
                 "coalescing must collapse duplicates to distinct payloads"
             );
-            std::hint::black_box(out.hits);
+            std::hint::black_box(out.unique_hits);
             stats.total_secs += dt;
             stats.queries += burst.queries.len();
             // Burst-level per-query average: batch queries are not timed
@@ -323,11 +342,8 @@ fn main() {
         };
         let want = reference.evaluate(&probe, 1);
         assert_eq!(want, plain.evaluate(&probe, 1), "sharded must match unsharded");
-        assert_eq!(
-            vec![want.clone()],
-            plain.evaluate_batch(std::slice::from_ref(&probe), 1).hits,
-            "batched must match unsharded"
-        );
+        let probe_batch = plain.evaluate_batch(std::slice::from_ref(&probe), 1);
+        assert_eq!(want.as_slice(), probe_batch.hits(0), "batched must match unsharded");
 
         let runs: Vec<(&str, RunStats)> = vec![
             ("unsharded", run_unsharded(&mut reference, &bursts)),
@@ -351,8 +367,62 @@ fn main() {
                 format!("{:.1}x", base_mean / mean),
             ]);
             if n == *sizes.last().unwrap() {
-                headline.push((name, base_mean / mean));
+                headline.push((name.to_string(), base_mean / mean));
             }
+        }
+
+        // Workers × shards matrix over the batch path: same bursts, fresh
+        // engines (runs mutate lease state), per-burst per-shard queues
+        // fanned across `w` scoped workers. `batch/s4w1` is the sequential
+        // baseline the speedup assertion compares against.
+        let matrix: Vec<(usize, usize)> = SHARD_MATRIX
+            .iter()
+            .flat_map(|&s| WORKER_MATRIX.iter().map(move |&w| (s, w)))
+            .collect();
+        let engines =
+            sds_bench::parallel::map(&matrix, |_, &(s, w)| sharded_with(&population, &idx, s, w));
+        let mut matrix_qps = Vec::new();
+        for (&(s, w), mut engine) in matrix.iter().zip(engines) {
+            assert_eq!(
+                want.as_slice(),
+                engine.evaluate_batch(std::slice::from_ref(&probe), 1).hits(0),
+                "parallel batch must match unsharded at s={s} w={w}"
+            );
+            let mut stats = run_sharded(&mut engine, &bursts, true);
+            let name = format!("batch/s{s}w{w}");
+            let mean = stats.mean();
+            h.record_value(&format!("q2/{name}/{n}/mean"), mean);
+            h.record_value(&format!("q2/{name}/{n}/p99"), stats.percentile(0.99));
+            table.row(&[
+                n.to_string(),
+                name,
+                format!("{:.0}", stats.qps()),
+                f2(stats.percentile(0.50) * 1e6),
+                f2(stats.percentile(0.99) * 1e6),
+                format!("{:.1}x", base_mean / mean),
+            ]);
+            matrix_qps.push(((s, w), stats.qps()));
+        }
+        let qps_at = |s: usize, w: usize| {
+            matrix_qps
+                .iter()
+                .find(|(k, _)| *k == (s, w))
+                .map(|&(_, q)| q)
+                .expect("matrix ran")
+        };
+        if n == *sizes.last().unwrap() {
+            // mean = 1/qps per query, so "vs unsharded" = base_mean * qps.
+            headline.push((format!("batch/s{SHARDS}w4"), base_mean * qps_at(SHARDS, 4)));
+        }
+        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        if !quick && n >= 100_000 && cores >= 4 {
+            let (w1, w4) = (qps_at(SHARDS, 1), qps_at(SHARDS, 4));
+            assert!(
+                w4 >= 2.0 * w1,
+                "parallel batch at {SHARDS} shards / 4 workers must sustain >=2x \
+                 queries/s over 1 worker at {n} adverts on a {cores}-core machine \
+                 (got {w4:.0} vs {w1:.0})"
+            );
         }
     }
 

@@ -8,11 +8,13 @@
 //! return exactly what the equivalent sequential loop would (asserted by
 //! `tests/tests/engine_equivalence.rs`).
 //!
-//! Zero external dependencies, per the workspace policy: `std::thread::scope`
-//! workers pulling indices off one atomic cursor, writing each result into
-//! its own slot. Results come back in *input* order regardless of
-//! completion order, so downstream aggregation (tables, summaries, digests)
-//! is independent of scheduling.
+//! Zero external dependencies, per the workspace policy: the fan-out runs
+//! on the shared scoped pool ([`sds_registry::pool`] — extracted from this
+//! module so the registry data plane can use the same mechanism inside a
+//! node handler), `std::thread::scope` workers pulling indices off one
+//! atomic cursor, writing each result into its own slot. Results come back
+//! in *input* order regardless of completion order, so downstream
+//! aggregation (tables, summaries, digests) is independent of scheduling.
 //!
 //! Worker count: `SDS_BENCH_THREADS` if set (must be a positive integer —
 //! anything else aborts rather than silently benchmarking at the wrong
@@ -27,9 +29,6 @@
 //!
 //! Panics in a worker propagate to the caller when the scope joins, so a
 //! failing seed still fails the test or experiment that launched it.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The number of workers [`map`] fans out to: `SDS_BENCH_THREADS` when set,
 /// else the machine's available parallelism, else 1.
@@ -52,18 +51,11 @@ pub fn workers() -> usize {
 }
 
 /// Validates an `SDS_BENCH_THREADS` value: a positive integer (surrounding
-/// whitespace tolerated). Split from [`workers`] so the rejection rules are
-/// unit-testable without mutating process environment.
+/// whitespace tolerated). Delegates to the workspace-wide rules in
+/// [`sds_registry::pool::parse_workers`], so every thread-count knob
+/// (`SDS_BENCH_THREADS`, `SDS_REGISTRY_WORKERS`) rejects the same garbage.
 fn parse_threads(raw: &str) -> Result<usize, String> {
-    let trimmed = raw.trim();
-    if trimmed.is_empty() {
-        return Err("empty value (unset the variable to use machine parallelism)".into());
-    }
-    match trimmed.parse::<usize>() {
-        Ok(0) => Err("thread count must be at least 1".into()),
-        Ok(n) => Ok(n),
-        Err(e) => Err(format!("not a thread count ({e})")),
-    }
+    sds_registry::pool::parse_workers(raw)
 }
 
 /// Applies `f` to every item, fanning across up to [`workers`] threads, and
@@ -93,36 +85,7 @@ where
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
-    let n = items.len();
-    let workers = workers.min(n);
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-    }
-    // One mutex-guarded slot per item (never contended: each index is
-    // claimed by exactly one worker). `Mutex` rather than `OnceLock` so `T`
-    // only needs `Send` — results are moved out, never shared.
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = f(i, &items[i]);
-                *slots[i].lock().expect("no panic while holding a slot lock") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("worker panics propagate at scope join")
-                .expect("every index was claimed and filled")
-        })
-        .collect()
+    sds_registry::pool::map_indexed(workers, items.len(), |i| f(i, &items[i]))
 }
 
 /// [`map`] over the seed range `0..n` — the common "run this experiment

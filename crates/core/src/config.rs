@@ -319,6 +319,13 @@ pub struct RegistryConfig {
     /// their matches; results are observably identical at any shard count.
     /// 1 keeps everything in a single shard.
     pub shard_count: usize,
+    /// Worker threads the registry data plane fans read work across: a
+    /// broadcast query's per-shard scans and a batch's per-shard queues run
+    /// share-nothing on scoped threads, merged through the total ranking
+    /// order. Results are byte-identical at any count — 1 (the default)
+    /// keeps evaluation on the node's thread, bit-for-bit the historical
+    /// path. Only pays off when `shard_count > 1` spreads the work.
+    pub data_plane_workers: usize,
     /// Capacity of the registry-edge query result cache (entries). Repeated
     /// identical queries are answered from the cache while every returned
     /// lease is still running, with publish/renew/remove invalidation keeping
@@ -361,6 +368,7 @@ impl Default for RegistryConfig {
             sync_buckets: 16,
             gossip_peer_cap: 64,
             shard_count: 1,
+            data_plane_workers: 1,
             query_cache_capacity: 128,
             cache_sweep_interval: secs(5),
             overload: OverloadPolicy::disabled(),
@@ -484,6 +492,10 @@ mod tests {
         // Anti-entropy on by default, with sane digest geometry.
         assert_eq!(r.sync_mode, SyncMode::AntiEntropy);
         assert!(r.sync_interval > 0 && r.sync_buckets > 0);
+        // The parallel data plane defaults to the sequential path: one
+        // shard, one worker — bit-for-bit the historical engine.
+        assert_eq!(r.shard_count, 1);
+        assert_eq!(r.data_plane_workers, 1);
         assert!(r.gossip_peer_cap > 0, "a zero cap would break federation joins");
         // Self-healing defaults off: the pre-PR behaviour is the default.
         assert!(!ClientConfig::default().retry.enabled());

@@ -246,6 +246,7 @@ impl RegistryNode {
 
     fn fresh_engine(cfg: &RegistryConfig, idx: &Option<Arc<SubsumptionIndex>>) -> ShardedEngine {
         let mut engine = ShardedEngine::new(cfg.lease_policy, cfg.shard_count, idx.as_deref());
+        engine.set_workers(cfg.data_plane_workers);
         for model in &cfg.models {
             match model {
                 ModelId::Uri => engine.register_evaluator(Box::new(UriEvaluator)),

@@ -259,6 +259,13 @@ impl RankedRef<'_> {
 /// from an arbitrarily-ordered stream of confirmed hits. Bounded selection
 /// keeps a max-heap of the k best seen so far, worst on top: O(n · log k)
 /// and never more than k+1 entries resident.
+///
+/// Because the ranking key is a *total* order over unique advert ids,
+/// selection is also composable: `select_ranked(concat(streams), k)` equals
+/// `select_ranked(concat(per-stream select_ranked(stream, k)), k)` — any
+/// global top-k member survives its own stream's top-k. The parallel
+/// sharded plane leans on exactly this to merge per-shard selections
+/// deterministically (DESIGN §16).
 pub(crate) fn select_ranked<'a>(
     confirmed: impl Iterator<Item = RankedRef<'a>>,
     max: Option<u16>,

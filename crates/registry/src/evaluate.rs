@@ -15,7 +15,12 @@ use sds_semantic::{match_request, Degree, SubsumptionIndex};
 /// Returns `None` for a non-match or for an advert in a different model;
 /// `Some((degree, distance))` for a hit. Simple models only ever produce
 /// [`Degree::Exact`] with distance 0.
-pub trait ModelEvaluator: Send {
+///
+/// `Send + Sync` because the sharded data plane confirms candidates from
+/// scoped worker threads sharing one `&dyn ModelEvaluator` — evaluators are
+/// stateless verdict functions over their (immutable) ontology index, so the
+/// bound costs implementations nothing.
+pub trait ModelEvaluator: Send + Sync {
     /// The model this evaluator handles.
     fn model(&self) -> ModelId;
 

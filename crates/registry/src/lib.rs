@@ -23,9 +23,11 @@
 //! * the sharded data plane: [`ShardRouter`] partitions the advert space by
 //!   taxonomy component (plus exact-match hashing for URI/template models),
 //!   [`ShardedEngine`] runs one logical registry over per-partition worker
-//!   shards with batched, coalesced query evaluation, and [`QueryCache`]
-//!   memoizes ranked results at the registry edge with lease-driven
-//!   invalidation — all observably equivalent to the unsharded engine.
+//!   shards with batched, coalesced query evaluation — optionally fanned
+//!   across scoped worker threads ([`pool`], `set_workers`) with a
+//!   deterministic merge — and [`QueryCache`] memoizes ranked results at
+//!   the registry edge with lease-driven invalidation — all observably
+//!   equivalent to the unsharded engine at every shard and worker count.
 //!
 //! The network-facing behaviour (timers, beacons, federation) lives in
 //! `sds-core`; baselines reuse these internals with different policies.
@@ -33,6 +35,7 @@
 mod cache;
 mod engine;
 mod evaluate;
+pub mod pool;
 mod seen;
 mod shard;
 mod sharded;

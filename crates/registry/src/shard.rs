@@ -16,6 +16,11 @@
 //! they shard by a deterministic string hash instead; the FNV-1a below is
 //! fixed (the std hasher is randomly seeded per process and would make shard
 //! assignment — and therefore anything derived from it — nondeterministic).
+//!
+//! Everything here is immutable after construction (plain vectors, no
+//! interior mutability), which is what lets the parallel data plane consult
+//! the router from scoped worker threads through a shared `&ShardRouter`
+//! with no synchronization (see DESIGN §16).
 
 use sds_protocol::{Advertisement, Description, QueryPayload};
 use sds_semantic::{ClassId, SubsumptionIndex};

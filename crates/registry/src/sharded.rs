@@ -16,6 +16,14 @@
 //! Broadcast queries deduplicate by evaluating an advert only in its first
 //! home shard. Lease state is kept identical across an advert's home shards:
 //! publishes, renewals, heartbeats, and purges fan out to the whole mask.
+//!
+//! Parallel execution: with [`ShardedEngine::set_workers`] above 1, a
+//! broadcast query's per-shard scans and a batch's per-shard queues fan out
+//! across scoped worker threads ([`crate::pool`]). Each worker reads only
+//! its own shard's store and owns its own memo table — share-nothing — and
+//! results merge through the total ranking order, so the worker count is
+//! unobservable: every byte matches the sequential path (see DESIGN §16 and
+//! the `shard_props` sweep).
 
 use std::collections::HashMap;
 
@@ -25,6 +33,7 @@ use sds_simnet::{NodeId, SimTime};
 
 use crate::engine::{select_ranked, RankedRef, RegistrySummary};
 use crate::evaluate::ModelEvaluator;
+use crate::pool;
 use crate::shard::{Route, ShardRouter};
 use crate::store::{LeasePolicy, PublishOutcome, RegistryStore, StoredAdvert};
 
@@ -35,13 +44,43 @@ struct Home {
     model: ModelId,
 }
 
-/// One query's result batched together with how it was obtained.
+/// One batch's results: ranked hits per *unique* coalesced query plus the
+/// input-position → unique-slot mapping. Duplicates share their slot's
+/// vector instead of deep-cloning it, so a 1000-way coalesced burst
+/// allocates one result, not 1000 (pinned by the `batch_alloc` test).
 pub struct BatchResult {
-    /// Ranked hits per input query, in input order.
-    pub hits: Vec<Vec<ResponseHit>>,
+    /// Ranked hits per unique `(payload, max_responses)` pair, in
+    /// first-appearance order.
+    pub unique_hits: Vec<Vec<ResponseHit>>,
+    /// For each input query, the index into `unique_hits` it coalesced to.
+    pub slot_of: Vec<usize>,
+}
+
+impl BatchResult {
+    /// Number of input queries in the batch.
+    pub fn len(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slot_of.is_empty()
+    }
+
     /// How many evaluations actually ran after coalescing identical
     /// payloads: N identical in-flight queries cost 1.
-    pub unique_evaluations: usize,
+    pub fn unique_evaluations(&self) -> usize {
+        self.unique_hits.len()
+    }
+
+    /// The ranked hits for input query `i`, borrowed from its unique slot.
+    pub fn hits(&self, i: usize) -> &[ResponseHit] {
+        &self.unique_hits[self.slot_of[i]]
+    }
+
+    /// Iterates results in input order (duplicates borrow the same slot).
+    pub fn iter(&self) -> impl Iterator<Item = &[ResponseHit]> + '_ {
+        self.slot_of.iter().map(|&s| self.unique_hits[s].as_slice())
+    }
 }
 
 /// A registry engine running the sharded data plane. Drop-in for
@@ -58,6 +97,10 @@ pub struct ShardedEngine {
     lease_policy: LeasePolicy,
     evaluators: HashMap<ModelId, Box<dyn ModelEvaluator>>,
     artifacts: ArtifactRepository,
+    /// Worker threads the read path fans out to (1 = everything on the
+    /// calling thread). Writes (publish/renew/purge) always run sequentially
+    /// — they are borrow-exclusive and cheap next to evaluation.
+    workers: usize,
 }
 
 impl ShardedEngine {
@@ -79,11 +122,24 @@ impl ShardedEngine {
             lease_policy,
             evaluators: HashMap::new(),
             artifacts: ArtifactRepository::new(),
+            workers: 1,
         }
     }
 
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Sets how many scoped worker threads broadcast scans and batched
+    /// evaluation fan out across. 1 (the default) keeps the data plane on
+    /// the calling thread — the historical sequential path. Results are
+    /// byte-identical at every count; only wall clock changes.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Registers an evaluator plug-in; replaces any previous evaluator for
@@ -293,6 +349,44 @@ impl ShardedEngine {
         select_ranked(confirmed, max)
     }
 
+    /// Scans one shard for `payload`'s confirmed live hits (first-home
+    /// deduplicated) and selects that shard's bounded top `max`. The
+    /// per-shard unit of work the broadcast path fans across workers.
+    fn scan_shard<'a>(
+        &'a self,
+        si: usize,
+        evaluator: &dyn ModelEvaluator,
+        payload: &QueryPayload,
+        now: SimTime,
+        max: Option<u16>,
+    ) -> Vec<RankedRef<'a>> {
+        let store = &self.shards[si];
+        let candidates = store.candidates(payload, evaluator.subsumption_index());
+        // Materialize: `Candidates` borrows the store for the closure's
+        // lifetime, and each id is a copy anyway.
+        let ids: Vec<AdvertId> = candidates.iter().collect();
+        let confirmed = ids.into_iter().filter_map(move |id| {
+            // Multi-homed adverts answer from their first home only.
+            if Self::first_shard(self.homes.get(&id)?.mask) != si {
+                return None;
+            }
+            let stored = store.get(&id)?;
+            if !stored.is_live(now) {
+                return None;
+            }
+            evaluator
+                .evaluate(payload, &stored.advert)
+                .map(|(degree, distance)| RankedRef { degree, distance, stored })
+        });
+        select_ranked(confirmed, max)
+    }
+
+    /// Merges every shard's scan into one global top-k. Sound because the
+    /// ranking order `(degree desc, distance asc, id asc)` is total over
+    /// unique advert ids: a shard's top-k retains every advert that could
+    /// appear in the global top-k, so merging per-shard selections through
+    /// the same `select_ranked` equals selecting over the raw concatenation
+    /// — whatever order (or thread) the shards scanned in.
     fn confirm_broadcast<'a>(
         &'a self,
         evaluator: &'a dyn ModelEvaluator,
@@ -300,34 +394,22 @@ impl ShardedEngine {
         now: SimTime,
         max: Option<u16>,
     ) -> Vec<RankedRef<'a>> {
-        let confirmed = self.shards.iter().enumerate().flat_map(move |(si, store)| {
-            let candidates = store.candidates(payload, evaluator.subsumption_index());
-            // Materialize: `Candidates` borrows the store for the closure's
-            // lifetime, and each id is a copy anyway.
-            let ids: Vec<AdvertId> = candidates.iter().collect();
-            ids.into_iter().filter_map(move |id| {
-                // Multi-homed adverts answer from their first home only.
-                if Self::first_shard(self.homes.get(&id)?.mask) != si {
-                    return None;
-                }
-                let stored = store.get(&id)?;
-                if !stored.is_live(now) {
-                    return None;
-                }
-                evaluator
-                    .evaluate(payload, &stored.advert)
-                    .map(|(degree, distance)| RankedRef { degree, distance, stored })
-            })
+        let per_shard = pool::map_indexed(self.workers, self.shards.len(), |si| {
+            self.scan_shard(si, evaluator, payload, now, max)
         });
-        select_ranked(confirmed, max)
+        select_ranked(per_shard.into_iter().flatten(), max)
     }
 
     /// Evaluates a queue of outstanding queries as one batch: identical
     /// payloads are coalesced to a single evaluation, and semantic taxonomy
     /// walks (candidate generation over `related_concepts`) are memoized per
     /// shard so a burst of queries for the same concept walks the taxonomy
-    /// once. Results come back in input order, byte-identical to evaluating
-    /// each query alone.
+    /// once. With multiple workers, the unique queue is partitioned by home
+    /// shard and per-shard queues evaluate in parallel — each worker reads
+    /// only its own shard and owns its own memo, no locking. Results come
+    /// back in input order, byte-identical to evaluating each query alone at
+    /// any worker count (evaluation is pure: shared `&self`, per-worker
+    /// memos, and the deterministic input-order reassembly below).
     pub fn evaluate_batch(&self, queries: &[QueryMessage], now: SimTime) -> BatchResult {
         // Coalesce by (payload bytes, max): the codec encoding is injective,
         // so equal keys ⇔ equal queries (QoS floats block a derived Eq).
@@ -342,43 +424,64 @@ impl ShardedEngine {
             });
             slot_of.push(slot);
         }
-        // Per-shard memo of materialized semantic candidate lists, keyed by
-        // the routing concept — the taxonomy walk is identical for every
-        // query constraining on the same category (or first output).
-        let mut memo: HashMap<(usize, bool, ClassId), Vec<AdvertId>> = HashMap::new();
-        let mut results: Vec<Vec<ResponseHit>> = Vec::with_capacity(uniques.len());
-        for q in &uniques {
-            results.push(self.evaluate_memoized(q, now, &mut memo));
+        // Partition uniques by home shard. Broadcast routes fall outside the
+        // share-nothing scheme; they evaluate via the (itself parallel)
+        // broadcast path after the per-shard scope joins.
+        let mut shard_queue: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut broadcasts: Vec<usize> = Vec::new();
+        for (ui, q) in uniques.iter().enumerate() {
+            match self.router.route(&q.payload) {
+                Route::One(s) => shard_queue[s].push(ui),
+                Route::Broadcast => broadcasts.push(ui),
+            }
         }
-        BatchResult {
-            hits: slot_of.into_iter().map(|s| results[s].clone()).collect(),
-            unique_evaluations: uniques.len(),
+        // Only shards with queued work occupy pool slots, so a skewed batch
+        // does not spawn workers that immediately exit.
+        let active: Vec<usize> =
+            (0..self.shards.len()).filter(|&s| !shard_queue[s].is_empty()).collect();
+        let per_shard = pool::map_indexed(self.workers, active.len(), |k| {
+            let s = active[k];
+            // This worker's memo of materialized semantic candidate lists,
+            // keyed by the routing concept — the taxonomy walk is identical
+            // for every query constraining on the same category (or first
+            // output). Owned per shard, so workers never synchronize.
+            let mut memo: HashMap<(bool, ClassId), Vec<AdvertId>> = HashMap::new();
+            shard_queue[s]
+                .iter()
+                .map(|&ui| (ui, self.evaluate_in_shard_memoized(s, uniques[ui], now, &mut memo)))
+                .collect::<Vec<_>>()
+        });
+        let mut unique_hits: Vec<Vec<ResponseHit>> = Vec::new();
+        unique_hits.resize_with(uniques.len(), Vec::new);
+        for (ui, hits) in per_shard.into_iter().flatten() {
+            unique_hits[ui] = hits;
         }
+        for &ui in &broadcasts {
+            unique_hits[ui] = self.evaluate(uniques[ui], now);
+        }
+        BatchResult { unique_hits, slot_of }
     }
 
-    /// One evaluation sharing `memo` with the rest of a batch. Only
-    /// single-shard semantic routes are memoizable — URI/template candidate
-    /// lookups are a hash probe already, and broadcasts have no single
-    /// concept key.
-    fn evaluate_memoized(
+    /// One routed evaluation within its home shard, sharing `memo` with the
+    /// rest of that shard's queue. Only semantic routes are memoizable —
+    /// URI/template candidate lookups are a hash probe already.
+    fn evaluate_in_shard_memoized(
         &self,
+        shard: usize,
         query: &QueryMessage,
         now: SimTime,
-        memo: &mut HashMap<(usize, bool, ClassId), Vec<AdvertId>>,
+        memo: &mut HashMap<(bool, ClassId), Vec<AdvertId>>,
     ) -> Vec<ResponseHit> {
         let Some(evaluator) = self.evaluators.get(&query.payload.model()) else {
             return Vec::new();
         };
-        let (shard, concept_key) = match self.router.route(&query.payload) {
-            Route::One(s) => match &query.payload {
-                QueryPayload::Semantic(req) => match (req.category, req.outputs.first()) {
-                    (Some(cat), _) => (s, Some((s, true, cat))),
-                    (None, Some(&out)) => (s, Some((s, false, out))),
-                    (None, None) => (s, None),
-                },
-                _ => (s, None),
+        let concept_key = match &query.payload {
+            QueryPayload::Semantic(req) => match (req.category, req.outputs.first()) {
+                (Some(cat), _) => Some((true, cat)),
+                (None, Some(&out)) => Some((false, out)),
+                (None, None) => None,
             },
-            Route::Broadcast => return self.evaluate(query, now),
+            _ => None,
         };
         let Some(key) = concept_key else {
             return self

@@ -4,9 +4,13 @@
 //! publish outcomes and granted leases, same purge sets, byte-identical
 //! ranked hit vectors (which `RegistryEngine` itself locks against
 //! `naive_evaluate`), and identical summaries. Batched evaluation must
-//! coalesce duplicate queries without changing a single result byte, and a
+//! coalesce duplicate queries without changing a single result byte, a
 //! query cache fed by `evaluate_with_validity` plus the node's invalidation
-//! rules must never serve bytes a fresh evaluation would not return.
+//! rules must never serve bytes a fresh evaluation would not return, and
+//! the parallel data plane (`set_workers`) must be byte-identical to the
+//! sequential path at every worker count (sweep the suite under
+//! `SDS_REGISTRY_WORKERS=1/2/4` to pin a divergence to its count, as
+//! `scripts/ci.sh` does).
 
 use std::sync::Arc;
 
@@ -275,11 +279,11 @@ fn batched_evaluation_coalesces_without_changing_results() {
             .collect();
 
         let batch = engine.evaluate_batch(&queries, now);
-        assert_eq!(batch.hits.len(), queries.len(), "one result per input, in order");
-        for (q, hits) in queries.iter().zip(&batch.hits) {
+        assert_eq!(batch.len(), queries.len(), "one result per input, in order");
+        for (q, hits) in queries.iter().zip(batch.iter()) {
             assert_eq!(
                 hits,
-                &engine.evaluate(q, now),
+                &engine.evaluate(q, now)[..],
                 "batched result diverged from a lone evaluation for {:?}",
                 q.payload
             );
@@ -292,10 +296,148 @@ fn batched_evaluation_coalesces_without_changing_results() {
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(
-            batch.unique_evaluations,
+            batch.unique_evaluations(),
             keys.len(),
             "evaluations must equal distinct (payload, cap) pairs"
         );
+    });
+}
+
+/// The worker counts the parallel-equivalence property sweeps: pinned to the
+/// `SDS_REGISTRY_WORKERS` override when set (so `scripts/ci.sh` can attribute
+/// a divergence to its count), else 1, 2, and 4. The count-1 engine doubles
+/// as the sequential reference.
+fn worker_counts() -> Vec<usize> {
+    match sds_registry::pool::env_workers() {
+        Some(w) => {
+            let mut counts = vec![1];
+            if w != 1 {
+                counts.push(w);
+            }
+            counts
+        }
+        None => vec![1, 2, 4],
+    }
+}
+
+#[test]
+fn parallel_data_plane_matches_sequential_at_every_worker_count() {
+    // The worker-count unobservability contract (DESIGN §16): the same op
+    // sequence driven through engines differing only in `set_workers` must
+    // produce byte-identical outcomes, grants, purge sets, ranked hits,
+    // batch results, and summaries. Shard counts vary per case so the
+    // parallel paths (broadcast fan-out, per-shard batch queues) all fire.
+    Checker::new("parallel_data_plane_matches_sequential_at_every_worker_count").run(|rng| {
+        let ontology = arb_ontology(rng);
+        let ontology_len = ontology.len() as u32;
+        let idx = Arc::new(SubsumptionIndex::build(&ontology));
+        let counts = worker_counts();
+        let shards = rng.gen_range(1..9u64) as usize;
+        let mut engines: Vec<ShardedEngine> = counts
+            .iter()
+            .map(|&w| {
+                let mut e = sharded_engine(shards, &idx);
+                e.set_workers(w);
+                e
+            })
+            .collect();
+
+        let ops = gen::vec_of(rng, 1, 60, arb_op);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            now += rng.gen_range(0..40u64);
+            match op {
+                Op::Publish { id, version, lease_ms, from_provider } => {
+                    let advert = Advertisement {
+                        id: Uuid(id),
+                        provider: NodeId(id as u32),
+                        description: arb_description(rng, ontology_len),
+                        version,
+                    };
+                    let source = if from_provider { NodeId(id as u32) } else { NodeId(999) };
+                    let (reference, rest) = engines.split_first_mut().expect("counts nonempty");
+                    let want = reference.publish(advert.clone(), source, now, lease_ms);
+                    for (engine, &w) in rest.iter_mut().zip(&counts[1..]) {
+                        let got = engine.publish(advert.clone(), source, now, lease_ms);
+                        assert_eq!(got, want, "publish outcome diverged at {w} workers, t={now}");
+                    }
+                }
+                Op::Renew { id } => {
+                    let (reference, rest) = engines.split_first_mut().expect("counts nonempty");
+                    let want = reference.renew(Uuid(id), now);
+                    for (engine, &w) in rest.iter_mut().zip(&counts[1..]) {
+                        assert_eq!(
+                            engine.renew(Uuid(id), now),
+                            want,
+                            "renew grant diverged at {w} workers, t={now}"
+                        );
+                    }
+                }
+                Op::Remove { id } => {
+                    let (reference, rest) = engines.split_first_mut().expect("counts nonempty");
+                    let want = reference.remove(Uuid(id));
+                    for (engine, &w) in rest.iter_mut().zip(&counts[1..]) {
+                        assert_eq!(engine.remove(Uuid(id)), want, "remove diverged at {w} workers");
+                    }
+                }
+                Op::Purge => {
+                    let (reference, rest) = engines.split_first_mut().expect("counts nonempty");
+                    let want = reference.purge(now);
+                    for (engine, &w) in rest.iter_mut().zip(&counts[1..]) {
+                        assert_eq!(
+                            engine.purge(now),
+                            want,
+                            "purge set diverged at {w} workers, t={now}"
+                        );
+                    }
+                }
+                Op::Query { max } => {
+                    // Drive both read paths: a lone evaluation and a small
+                    // burst with duplicates through evaluate_batch.
+                    seq += 1;
+                    let query = QueryMessage {
+                        id: QueryId { origin: NodeId(99), seq },
+                        payload: arb_payload(rng, ontology_len),
+                        max_responses: max,
+                        ttl: 0,
+                        reply_to: None,
+                    };
+                    let mut batch_queries = vec![query.clone(); 3];
+                    batch_queries.push(QueryMessage {
+                        id: QueryId { origin: NodeId(99), seq },
+                        payload: arb_payload(rng, ontology_len),
+                        max_responses: max,
+                        ttl: 0,
+                        reply_to: None,
+                    });
+                    let want = engines[0].evaluate(&query, now);
+                    let want_batch = engines[0].evaluate_batch(&batch_queries, now);
+                    for (engine, &w) in engines.iter().zip(&counts).skip(1) {
+                        assert_eq!(
+                            engine.evaluate(&query, now),
+                            want,
+                            "ranked hits diverged at {w} workers for {:?}, t={now}",
+                            query.payload
+                        );
+                        let got = engine.evaluate_batch(&batch_queries, now);
+                        assert_eq!(
+                            got.unique_hits, want_batch.unique_hits,
+                            "batch unique hits diverged at {w} workers, t={now}"
+                        );
+                        assert_eq!(
+                            got.slot_of, want_batch.slot_of,
+                            "batch slot mapping diverged at {w} workers, t={now}"
+                        );
+                    }
+                }
+            }
+            let (reference, rest) = engines.split_first_mut().expect("counts nonempty");
+            let want = reference.summary(now);
+            for (engine, &w) in rest.iter_mut().zip(&counts[1..]) {
+                assert_eq!(engine.summary(now), want, "summary diverged at {w} workers, t={now}");
+            }
+        }
     });
 }
 

@@ -97,7 +97,17 @@ case "${1:-}" in
     for rev in $revs; do export_rev "$rev"; done
     ;;
 "")
-    export_rev "${SDS_BENCH_REV:-$(git rev-parse --short HEAD)}"
+    rev="${SDS_BENCH_REV:-$(git rev-parse --short HEAD)}"
+    case "$rev" in
+    test|unknown|pre-commit)
+        # Ad-hoc local runs have no revision to attribute samples to; don't
+        # write a BENCH_pre-commit.json that would never be tracked.
+        echo "bench_export: skipping ad-hoc rev '$rev' (nothing exported)"
+        ;;
+    *)
+        export_rev "$rev"
+        ;;
+    esac
     ;;
 *)
     export_rev "$1"

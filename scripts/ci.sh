@@ -42,7 +42,10 @@ cargo test -q --offline --release -p sds-integration --test engine_equivalence \
 # the next run; a missing history file afterwards means recording broke.
 # SDS_BENCH_REV tags each sample with the revision under test so history
 # lines are attributable after the fact.
-SDS_BENCH_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+# Respect a caller-pinned rev tag: pre-commit runs set SDS_BENCH_REV=pre-commit
+# so work-in-progress samples never pollute the committed BENCH_<rev>.json of
+# the revision HEAD still points at.
+SDS_BENCH_REV="${SDS_BENCH_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 export SDS_BENCH_REV
 SDS_BENCH_QUICK=1 cargo bench -q --offline -p sds-bench --bench microbench
 
@@ -57,13 +60,26 @@ SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin s1_engine_
 # Shard-equivalence sweep: the sharded data plane (1/2/4/8 shards), batched
 # coalescing, and the lease-invalidated query cache must stay byte-identical
 # to the unsharded engine on randomized taxonomies, stores, and lease
-# schedules (seeded in-workspace property harness).
-cargo test -q --offline -p sds-registry --test shard_props
+# schedules (seeded in-workspace property harness). Run once per data-plane
+# worker count so a scheduling-dependent divergence in the parallel engine
+# is attributed to its count (the parallel≡sequential property compares the
+# pinned count against the 1-worker reference).
+for dp_workers in 1 2 4; do
+  SDS_REGISTRY_WORKERS="$dp_workers" \
+    cargo test -q --offline -p sds-registry --test shard_props
+done
+
+# Multi-worker registry scenario: the full chaos soak with every registry on
+# a 4-shard, multi-worker data plane must reproduce the default plane's
+# metrics digest bit-for-bit — worker threads inside node handlers are an
+# observable no-op end-to-end, not just at the engine boundary.
+cargo test -q --offline -p sds-integration --test multiworker_registry
 
 # Mixed-workload smoke (quick mode): proves the Q2 bin runs — sharded +
-# batched + cached data-plane configurations under sustained query bursts
-# with publish churn — and records queries/s-derived mean and p99 latency
-# into the history file.
+# batched + cached data-plane configurations plus the workers × shards
+# parallel-batch matrix under sustained query bursts with publish churn —
+# and records queries/s-derived mean and p99 latency into the history file.
+# The >=2x parallel speedup assertion only arms in full mode on >=4 cores.
 SDS_BENCH_QUICK=1 cargo run -q --release --offline -p sds-bench --bin q2_mixed_workload
 
 # Overload soak (quick mode): 2-seed flash-crowd sweep against

@@ -45,7 +45,7 @@ pub fn run_soak(seed: u64) -> SoakOutcome {
 /// reproduces the historical wire behaviour byte-for-byte, which is what the
 /// golden-fingerprint equivalence tests pin.
 pub fn run_soak_with(seed: u64, sync_mode: SyncMode) -> SoakOutcome {
-    run_soak_configured(seed, sync_mode, PartitionPlan::Single, 1)
+    run_soak_configured(seed, sync_mode, PartitionPlan::Single, 1, DataPlane::default())
 }
 
 /// Runs the soak on the partitioned engine (one domain per LAN) with the
@@ -55,7 +55,32 @@ pub fn run_soak_with(seed: u64, sync_mode: SyncMode) -> SoakOutcome {
 /// every `workers` value, which is the worker-count-invariance guarantee
 /// `engine_equivalence.rs` pins.
 pub fn run_soak_partitioned(seed: u64, workers: usize) -> SoakOutcome {
-    run_soak_configured(seed, SyncMode::Legacy, PartitionPlan::PerLan, workers)
+    run_soak_configured(seed, SyncMode::Legacy, PartitionPlan::PerLan, workers, DataPlane::default())
+}
+
+/// The registry data-plane shape the soak runs with: shard count and
+/// `data_plane_workers` thread count. Both are contracted to be observable
+/// no-ops, so a soak digest must be identical across every `DataPlane` —
+/// `tests/multiworker_registry.rs` pins exactly that against the default
+/// plane's digest.
+#[derive(Clone, Copy, Debug)]
+pub struct DataPlane {
+    pub shard_count: usize,
+    pub workers: usize,
+}
+
+impl Default for DataPlane {
+    fn default() -> Self {
+        Self { shard_count: 1, workers: 1 }
+    }
+}
+
+/// Runs the soak with a sharded, multi-worker registry data plane on the
+/// default replication plane — the end-to-end "multi-worker registry
+/// scenario": every registry node evaluates broadcast scans and batch
+/// queues across `workers` scoped threads inside its handler.
+pub fn run_soak_data_plane(seed: u64, plane: DataPlane) -> SoakOutcome {
+    run_soak_configured(seed, SyncMode::default(), PartitionPlan::Single, 1, plane)
 }
 
 fn run_soak_configured(
@@ -63,6 +88,7 @@ fn run_soak_configured(
     sync_mode: SyncMode,
     partition: PartitionPlan,
     workers: usize,
+    data_plane: DataPlane,
 ) -> SoakOutcome {
     let mut cfg = ScenarioConfig {
         lans: 3,
@@ -81,6 +107,8 @@ fn run_soak_configured(
         ..Default::default()
     };
     cfg.registry.sync_mode = sync_mode;
+    cfg.registry.shard_count = data_plane.shard_count;
+    cfg.registry.data_plane_workers = data_plane.workers;
     // Keep the duplicate-counting invariant sharp: unicast queries have
     // exactly one legitimate responder (the home registry), so any second
     // counted response is a fault-injection duplicate leaking through.
